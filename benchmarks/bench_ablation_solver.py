@@ -1,0 +1,71 @@
+"""Ablation — the design choices DESIGN.md calls out, measured.
+
+Three solver-strategy choices get ablated on the same instance families:
+
+1. **LP pruning** of support branches (on/off) — matters on inconsistent
+   instances, where whole support subtrees are refuted by a relaxation;
+2. **the maximal-support shortcut** (approximated by comparing consistent
+   instances, where the shortcut usually hits, with inconsistent ones,
+   where it never can);
+3. **scipy/HiGHS vs. the exact rational backend** — the cost of certified
+   arithmetic.
+
+Witness synthesis is disabled throughout so only the decision is timed.
+"""
+
+import pytest
+
+from repro.checkers.config import CheckerConfig
+from repro.checkers.consistency import check_consistency
+from repro.workloads.generators import star_schema_family, teachers_family
+
+_FAST = CheckerConfig(want_witness=False)
+_NO_PRUNE = CheckerConfig(want_witness=False, lp_prune=False)
+_EXACT = CheckerConfig(want_witness=False, backend="exact")
+
+
+@pytest.mark.parametrize("prune", [True, False], ids=["prune", "noprune"])
+def test_lp_pruning_on_inconsistent(benchmark, prune):
+    dtd, sigma = teachers_family(4, consistent=False)
+    config = _FAST if prune else _NO_PRUNE
+    result = benchmark(check_consistency, dtd, sigma, config)
+    assert not result.consistent
+
+
+@pytest.mark.parametrize("prune", [True, False], ids=["prune", "noprune"])
+def test_lp_pruning_on_consistent(benchmark, prune):
+    dtd, sigma = star_schema_family(4, consistent=True)
+    config = _FAST if prune else _NO_PRUNE
+    result = benchmark(check_consistency, dtd, sigma, config)
+    assert result.consistent
+
+
+def test_shortcut_hit_rate_consistent(benchmark):
+    """On satisfiable star schemas the maximal-support shortcut decides."""
+    dtd, sigma = star_schema_family(3, consistent=True)
+    result = benchmark(check_consistency, dtd, sigma, _FAST)
+    assert result.consistent
+    assert result.stats.get("shortcut") is True
+
+
+def test_shortcut_cannot_hit_inconsistent(benchmark):
+    dtd, sigma = star_schema_family(3, consistent=False)
+    result = benchmark(check_consistency, dtd, sigma, _FAST)
+    assert not result.consistent
+    assert result.stats.get("shortcut") is not True
+
+
+@pytest.mark.parametrize("backend", ["scipy", "exact"])
+def test_backend_cost_consistent(benchmark, backend):
+    dtd, sigma = teachers_family(2, consistent=True)
+    config = _FAST if backend == "scipy" else _EXACT
+    result = benchmark(check_consistency, dtd, sigma, config)
+    assert result.consistent
+
+
+@pytest.mark.parametrize("backend", ["scipy", "exact"])
+def test_backend_cost_inconsistent(benchmark, backend):
+    dtd, sigma = teachers_family(2, consistent=False)
+    config = _FAST if backend == "scipy" else _EXACT
+    result = benchmark(check_consistency, dtd, sigma, config)
+    assert not result.consistent

@@ -1,0 +1,43 @@
+"""Experiment D2 — the recursive DTD with no finite tree (Section 1).
+
+Paper claim: ``db -> foo, foo -> foo`` admits no finite XML document, and
+DTD emptiness is decidable in linear time (Theorem 3.5(1)). The benchmark
+sweeps recursive chains of growing length to exhibit the linear shape.
+"""
+
+import pytest
+
+from repro.checkers.consistency import dtd_has_valid_tree
+from repro.dtd.model import DTD
+from repro.workloads.examples import recursive_dtd_d2
+
+
+def test_d2_emptiness(benchmark):
+    d2 = recursive_dtd_d2()
+    assert not benchmark(dtd_has_valid_tree, d2)
+
+
+def _recursive_chain(depth: int) -> DTD:
+    """db -> f1 -> f2 -> ... -> f_depth -> f1 (a large unsatisfiable cycle)."""
+    content = {"db": "(f1)"}
+    for index in range(1, depth + 1):
+        target = index + 1 if index < depth else 1
+        content[f"f{index}"] = f"(f{target})"
+    return DTD.build("db", content)
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64, 256])
+def test_emptiness_scaling(benchmark, depth):
+    """Linear-time emptiness across growing cycles (Thm 3.5(1) shape)."""
+    dtd = _recursive_chain(depth)
+    assert not benchmark(dtd_has_valid_tree, dtd)
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64, 256])
+def test_nonempty_chain_scaling(benchmark, depth):
+    """The satisfiable variant (escape hatch at the end) stays linear."""
+    content = {"db": "(f1)"}
+    for index in range(1, depth + 1):
+        content[f"f{index}"] = f"(f{index + 1}?)" if index < depth else "EMPTY"
+    dtd = DTD.build("db", content)
+    assert benchmark(dtd_has_valid_tree, dtd)

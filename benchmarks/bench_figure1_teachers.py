@@ -1,0 +1,50 @@
+"""Experiment F1 — Figure 1 and the (D1, Sigma1) inconsistency (Section 1).
+
+Paper claims reproduced here:
+
+* the Figure-1 document conforms to D1 but violates Sigma1;
+* D1 alone is satisfiable (a witness resembling Figure 1 is synthesized);
+* (D1, Sigma1) is inconsistent — the cardinality clash of equations
+  (1) and (2).
+"""
+
+from repro.checkers.consistency import check_consistency
+from repro.constraints.satisfaction import satisfies_all
+from repro.workloads.examples import (
+    figure1_tree,
+    sigma1_constraints,
+    teachers_dtd_d1,
+)
+from repro.xmltree.validate import TreeValidator
+
+
+def test_dynamic_validation_of_figure1(benchmark):
+    """Conformance + satisfaction checking of the Figure-1 document."""
+    d1 = teachers_dtd_d1()
+    sigma1 = sigma1_constraints()
+    validator = TreeValidator(d1)
+    doc = figure1_tree()
+
+    def run():
+        return bool(validator.validate(doc)), satisfies_all(doc, sigma1)
+
+    conforming, satisfying = benchmark(run)
+    assert conforming
+    assert not satisfying  # both subjects taught by Joe: key violated
+
+
+def test_d1_sigma1_inconsistent(benchmark):
+    """The static check detects the Section-1 inconsistency."""
+    d1 = teachers_dtd_d1()
+    sigma1 = sigma1_constraints()
+    result = benchmark(check_consistency, d1, sigma1)
+    assert not result.consistent
+
+
+def test_d1_alone_witness_synthesis(benchmark):
+    """D1 without constraints: a Figure-1-like witness is built."""
+    d1 = teachers_dtd_d1()
+    result = benchmark(check_consistency, d1, [])
+    assert result.consistent
+    assert result.witness is not None
+    assert len(result.witness.ext("subject")) == 2 * len(result.witness.ext("teacher"))

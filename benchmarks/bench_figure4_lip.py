@@ -1,0 +1,56 @@
+"""Experiment F4 — the Theorem 4.7 reduction (Figure 4).
+
+Paper claim: 0/1 LIP ``Ax = 1`` reduces in PTIME to consistency of unary
+keys and foreign keys, with at most one key per element type (primary-key
+restriction, Corollary 4.8). The benchmark times the checker on reduced
+instances and verifies every verdict against a brute-force LIP oracle —
+the NP-hardness family is exactly where the ILP-based procedure must
+work hardest.
+"""
+
+import pytest
+
+from repro.checkers.consistency import check_consistency
+from repro.constraints.classes import is_primary_key_set
+from repro.reductions.lip import (
+    brute_force_binary_solution,
+    extract_binary_solution,
+    lip_to_xml,
+    random_lip_instance,
+)
+
+
+@pytest.mark.parametrize("size", [(2, 2), (3, 3), (4, 4), (5, 5)])
+def test_reduced_instances(benchmark, size):
+    rows, cols = size
+    instance = random_lip_instance(rows, cols, density=0.5, seed=rows * 31 + cols)
+    reduction = lip_to_xml(instance)
+    assert is_primary_key_set(reduction.sigma)
+    oracle = brute_force_binary_solution(instance)
+
+    result = benchmark(check_consistency, reduction.dtd, reduction.sigma)
+    assert result.consistent == (oracle is not None)
+    if result.consistent:
+        solution = extract_binary_solution(reduction, result.witness)
+        for row in instance.matrix:
+            assert sum(a * x for a, x in zip(row, solution)) == 1
+
+
+def test_reduction_construction(benchmark):
+    """Building the Figure-4 DTD and constraints is PTIME."""
+    instance = random_lip_instance(6, 6, density=0.5, seed=99)
+    reduction = benchmark(lip_to_xml, instance)
+    assert reduction.dtd.root == "r"
+
+
+@pytest.mark.parametrize("solvable", [True, False])
+def test_known_answer_instances(benchmark, solvable):
+    from repro.reductions.lip import LIPInstance
+
+    if solvable:
+        instance = LIPInstance(((1, 1, 0), (0, 1, 1)))
+    else:
+        instance = LIPInstance(((1, 0), (1, 1), (0, 1)))
+    reduction = lip_to_xml(instance)
+    result = benchmark(check_consistency, reduction.dtd, reduction.sigma)
+    assert result.consistent == solvable

@@ -1,0 +1,69 @@
+"""Experiment F5.6 — Figure 5, implication row.
+
+Paper claims: implication is linear-time for keys only (Theorem 3.5(3)),
+coNP-complete for unary keys/FKs (Theorem 4.10) and for unary keys and
+inclusion constraints (Theorem 5.4), undecidable for multi-attribute
+C_K,FK (Corollary 3.4 — covered in bench_figure5_undecidable). The coNP
+procedures run consistency on Sigma ∪ {not phi}; negated keys exercise
+the C^unary_K¬,IC machinery, negated inclusions the full Theorem 5.1
+set-representation machinery.
+"""
+
+import pytest
+
+from repro.checkers.implication import implies
+from repro.constraints.ast import Key
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.dtd.model import DTD
+from repro.workloads.generators import keys_only_family, star_schema_family
+
+SCALES = [4, 16, 64]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_keys_only_implication_linear(benchmark, scale, no_witness_config):
+    dtd, sigma = keys_only_family(scale)
+    phi = Key(f"rec{scale // 2}", ("a", "b", "c"))
+    result = benchmark(implies, dtd, sigma, phi, no_witness_config)
+    assert result.implied
+
+
+@pytest.mark.parametrize("dims", [1, 2, 4])
+def test_unary_key_implication_conp(benchmark, dims, no_witness_config):
+    """Implication of a key: consistency of Sigma + NegKey (Thm 4.10)."""
+    dtd, sigma = star_schema_family(dims, consistent=True)
+    phi = parse_constraint("dim0.id -> dim0")  # literally in Sigma
+    result = benchmark(implies, dtd, sigma, phi, no_witness_config)
+    assert result.implied
+
+
+@pytest.mark.parametrize("dims", [1, 2, 4])
+def test_unary_inclusion_implication_conp(benchmark, dims, no_witness_config):
+    """Implication of an inclusion: the Theorem 5.1 negation machinery."""
+    dtd, sigma = star_schema_family(dims, consistent=True)
+    phi = parse_constraint("fact.ref0 <= dim0.id")
+    result = benchmark(implies, dtd, sigma, phi, no_witness_config)
+    assert result.implied
+
+
+def test_inclusion_chain_implication(benchmark, no_witness_config):
+    """Transitivity through a chain of inclusion constraints."""
+    dtd = DTD.build(
+        "r",
+        {"r": "(a*, b*, c*, d*)", "a": "EMPTY", "b": "EMPTY",
+         "c": "EMPTY", "d": "EMPTY"},
+        attrs={t: ["x"] for t in "abcd"},
+    )
+    sigma = parse_constraints("a.x <= b.x\nb.x <= c.x\nc.x <= d.x")
+    phi = parse_constraint("a.x <= d.x")
+    result = benchmark(implies, dtd, sigma, phi, no_witness_config)
+    assert result.implied
+
+
+def test_refuted_implication_with_counterexample(benchmark):
+    """The expensive direction: counterexample synthesis included."""
+    dtd, sigma = star_schema_family(2, consistent=True)
+    phi = parse_constraint("dim0.id <= fact.ref0")  # converse: not implied
+    result = benchmark(implies, dtd, sigma, phi)
+    assert not result.implied
+    assert result.counterexample is not None

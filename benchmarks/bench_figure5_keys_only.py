@@ -1,0 +1,57 @@
+"""Experiment F5.1 — Figure 5, "multi-attribute keys only" column.
+
+Paper claim: consistency and implication for C_K are decidable in LINEAR
+TIME (Theorem 3.5). The benchmarks sweep instance size; the reported
+times should grow roughly linearly with the scale parameter (EXPERIMENTS.md
+records the measured series).
+"""
+
+import pytest
+
+from repro.checkers.consistency import check_consistency
+from repro.checkers.implication import implies
+from repro.checkers.keys_only import implies_key_keys_only, keys_only_consistent
+from repro.constraints.ast import Key
+from repro.workloads.generators import chain_dtd, keys_only_family
+
+SCALES = [4, 16, 64, 256]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_consistency_linear(benchmark, scale):
+    dtd, sigma = keys_only_family(scale)
+    assert benchmark(keys_only_consistent, dtd, sigma)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_implication_subsumption_linear(benchmark, scale):
+    dtd, sigma = keys_only_family(scale)
+    # Superkey of a key in Sigma: implied by subsumption.
+    phi = Key(f"rec{scale - 1}", ("a", "b", "c"))
+    assert benchmark(implies_key_keys_only, dtd, sigma, phi)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_implication_multiplicity_linear(benchmark, scale):
+    # Deep chain: implication refuted via can_have_two (star at each level).
+    dtd, sigma = chain_dtd(scale)
+    phi = Key(f"c{scale}", ("id",))
+    result = benchmark(implies_key_keys_only, dtd, [], phi)
+    assert not result
+
+
+@pytest.mark.parametrize("scale", [4, 16, 64])
+def test_full_checker_dispatch(benchmark, scale, no_witness_config):
+    """End-to-end check_consistency on the keys-only class."""
+    dtd, sigma = keys_only_family(scale)
+    result = benchmark(check_consistency, dtd, sigma, no_witness_config)
+    assert result.consistent
+
+
+def test_counterexample_synthesis(benchmark):
+    """Refuted implication with witness construction (Lemma 3.7)."""
+    dtd, sigma = keys_only_family(4)
+    phi = Key("rec0", ("a",))  # not subsumed by {a,b} or {c}
+    result = benchmark(implies, dtd, sigma, phi)
+    assert not result.implied
+    assert result.counterexample is not None

@@ -1,0 +1,48 @@
+"""Experiment F5.3 — Figure 5, "primary, unary keys and foreign keys".
+
+Paper claim (Corollary 4.8): the primary-key restriction does NOT lower
+the complexity — consistency stays NP-complete, because the Theorem 4.7
+reduction already emits at most one key per element type. The benchmark
+runs the same NP-hard family through the primary wrapper and compares
+against the unrestricted procedure on the identical instances.
+"""
+
+import pytest
+
+from repro.checkers.consistency import check_consistency
+from repro.checkers.primary import check_consistency_primary
+from repro.constraints.classes import is_primary_key_set
+from repro.reductions.lip import (
+    brute_force_binary_solution,
+    lip_to_xml,
+    random_lip_instance,
+)
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_primary_np_family(benchmark, size, no_witness_config):
+    instance = random_lip_instance(size, size, density=0.5, seed=size * 7)
+    reduction = lip_to_xml(instance)
+    assert is_primary_key_set(reduction.sigma)
+    oracle = brute_force_binary_solution(instance)
+
+    result = benchmark(
+        check_consistency_primary, reduction.dtd, reduction.sigma, no_witness_config
+    )
+    assert result.consistent == (oracle is not None)
+
+
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_unrestricted_same_instances(benchmark, size, no_witness_config):
+    """Baseline: the general checker on the identical primary instances.
+
+    Corollary 4.8 predicts no complexity gap; the measured times should
+    match the primary wrapper's within noise.
+    """
+    instance = random_lip_instance(size, size, density=0.5, seed=size * 7)
+    reduction = lip_to_xml(instance)
+    oracle = brute_force_binary_solution(instance)
+    result = benchmark(
+        check_consistency, reduction.dtd, reduction.sigma, no_witness_config
+    )
+    assert result.consistent == (oracle is not None)

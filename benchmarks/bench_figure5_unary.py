@@ -1,0 +1,47 @@
+"""Experiment F5.2 — Figure 5, "unary keys and foreign keys" column.
+
+Paper claim: consistency for C^unary_K,FK is NP-complete (Theorems 4.1 and
+4.7). The procedure is the Psi(D, Sigma) ILP encoding; benchmarks sweep
+both consistent and inconsistent families. NP-completeness predicts no
+polynomial worst case, but the encoding is polynomial-size and typical
+instances solve fast — exactly the behaviour the table's "NP-complete"
+cell allows, recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.checkers.consistency import check_consistency
+from repro.workloads.generators import star_schema_family, teachers_family
+
+SCALES = [1, 2, 4, 8]
+
+
+@pytest.mark.parametrize("dims", SCALES)
+def test_star_schema_consistent(benchmark, dims, no_witness_config):
+    dtd, sigma = star_schema_family(dims, consistent=True)
+    result = benchmark(check_consistency, dtd, sigma, no_witness_config)
+    assert result.consistent
+
+
+@pytest.mark.parametrize("dims", SCALES)
+def test_star_schema_inconsistent(benchmark, dims, no_witness_config):
+    dtd, sigma = star_schema_family(dims, consistent=False)
+    result = benchmark(check_consistency, dtd, sigma, no_witness_config)
+    assert not result.consistent
+
+
+@pytest.mark.parametrize("subjects", [2, 4, 8, 16])
+def test_teachers_interaction_inconsistent(benchmark, subjects, no_witness_config):
+    """The scaled Section-1 cardinality clash."""
+    dtd, sigma = teachers_family(subjects, consistent=False)
+    result = benchmark(check_consistency, dtd, sigma, no_witness_config)
+    assert not result.consistent
+
+
+@pytest.mark.parametrize("dims", [1, 2, 4])
+def test_witness_synthesis_overhead(benchmark, dims):
+    """Same family with full witness synthesis and re-verification."""
+    dtd, sigma = star_schema_family(dims, consistent=True)
+    result = benchmark(check_consistency, dtd, sigma)
+    assert result.consistent
+    assert result.witness is not None

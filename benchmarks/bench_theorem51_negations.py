@@ -1,0 +1,82 @@
+"""Experiment T51 — the Theorem 5.1 machinery for C^unary_K¬,IC¬.
+
+Paper claims: consistency with negated keys stays NP (Corollary 4.9) and
+with negated inclusion constraints stays NP via set representations
+(Theorem 5.1, Lemmas 5.2-5.3). Benchmarks sweep the number of active
+attribute pairs — the parameter the z_theta block is exponential in —
+and also time the standalone intersection-pattern check on real and
+impossible (U, V) matrices.
+"""
+
+import pytest
+
+from repro.checkers.consistency import check_consistency
+from repro.constraints.parser import parse_constraints
+from repro.dtd.model import DTD
+from repro.encoding.setrep import build_uv_matrices, has_set_representation
+
+
+def _wide_dtd(num_types: int) -> DTD:
+    content = {"r": "(" + ", ".join(f"t{i}*" for i in range(num_types)) + ")"}
+    content.update({f"t{i}": "EMPTY" for i in range(num_types)})
+    return DTD.build(
+        "r", content, attrs={f"t{i}": ["x"] for i in range(num_types)}
+    )
+
+
+@pytest.mark.parametrize("scale", [2, 4, 6, 8])
+def test_negated_keys_consistency(benchmark, scale, no_witness_config):
+    """C^unary_K¬,IC: one negated key per type (Corollary 4.9)."""
+    dtd = _wide_dtd(scale)
+    sigma = parse_constraints("\n".join(f"t{i}.x !-> t{i}" for i in range(scale)))
+    result = benchmark(check_consistency, dtd, sigma, no_witness_config)
+    assert result.consistent
+
+
+@pytest.mark.parametrize("active", [2, 4, 6, 8])
+def test_negated_inclusions_consistency(benchmark, active, no_witness_config):
+    """C^unary_K¬,IC¬: a cycle of negated inclusions over `active` pairs.
+
+    The z_theta block has 2^active - 1 variables: the sweep exposes the
+    exponential dependence the NP bound allows.
+    """
+    dtd = _wide_dtd(active)
+    sigma = parse_constraints(
+        "\n".join(f"t{i}.x !<= t{(i + 1) % active}.x" for i in range(active))
+    )
+    result = benchmark(check_consistency, dtd, sigma, no_witness_config)
+    assert result.consistent
+
+
+@pytest.mark.parametrize("active", [2, 4, 6])
+def test_mixed_positive_negative_inclusions(benchmark, active, no_witness_config):
+    """Inclusion chains plus a negated back-edge: satisfiable iff the
+    back edge does not close the chain into equality."""
+    dtd = _wide_dtd(active + 1)
+    chain = [f"t{i}.x <= t{i + 1}.x" for i in range(active)]
+    sigma = parse_constraints("\n".join(chain + [f"t{active}.x !<= t0.x"]))
+    result = benchmark(check_consistency, dtd, sigma, no_witness_config)
+    assert result.consistent
+
+
+def test_chain_closed_into_contradiction(benchmark, no_witness_config):
+    """a ⊆ b ⊆ a with a ⊄ b is inconsistent — sets would be equal."""
+    dtd = _wide_dtd(2)
+    sigma = parse_constraints("t0.x <= t1.x\nt1.x <= t0.x\nt0.x !<= t1.x")
+    result = benchmark(check_consistency, dtd, sigma, no_witness_config)
+    assert not result.consistent
+
+
+@pytest.mark.parametrize("num_sets", [2, 4, 6])
+def test_intersection_pattern_positive(benchmark, num_sets):
+    """U,V of actual sets always admit a representation (Lemma 5.3)."""
+    sets = [set(f"v{j}" for j in range(i + 1)) for i in range(num_sets)]
+    u, v = build_uv_matrices(sets)
+    assert benchmark(has_set_representation, u, v)
+
+
+def test_intersection_pattern_negative(benchmark):
+    """An impossible (U, V) pair is rejected."""
+    u = [[1, 0], [0, 1]]
+    v = [[0, 2], [1, 0]]
+    assert not benchmark(has_set_representation, u, v)

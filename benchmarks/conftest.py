@@ -1,0 +1,18 @@
+"""Benchmark suite configuration.
+
+Every benchmark asserts the *correctness* of the answer it times, so a
+regression in a decision procedure fails the benchmark run rather than
+silently producing fast nonsense. Run with:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def no_witness_config():
+    """Pure decision timing: skip witness synthesis."""
+    from repro.checkers.config import CheckerConfig
+
+    return CheckerConfig(want_witness=False)

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Regenerate the paper-shaped summary: Figure 5 plus Figures 1-4.
+
+This standalone harness (not collected by pytest) runs every reproduced
+experiment once, measures wall-clock times across the scale sweeps, and
+prints a Figure-5-style table plus one line per qualitative experiment.
+Its output is the source of record for EXPERIMENTS.md.
+
+Run:  python benchmarks/report.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable
+
+from repro.checkers.bounded import bounded_consistency
+from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
+from repro.checkers.implication import implies
+from repro.checkers.config import CheckerConfig
+from repro.checkers.keys_only import implies_key_keys_only, keys_only_consistent
+from repro.constraints.ast import Key
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.satisfaction import satisfies_all
+from repro.errors import UndecidableProblemError
+from repro.reductions.lip import (
+    brute_force_binary_solution,
+    lip_to_xml,
+    random_lip_instance,
+)
+from repro.relational.constraints import RelKey
+from repro.relational.model import RelationSchema, Schema
+from repro.relational.reductions import (
+    consistency_to_implication,
+    relational_implication_to_xml,
+)
+from repro.workloads.examples import (
+    figure1_tree,
+    recursive_dtd_d2,
+    school_constraints_d3,
+    school_document,
+    school_dtd_d3,
+    sigma1_constraints,
+    teachers_dtd_d1,
+)
+from repro.workloads.generators import (
+    fixed_dtd_constraint_family,
+    keys_only_family,
+    star_schema_family,
+    teachers_family,
+)
+from repro.xmltree.validate import conforms
+
+_FAST = CheckerConfig(want_witness=False)
+
+
+def _time(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock milliseconds over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1000)
+    return statistics.median(samples)
+
+
+def _series(label: str, points: list[tuple[int, float]], verdict: str) -> None:
+    rendered = "  ".join(f"{scale}:{ms:8.2f}ms" for scale, ms in points)
+    print(f"  {label:<42} {verdict:<12} {rendered}")
+
+
+def figure5() -> None:
+    print("=" * 100)
+    print("Figure 5 — main results (measured; times are medians of 3 runs)")
+    print("=" * 100)
+
+    print("\nconsistency row")
+    print("-" * 100)
+
+    # Column: multi-attribute keys + foreign keys (undecidable).
+    d3, sigma3 = school_dtd_d3(), school_constraints_d3()
+    try:
+        check_consistency(d3, sigma3)
+        verdict = "BUG"
+    except UndecidableProblemError:
+        verdict = "refused"
+    points = [
+        (n, _time(lambda n=n: bounded_consistency(d3, sigma3, n)))
+        for n in (4, 6, 8)
+    ]
+    _series("C_K,FK (undecidable; bounded search/nodes)", points, verdict)
+
+    # Column: unary keys + foreign keys (NP-complete).
+    points = []
+    for dims in (1, 2, 4, 8):
+        dtd, sigma = star_schema_family(dims, consistent=True)
+        points.append((dims, _time(lambda d=dtd, s=sigma: check_consistency(d, s, _FAST))))
+    _series("C^unary_K,FK consistent (star schema/dims)", points, "all SAT")
+    points = []
+    for subjects in (2, 4, 8, 16):
+        dtd, sigma = teachers_family(subjects, consistent=False)
+        points.append(
+            (subjects, _time(lambda d=dtd, s=sigma: check_consistency(d, s, _FAST)))
+        )
+    _series("C^unary_K,FK inconsistent (teachers/subjects)", points, "all UNSAT")
+
+    # Column: primary unary (same complexity, Cor. 4.8) via the Figure-4 family.
+    points = []
+    for size in (2, 3, 4):
+        instance = random_lip_instance(size, size, 0.5, seed=size * 7)
+        reduction = lip_to_xml(instance)
+        oracle = brute_force_binary_solution(instance) is not None
+        result = check_consistency(reduction.dtd, reduction.sigma, _FAST)
+        assert result.consistent == oracle
+        points.append(
+            (
+                size,
+                _time(
+                    lambda r=reduction: check_consistency(r.dtd, r.sigma, _FAST)
+                ),
+            )
+        )
+    _series("primary C^unary_K,FK (Thm 4.7 family/m=n)", points, "oracle-ok")
+
+    # Column: fixed DTD (PTIME).
+    points = []
+    for count in (4, 16, 64, 128):
+        dtd, sigma = fixed_dtd_constraint_family(count)
+        points.append(
+            (count, _time(lambda d=dtd, s=sigma: check_consistency(d, s, _FAST)))
+        )
+    _series("fixed DTD, unary (PTIME /|Sigma|)", points, "all SAT")
+
+    # Column: keys only (linear time).
+    points = []
+    for scale in (4, 16, 64, 256):
+        dtd, sigma = keys_only_family(scale)
+        points.append(
+            (scale, _time(lambda d=dtd, s=sigma: keys_only_consistent(d, s)))
+        )
+    _series("C_K keys only (linear /scale)", points, "all SAT")
+
+    print("\nimplication row")
+    print("-" * 100)
+
+    # Keys only: linear.
+    points = []
+    for scale in (4, 16, 64, 256):
+        dtd, sigma = keys_only_family(scale)
+        phi = Key(f"rec{scale // 2}", ("a", "b", "c"))
+        points.append(
+            (scale, _time(lambda d=dtd, s=sigma, p=phi: implies_key_keys_only(d, s, p)))
+        )
+    _series("C_K implication (linear /scale)", points, "all implied")
+
+    # Unary keys (coNP, Thm 4.10) and inclusions (Thm 5.4).
+    points = []
+    for dims in (1, 2, 4):
+        dtd, sigma = star_schema_family(dims, consistent=True)
+        phi = parse_constraint("dim0.id -> dim0")
+        points.append(
+            (dims, _time(lambda d=dtd, s=sigma, p=phi: implies(d, s, p, _FAST)))
+        )
+    _series("unary key implication (coNP /dims)", points, "all implied")
+    points = []
+    for dims in (1, 2, 4):
+        dtd, sigma = star_schema_family(dims, consistent=True)
+        phi = parse_constraint("fact.ref0 <= dim0.id")
+        points.append(
+            (dims, _time(lambda d=dtd, s=sigma, p=phi: implies(d, s, p, _FAST)))
+        )
+    _series("unary IC implication (Thm 5.1 /dims)", points, "all implied")
+
+
+def qualitative() -> None:
+    print()
+    print("=" * 100)
+    print("Figures 1-4 and the worked examples")
+    print("=" * 100)
+
+    d1, sigma1 = teachers_dtd_d1(), sigma1_constraints()
+    doc = figure1_tree()
+    line1 = (
+        f"F1  Figure-1 doc: conforms={bool(conforms(doc, d1))}, "
+        f"satisfies Sigma1={satisfies_all(doc, sigma1)}; "
+        f"(D1,Sigma1) consistent={check_consistency(d1, sigma1).consistent}"
+    )
+    print(line1)
+
+    d2 = recursive_dtd_d2()
+    print(f"D2  has valid tree={dtd_has_valid_tree(d2)} (expected False)")
+
+    d3 = school_dtd_d3()
+    doc3 = school_document()
+    witness = bounded_consistency(d3, school_constraints_d3(), max_nodes=4)
+    print(
+        f"D3  document valid={bool(conforms(doc3, d3))}, "
+        f"satisfies={satisfies_all(doc3, school_constraints_d3())}, "
+        f"bounded witness nodes={witness.size() if witness else None}"
+    )
+
+    schema = Schema((RelationSchema("R", ("x", "y")),))
+    red = relational_implication_to_xml(schema, [], RelKey("R", ("x",)))
+    found = bounded_consistency(red.dtd, red.sigma, max_nodes=10)
+    red2 = relational_implication_to_xml(
+        schema, [RelKey("R", ("x",))], RelKey("R", ("x",))
+    )
+    gone = bounded_consistency(red2.dtd, red2.sigma, max_nodes=8)
+    print(
+        f"F2  Thm 3.1: not-implied -> consistent={found is not None}; "
+        f"implied -> consistent={gone is not None}"
+    )
+
+    checks = []
+    for consistent in (True, False):
+        dtd, sigma = teachers_family(2, consistent=consistent)
+        r = consistency_to_implication(dtd)
+        lhs = check_consistency(dtd, sigma).consistent
+        rhs = implies(r.dtd_prime, [*sigma, r.ell, r.phi2], r.phi1).implied
+        checks.append(lhs == (not rhs))
+    print(f"F3  Lemma 3.3 equivalence on SAT/UNSAT inputs: {checks}")
+
+    agreements = 0
+    for seed in range(8):
+        instance = random_lip_instance(3, 3, 0.55, seed=seed)
+        reduction = lip_to_xml(instance)
+        oracle = brute_force_binary_solution(instance) is not None
+        got = check_consistency(reduction.dtd, reduction.sigma, _FAST).consistent
+        agreements += got == oracle
+    print(f"F4  Thm 4.7: checker vs brute-force oracle agreement: {agreements}/8")
+
+    sigma_neg = parse_constraints("t0.x <= t1.x\nt1.x <= t0.x\nt0.x !<= t1.x")
+    from repro.dtd.model import DTD
+
+    wide = DTD.build(
+        "r", {"r": "(t0*, t1*)", "t0": "EMPTY", "t1": "EMPTY"},
+        attrs={"t0": ["x"], "t1": ["x"]},
+    )
+    print(
+        "T51 negated-inclusion contradiction detected: "
+        f"{not check_consistency(wide, sigma_neg).consistent}"
+    )
+
+
+def main() -> None:
+    figure5()
+    qualitative()
+
+
+if __name__ == "__main__":
+    main()

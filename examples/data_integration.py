@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Data integration: verifying constraints on a mediator interface.
+
+The paper's motivating use of implication (Section 1): a mediator exposes
+an XML interface but holds no data, so a constraint ``phi`` on the
+interface cannot be checked dynamically — it must be *implied* by the
+constraints known to hold on the sources. This example models a small
+product catalog mediator and asks the coNP implication procedure
+(Theorems 4.10 and 5.4) a series of questions, getting counterexample
+documents whenever the answer is no.
+
+Run:  python examples/data_integration.py
+"""
+
+from repro import DTD, implies, parse_constraint, parse_constraints, tree_to_string
+
+
+def main() -> None:
+    # The mediator's published interface: a catalog of products, vendors
+    # and offers (an offer links a product to a vendor).
+    interface = DTD.build(
+        "catalog",
+        {
+            "catalog": "(product+, vendor+, offer*)",
+            "product": "(title)",
+            "vendor": "EMPTY",
+            "offer": "EMPTY",
+            "title": "(#PCDATA)",
+        },
+        attrs={
+            "product": ["sku"],
+            "vendor": ["vid"],
+            "offer": ["sku", "vid", "price"],
+        },
+    )
+
+    # Constraints guaranteed by the sources.
+    known = parse_constraints(
+        """
+        product.sku -> product          # SKUs identify products
+        vendor.vid -> vendor            # vendor ids are unique
+        offer.sku => product.sku        # offers reference real products
+        offer.vid => vendor.vid         # ... and real vendors
+        """
+    )
+
+    questions = [
+        ("offers reference products (inclusion only)",
+         "offer.sku <= product.sku"),
+        ("product SKUs cover all offer SKUs in reverse?",
+         "product.sku <= offer.sku"),
+        ("is price a key of offers?",
+         "offer.price -> offer"),
+        ("is sku a key of offers?",
+         "offer.sku -> offer"),
+        ("does the vendor reference survive as a foreign key?",
+         "offer.vid => vendor.vid"),
+    ]
+
+    for description, text in questions:
+        phi = parse_constraint(text)
+        result = implies(interface, known, phi)
+        verdict = "IMPLIED" if result.implied else "NOT implied"
+        print(f"{description}\n    {phi}:  {verdict}")
+        if result.implied and result.message:
+            print(f"    reason: {result.message}")
+        if not result.implied and result.counterexample is not None:
+            print("    counterexample document:")
+            for line in tree_to_string(result.counterexample).splitlines():
+                print("      " + line)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The specification doctor: diagnosing and repairing bad XML designs.
+
+The paper's closing programme (Section 6) proposes using integrity
+constraints to tell good XML designs from bad ones. This example runs the
+library's diagnostics on an order-management specification that has
+accreted problems over time: a four-eyes policy (two approvals per order),
+unique approval stamps referencing the auditor — and a late DTD edit that
+modelled the company's single auditor as exactly one ``<auditor>``
+element, silently recreating the paper's Section-1 inconsistency. The
+doctor isolates the minimal conflict, shows the cardinality ranges that
+explain it, and verifies two candidate repairs.
+
+Run:  python examples/spec_doctor.py
+"""
+
+from repro import DTD, check_consistency, parse_constraints
+from repro.analysis import diagnose, extent_bounds
+from repro.encoding.combined import build_encoding
+from repro.encoding.render import describe_encoding
+
+SIGMA_TEXT = """
+    order.oid -> order            # order ids are unique
+    approval.stamp -> approval    # stamps are unique...
+    approval.stamp => auditor.aid # ...and reference auditors
+    auditor.aid -> auditor        # auditor ids are unique
+"""
+
+
+def main() -> None:
+    # The broken design: exactly two approvals per order (four-eyes), but
+    # exactly ONE auditor element in the document.
+    dtd = DTD.build(
+        "orders",
+        {
+            "orders": "(order+, auditor)",
+            "order": "(approval, approval)",
+            "approval": "EMPTY",
+            "auditor": "EMPTY",
+        },
+        attrs={
+            "order": ["oid"],
+            "approval": ["stamp"],
+            "auditor": ["aid"],
+        },
+    )
+    sigma = parse_constraints(SIGMA_TEXT)
+
+    print("specification health check")
+    print("-" * 60)
+    report = diagnose(dtd, sigma)
+    print(report.summary())
+    print()
+
+    # The cardinality view explains the conflict: the DTD forces
+    # |approval| = 2|order| >= 2 while the stamp key plus the foreign key
+    # squeeze |approval| <= |auditor| = 1.
+    print("cardinality ranges under the DTD alone:")
+    for tau in ("order", "approval", "auditor"):
+        print("   ", extent_bounds(dtd, [], tau))
+    print()
+
+    # Repair A: drop the uniqueness of stamps — approvals may share one.
+    relaxed = [phi for phi in sigma if str(phi) != "approval.stamp -> approval"]
+    print("repair A (drop the stamp key):      ",
+          check_consistency(dtd, relaxed).consistent)
+
+    # Repair B: model auditors as a collection instead of a singleton.
+    dtd_b = DTD.build(
+        "orders",
+        {
+            "orders": "(order+, auditor+)",
+            "order": "(approval, approval)",
+            "approval": "EMPTY",
+            "auditor": "EMPTY",
+        },
+        attrs={
+            "order": ["oid"],
+            "approval": ["stamp"],
+            "auditor": ["aid"],
+        },
+    )
+    result_b = check_consistency(dtd_b, sigma)
+    print("repair B (auditor+ instead of one): ", result_b.consistent)
+    print()
+
+    # The repaired design still carries a redundancy: the explicit
+    # auditor key restates the key component of the foreign key.
+    report_b = diagnose(dtd_b, sigma)
+    print("post-repair health check")
+    print("-" * 60)
+    print(report_b.summary())
+    print()
+
+    # For the curious: the linear-integer system behind the verdicts,
+    # rendered the way the paper prints Psi_DN1 in Section 4.1.
+    print("the encoding Psi(D, Sigma) for repair B (excerpt):")
+    text = describe_encoding(build_encoding(dtd_b, sigma))
+    for line in text.splitlines()[:14]:
+        print("   ", line)
+    print("    ...")
+
+
+if __name__ == "__main__":
+    main()

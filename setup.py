@@ -1,0 +1,13 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` uses PEP 517 and needs ``wheel``; fully offline
+environments may lack it. This shim enables the legacy editable path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

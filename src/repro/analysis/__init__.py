@@ -1,0 +1,31 @@
+"""Specification analysis: the paper's Section-6 programme, made concrete.
+
+The paper closes by proposing to "use integrity constraints to distinguish
+good XML design from bad design". This package builds that layer on top of
+the decision procedures:
+
+* :mod:`repro.analysis.extent_bounds` — the feasible range of
+  ``|ext(tau)|`` across all documents satisfying a specification, i.e. the
+  cardinality interaction between the DTD and the constraints made
+  directly visible (the quantity driving the Section-1 inconsistency);
+* :mod:`repro.analysis.diagnostics` — why is a specification
+  inconsistent (minimal inconsistent subsets of Sigma) and which
+  constraints are redundant (implied by the rest)?
+"""
+
+from repro.analysis.diagnostics import (
+    DiagnosticsReport,
+    diagnose,
+    minimal_inconsistent_subset,
+    redundant_constraints,
+)
+from repro.analysis.extent_bounds import ExtentBounds, extent_bounds
+
+__all__ = [
+    "ExtentBounds",
+    "extent_bounds",
+    "minimal_inconsistent_subset",
+    "redundant_constraints",
+    "DiagnosticsReport",
+    "diagnose",
+]

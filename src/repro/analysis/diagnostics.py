@@ -1,0 +1,162 @@
+"""Specification diagnostics: *why* is a spec broken, *what* is redundant.
+
+The paper motivates static validation with "repeated failures are due to a
+bad specification" (Section 1) and closes proposing a design theory for
+XML specifications (Section 6). Two concrete tools toward that:
+
+* :func:`minimal_inconsistent_subset` — a deletion-minimal subset of
+  Sigma that is already inconsistent with the DTD (a MUS): the smallest
+  story to tell the schema author. Found by the standard deletion filter:
+  O(|Sigma|) consistency calls.
+* :func:`redundant_constraints` — constraints implied by the rest of the
+  specification (over the DTD): safe to drop, or a hint that the author
+  expected them to add strength they do not add. One implication call per
+  constraint.
+
+Both operate on the decidable unary classes, like the procedures they are
+built from; multi-attribute foreign keys raise
+:class:`UndecidableProblemError` upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from repro.constraints.ast import Constraint
+from repro.checkers.config import DEFAULT_CONFIG, CheckerConfig
+from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
+from repro.checkers.implication import implies
+from repro.dtd.model import DTD
+from repro.errors import InvalidConstraintError
+
+
+def minimal_inconsistent_subset(
+    dtd: DTD,
+    constraints: Iterable[Constraint],
+    config: CheckerConfig | None = None,
+) -> list[Constraint]:
+    """A deletion-minimal inconsistent subset of ``Sigma`` (a MUS).
+
+    Requires the full set to be inconsistent with the DTD (raises
+    :class:`InvalidConstraintError` otherwise). The result may be empty
+    when the DTD alone has no valid tree — then no constraints are to
+    blame at all.
+
+    >>> from repro.workloads.examples import teachers_dtd_d1, sigma1_constraints
+    >>> mus = minimal_inconsistent_subset(teachers_dtd_d1(), sigma1_constraints())
+    >>> sorted(str(phi) for phi in mus)
+    ['subject.taught_by -> subject', 'subject.taught_by => teacher.name']
+    """
+    config = config or DEFAULT_CONFIG
+    probe = CheckerConfig(
+        backend=config.backend,
+        want_witness=False,
+        max_setrep_attrs=config.max_setrep_attrs,
+        max_support_nodes=config.max_support_nodes,
+        lp_prune=config.lp_prune,
+    )
+    current = list(constraints)
+    if check_consistency(dtd, current, probe).consistent:
+        raise InvalidConstraintError(
+            "the specification is consistent; there is no inconsistent subset"
+        )
+    if not dtd_has_valid_tree(dtd):
+        return []
+    index = 0
+    while index < len(current):
+        candidate = current[:index] + current[index + 1:]
+        if check_consistency(dtd, candidate, probe).consistent:
+            index += 1  # constraint is necessary for the conflict
+        else:
+            current = candidate  # still inconsistent without it: drop
+    return current
+
+
+def redundant_constraints(
+    dtd: DTD,
+    constraints: Iterable[Constraint],
+    config: CheckerConfig | None = None,
+) -> list[Constraint]:
+    """Constraints implied by the remaining ones over the DTD.
+
+    Note the subtlety: redundancy here is *relative to the whole rest*, so
+    two mutually-implied constraints can both be reported (either one may
+    be dropped, not both).
+    """
+    config = config or DEFAULT_CONFIG
+    probe = CheckerConfig(
+        backend=config.backend,
+        want_witness=False,
+        max_setrep_attrs=config.max_setrep_attrs,
+        max_support_nodes=config.max_support_nodes,
+        lp_prune=config.lp_prune,
+    )
+    sigma = list(constraints)
+    redundant: list[Constraint] = []
+    for index, phi in enumerate(sigma):
+        rest = sigma[:index] + sigma[index + 1:]
+        if implies(dtd, rest, phi, probe).implied:
+            redundant.append(phi)
+    return redundant
+
+
+@dataclass
+class DiagnosticsReport:
+    """Combined specification health report."""
+
+    consistent: bool
+    mus: list[Constraint] = field(default_factory=list)
+    redundant: list[Constraint] = field(default_factory=list)
+    dtd_satisfiable: bool = True
+
+    def summary(self) -> str:
+        """Human-readable multi-line rendering."""
+        lines = []
+        if not self.dtd_satisfiable:
+            lines.append("the DTD alone admits no finite document")
+        elif self.consistent:
+            lines.append("specification is CONSISTENT")
+        else:
+            lines.append("specification is INCONSISTENT; minimal conflict:")
+            for phi in self.mus:
+                lines.append(f"  - {phi}")
+        if self.redundant:
+            lines.append("redundant constraints (implied by the rest):")
+            for phi in self.redundant:
+                lines.append(f"  - {phi}")
+        return "\n".join(lines)
+
+
+def diagnose(
+    dtd: DTD,
+    constraints: Iterable[Constraint],
+    config: CheckerConfig | None = None,
+) -> DiagnosticsReport:
+    """Full specification health check.
+
+    For consistent specifications, reports redundancies; for inconsistent
+    ones, a minimal conflicting subset.
+    """
+    config = config or DEFAULT_CONFIG
+    sigma = list(constraints)
+    if not dtd_has_valid_tree(dtd):
+        return DiagnosticsReport(
+            consistent=False, dtd_satisfiable=False
+        )
+    probe = CheckerConfig(
+        backend=config.backend,
+        want_witness=False,
+        max_setrep_attrs=config.max_setrep_attrs,
+        max_support_nodes=config.max_support_nodes,
+        lp_prune=config.lp_prune,
+    )
+    if check_consistency(dtd, sigma, probe).consistent:
+        return DiagnosticsReport(
+            consistent=True,
+            redundant=redundant_constraints(dtd, sigma, config),
+        )
+    return DiagnosticsReport(
+        consistent=False,
+        mus=minimal_inconsistent_subset(dtd, sigma, config),
+    )

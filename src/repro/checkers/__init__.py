@@ -1,0 +1,47 @@
+"""Decision procedures: the paper's results as a public API.
+
+========================  ======================================  ==========
+problem                   procedure                               paper ref
+========================  ======================================  ==========
+DTD has a valid tree      :func:`dtd_has_valid_tree` (linear)     Thm 3.5(1)
+consistency, keys only    :func:`check_consistency` (linear)      Thm 3.5(2)
+implication, keys only    :func:`implies` (linear)                Thm 3.5(3)
+consistency, unary        :func:`check_consistency` (NP)          Thm 4.1/4.7
+  + negated keys          :func:`check_consistency` (NP)          Cor 4.9
+  + negated inclusions    :func:`check_consistency` (NP)          Thm 5.1
+implication, unary        :func:`implies` (coNP)                  Thm 4.10/5.4
+primary-key restriction   :func:`check_consistency_primary`       Cor 4.8
+multi-attribute K,FK      **undecidable**; bounded semi-decision  Thm 3.1
+                          :func:`bounded_consistency`
+========================  ======================================  ==========
+"""
+
+from repro.checkers.bounded import bounded_consistency
+from repro.checkers.config import CheckerConfig
+from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
+from repro.checkers.implication import implies
+from repro.checkers.keys_only import (
+    implies_key_keys_only,
+    keys_only_consistent,
+    subsumes,
+)
+from repro.checkers.primary import (
+    check_consistency_primary,
+    implies_primary,
+)
+from repro.checkers.results import ConsistencyResult, ImplicationResult
+
+__all__ = [
+    "CheckerConfig",
+    "ConsistencyResult",
+    "ImplicationResult",
+    "check_consistency",
+    "dtd_has_valid_tree",
+    "implies",
+    "keys_only_consistent",
+    "implies_key_keys_only",
+    "subsumes",
+    "check_consistency_primary",
+    "implies_primary",
+    "bounded_consistency",
+]

@@ -1,0 +1,139 @@
+"""Bounded brute-force search: the honest answer to undecidability.
+
+Consistency for multi-attribute keys and foreign keys is undecidable
+(Theorem 3.1), so no terminating exact procedure exists. What *is*
+computable: search all trees up to a node budget, over all canonical
+attribute-value assignments, for a witness. This is a complete
+semi-decision procedure (consistent specifications with small witnesses
+are found; "no witness within the bound" proves nothing) and doubles as
+the brute-force oracle the unary checkers are cross-validated against in
+the test suite.
+
+Canonical value assignments: values are drawn as ``b0, b1, ...`` with the
+restriction that ``b(k+1)`` may appear only after ``bk`` — constraint
+satisfaction is invariant under value renaming, so enumerating set
+partitions of the attribute slots is exhaustive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.constraints.ast import Constraint
+from repro.constraints.classes import validate_constraints
+from repro.constraints.satisfaction import satisfies_all
+from repro.dtd.model import DTD
+from repro.regex.enumerate import words_up_to
+from repro.regex.ast import TEXT_SYMBOL
+from repro.xmltree.model import Element, TextNode, XMLTree
+
+
+def _node_count(node: Element | TextNode) -> int:
+    if isinstance(node, TextNode):
+        return 1
+    return 1 + sum(_node_count(child) for child in node.children)
+
+
+def _gen_children(
+    dtd: DTD, symbols: list[str], budget: int
+) -> Iterator[list[Element | TextNode]]:
+    """All child lists realizing ``symbols`` within ``budget`` total nodes."""
+    if not symbols:
+        yield []
+        return
+    head, rest = symbols[0], symbols[1:]
+    reserve = len(rest)  # each remaining child needs at least one node
+    if head == TEXT_SYMBOL:
+        if budget - 1 >= reserve:
+            for tail in _gen_children(dtd, rest, budget - 1):
+                yield [TextNode(""), *tail]
+        return
+    for subtree in _gen_element(dtd, head, budget - reserve):
+        used = _node_count(subtree)
+        for tail in _gen_children(dtd, rest, budget - used):
+            yield [subtree, *tail]
+
+
+def _gen_element(dtd: DTD, tau: str, budget: int) -> Iterator[Element]:
+    """All trees rooted at a ``tau`` element with at most ``budget`` nodes.
+
+    Child subtrees are regenerated per yield, so no node sharing occurs.
+    Required attributes are filled with placeholder values (overwritten by
+    the value search), so every yielded shape fully conforms to the DTD.
+    """
+    if budget < 1:
+        return
+    placeholder = {attr: "" for attr in dtd.attrs(tau)}
+    for word in words_up_to(dtd.content[tau], budget - 1):
+        for children in _gen_children(dtd, list(word), budget - 1):
+            yield Element(tau, children=children, attrs=dict(placeholder))
+
+
+def enumerate_trees(dtd: DTD, max_nodes: int) -> Iterator[XMLTree]:
+    """All DTD-conformant tree shapes with at most ``max_nodes`` nodes.
+
+    Attributes are *not* assigned (that is the value search's job); the
+    shapes themselves conform to the DTD's content models.
+    """
+    for root in _gen_element(dtd, dtd.root, max_nodes):
+        yield XMLTree(root)
+
+
+def _search_values(
+    tree: XMLTree,
+    dtd: DTD,
+    constraints: list[Constraint],
+    budget: list[int],
+) -> bool:
+    """Backtrack over canonical value assignments; True when one satisfies."""
+    slots = [
+        (node, attr)
+        for node in tree.elements()
+        for attr in sorted(dtd.attrs(node.label))
+    ]
+
+    def backtrack(index: int, used: int) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        if index == len(slots):
+            return satisfies_all(tree, constraints)
+        node, attr = slots[index]
+        for value in range(used + 1):  # old values plus one fresh
+            node.attrs[attr] = f"b{value}"
+            if backtrack(index + 1, max(used, value + 1)):
+                return True
+        del node.attrs[attr]
+        return False
+
+    return backtrack(0, 0)
+
+
+def bounded_consistency(
+    dtd: DTD,
+    constraints: Iterable[Constraint],
+    max_nodes: int = 8,
+    max_steps: int = 200_000,
+) -> XMLTree | None:
+    """Search for a witness tree with at most ``max_nodes`` nodes.
+
+    Returns a verified witness or ``None`` — and ``None`` means only "no
+    witness within the bound", never "inconsistent". Handles *all*
+    constraint classes including multi-attribute keys and foreign keys.
+
+    >>> from repro.constraints.parser import parse_constraints
+    >>> d = DTD.build("db", {"db": "(a, b)", "a": "EMPTY", "b": "EMPTY"},
+    ...               attrs={"a": ["x"], "b": ["y"]})
+    >>> tree = bounded_consistency(d, parse_constraints("a.x <= b.y"))
+    >>> tree is not None
+    True
+    """
+    constraints = list(constraints)
+    validate_constraints(dtd, constraints)
+    budget = [max_steps]
+    for tree in enumerate_trees(dtd, max_nodes):
+        if budget[0] <= 0:
+            return None
+        if _search_values(tree, dtd, constraints, budget):
+            return tree
+    return None

@@ -1,0 +1,46 @@
+"""Configuration for the decision procedures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckerConfig:
+    """Tuning knobs shared by the checkers.
+
+    Attributes
+    ----------
+    backend:
+        ``"scipy"`` (HiGHS, default) or ``"exact"`` (rational simplex;
+        certified, slower). The scipy backend already falls back to the
+        exact one when float rounding is in doubt.
+    want_witness:
+        Synthesize an actual witness tree for consistent instances (and
+        counterexample trees for refuted implications). Disable for pure
+        yes/no benchmarking.
+    verify_witness:
+        Re-verify every synthesized witness against the DTD and the
+        constraints; a failure raises :class:`SolverError` (it would be an
+        internal bug, never a wrong answer).
+    max_setrep_attrs:
+        Cap on attribute pairs in the set-representation block (its size
+        is ``2^n - 1``; the problem is NP-complete).
+    max_support_nodes:
+        Cap on support-search nodes before giving up with
+        :class:`ComplexityLimitError`.
+    lp_prune:
+        Prune support branches whose LP relaxation is definitely
+        infeasible (sound; large speedup on inconsistent instances).
+    """
+
+    backend: str = "scipy"
+    want_witness: bool = True
+    verify_witness: bool = True
+    max_setrep_attrs: int = 12
+    max_support_nodes: int = 20000
+    lp_prune: bool = True
+
+
+#: Default configuration used when callers pass ``None``.
+DEFAULT_CONFIG = CheckerConfig()

@@ -1,0 +1,53 @@
+"""Linear-time procedures for the keys-only class ``C_K`` (Section 3.3).
+
+* Consistency (Theorem 3.5(2)): any set of keys — multi-attribute included
+  — is satisfiable over ``D`` iff ``D`` has a valid tree at all: take any
+  valid tree and make all attribute values distinct.
+* Implication (Theorem 3.5(3), Lemmas 3.6–3.7): ``(D, Sigma) |- tau[X] ->
+  tau`` iff Sigma *subsumes* the key (contains ``tau[Y] -> tau`` with
+  ``Y ⊆ X``) or no valid tree has two ``tau`` elements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constraints.ast import Key
+from repro.dtd.analysis import can_have_two, has_valid_tree
+from repro.dtd.model import DTD
+
+
+def subsumes(sigma: Iterable[Key], phi: Key) -> bool:
+    """Does some key in Sigma make ``phi`` a superkey?
+
+    ``tau[Y] -> tau`` subsumes ``tau[X] -> tau`` when ``Y ⊆ X``.
+
+    >>> subsumes([Key("a", ("x",))], Key("a", ("x", "y")))
+    True
+    >>> subsumes([Key("a", ("x", "y"))], Key("a", ("x",)))
+    False
+    """
+    target = set(phi.attrs)
+    return any(
+        key.element_type == phi.element_type and set(key.attrs) <= target
+        for key in sigma
+    )
+
+
+def keys_only_consistent(dtd: DTD, sigma: Iterable[Key]) -> bool:
+    """Theorem 3.5(2): keys never conflict with a satisfiable DTD."""
+    del sigma  # keys are always jointly satisfiable when a tree exists
+    return has_valid_tree(dtd)
+
+
+def implies_key_keys_only(dtd: DTD, sigma: Iterable[Key], phi: Key) -> bool:
+    """Theorem 3.5(3) via Lemma 3.7.
+
+    A counterexample tree exists iff Sigma does not subsume ``phi`` and
+    some valid tree contains two ``phi.element_type`` elements; implication
+    is the complement. Runs in time linear in ``|D|`` and ``|Sigma| +
+    |phi|``.
+    """
+    if subsumes(sigma, phi):
+        return True
+    return not can_have_two(dtd, phi.element_type)

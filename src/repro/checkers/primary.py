@@ -1,0 +1,58 @@
+"""The primary-key restriction (Section 4.2, Corollaries 4.8 and 4.10).
+
+Relational practice allows at most one (primary) key per relation; the XML
+analogue allows at most one key per element type, counting keys stated
+directly and keys required by foreign keys. The paper shows the restriction
+does **not** lower the complexity: consistency stays NP-complete and
+implication coNP-complete. These wrappers validate the restriction and
+delegate to the general procedures, so benchmarks can measure the
+(non-)difference directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constraints.ast import Constraint
+from repro.constraints.classes import is_primary_key_set
+from repro.checkers.config import CheckerConfig
+from repro.checkers.consistency import check_consistency
+from repro.checkers.implication import implies
+from repro.checkers.results import ConsistencyResult, ImplicationResult
+from repro.dtd.model import DTD
+from repro.errors import InvalidConstraintError
+
+
+def _require_primary(constraints: list[Constraint]) -> None:
+    if not is_primary_key_set(constraints):
+        raise InvalidConstraintError(
+            "constraint set violates the primary-key restriction "
+            "(more than one key for some element type)"
+        )
+
+
+def check_consistency_primary(
+    dtd: DTD,
+    constraints: Iterable[Constraint],
+    config: CheckerConfig | None = None,
+) -> ConsistencyResult:
+    """Consistency under the primary-key restriction (Corollary 4.8)."""
+    constraints = list(constraints)
+    _require_primary(constraints)
+    result = check_consistency(dtd, constraints, config)
+    result.method = f"primary-key restriction; {result.method}"
+    return result
+
+
+def implies_primary(
+    dtd: DTD,
+    sigma: Iterable[Constraint],
+    phi: Constraint,
+    config: CheckerConfig | None = None,
+) -> ImplicationResult:
+    """Implication under the primary-key restriction (Theorem 4.10)."""
+    sigma = list(sigma)
+    _require_primary([*sigma, phi])
+    result = implies(dtd, sigma, phi, config)
+    result.method = f"primary-key restriction; {result.method}"
+    return result

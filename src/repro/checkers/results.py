@@ -1,0 +1,46 @@
+"""Result types returned by the decision procedures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmltree.model import XMLTree
+
+
+@dataclass
+class ConsistencyResult:
+    """Answer to "is there a tree with ``T |= D`` and ``T |= Sigma``?".
+
+    ``witness`` (when requested and consistent) is an actual XML tree that
+    has been re-verified against both the DTD and the constraints.
+    ``method`` names the procedure that produced the answer; ``stats``
+    carries solver counters for benchmarks.
+    """
+
+    consistent: bool
+    witness: XMLTree | None = None
+    method: str = ""
+    message: str = ""
+    stats: dict[str, int | bool] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+@dataclass
+class ImplicationResult:
+    """Answer to "does ``(D, Sigma) |- phi`` hold?".
+
+    When the implication is refuted and witnesses were requested,
+    ``counterexample`` is a tree with ``T |= D``, ``T |= Sigma`` and
+    ``T |= not phi``.
+    """
+
+    implied: bool
+    counterexample: XMLTree | None = None
+    method: str = ""
+    message: str = ""
+    stats: dict[str, int | bool] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.implied

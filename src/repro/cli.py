@@ -1,0 +1,182 @@
+"""Command-line interface: static and dynamic XML specification checking.
+
+Subcommands (also available as ``python -m repro``):
+
+* ``check DTD [CONSTRAINTS]`` — consistency of the specification; with
+  ``--witness FILE`` writes a synthesized satisfying document;
+* ``validate DTD DOCUMENT [CONSTRAINTS]`` — does a concrete document
+  conform to the DTD and satisfy the constraints?
+* ``implies DTD CONSTRAINTS PHI`` — is the constraint ``PHI`` implied?
+  With ``--counterexample FILE`` writes a refuting document;
+* ``diagnose DTD CONSTRAINTS`` — minimal inconsistent subset or
+  redundancy report;
+* ``bounds DTD [CONSTRAINTS] --type TAU`` — feasible range of
+  ``|ext(TAU)|``.
+
+DTD files use ``<!ELEMENT>``/``<!ATTLIST>`` syntax; constraint files use
+the library's text syntax (one constraint per line, ``#`` comments).
+Exit codes: 0 = positive answer (consistent / valid / implied),
+1 = negative answer, 2 = usage or input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import diagnose
+from repro.analysis.extent_bounds import extent_bounds
+from repro.checkers.consistency import check_consistency
+from repro.checkers.implication import implies as check_implies
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.satisfaction import violations
+from repro.dtd.parser import parse_dtd
+from repro.errors import ReproError
+from repro.xmltree.parse import parse_xml
+from repro.xmltree.serialize import tree_to_string
+from repro.xmltree.validate import conforms
+
+
+def _load_dtd(path: str, root: str | None):
+    return parse_dtd(Path(path).read_text(), root=root)
+
+
+def _load_constraints(path: str | None):
+    if path is None:
+        return []
+    return parse_constraints(Path(path).read_text())
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, args.root)
+    sigma = _load_constraints(args.constraints)
+    result = check_consistency(dtd, sigma)
+    print(f"consistent: {result.consistent}   [{result.method}]")
+    if result.message:
+        print(f"note: {result.message}")
+    if result.consistent and args.witness:
+        assert result.witness is not None
+        Path(args.witness).write_text(tree_to_string(result.witness) + "\n")
+        print(f"witness written to {args.witness}")
+    return 0 if result.consistent else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, args.root)
+    sigma = _load_constraints(args.constraints)
+    tree = parse_xml(Path(args.document).read_text())
+    report = conforms(tree, dtd)
+    print(f"conforms to DTD: {bool(report)}")
+    for error in report.errors:
+        print(f"  - {error}")
+    violated = violations(tree, sigma)
+    if sigma:
+        print(f"satisfies constraints: {not violated}")
+        for phi in violated:
+            print(f"  - violated: {phi}")
+    return 0 if report and not violated else 1
+
+
+def _cmd_implies(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, args.root)
+    sigma = _load_constraints(args.constraints)
+    phi = parse_constraint(args.phi)
+    result = check_implies(dtd, sigma, phi)
+    print(f"implied: {result.implied}   [{result.method}]")
+    if result.message:
+        print(f"note: {result.message}")
+    if not result.implied and result.counterexample is not None:
+        if args.counterexample:
+            Path(args.counterexample).write_text(
+                tree_to_string(result.counterexample) + "\n"
+            )
+            print(f"counterexample written to {args.counterexample}")
+        else:
+            print("counterexample document:")
+            print(tree_to_string(result.counterexample))
+    return 0 if result.implied else 1
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, args.root)
+    sigma = _load_constraints(args.constraints)
+    report = diagnose(dtd, sigma)
+    print(report.summary())
+    return 0 if report.consistent else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    dtd = _load_dtd(args.dtd, args.root)
+    sigma = _load_constraints(args.constraints)
+    bounds = extent_bounds(dtd, sigma, args.type, probe_limit=args.probe_limit)
+    if bounds is None:
+        print("the specification is inconsistent: no documents exist")
+        return 1
+    print(bounds)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XML integrity constraints in the presence of DTDs "
+        "(Fan & Libkin, PODS 2001).",
+    )
+    parser.add_argument(
+        "--root", default=None, help="root element type (default: first declared)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="consistency of (DTD, constraints)")
+    p_check.add_argument("dtd")
+    p_check.add_argument("constraints", nargs="?", default=None)
+    p_check.add_argument("--witness", help="write a satisfying document here")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_validate = sub.add_parser("validate", help="validate a document")
+    p_validate.add_argument("dtd")
+    p_validate.add_argument("document")
+    p_validate.add_argument("constraints", nargs="?", default=None)
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_implies = sub.add_parser("implies", help="constraint implication")
+    p_implies.add_argument("dtd")
+    p_implies.add_argument("constraints")
+    p_implies.add_argument("phi", help="the constraint to test, in text syntax")
+    p_implies.add_argument(
+        "--counterexample", help="write a refuting document here"
+    )
+    p_implies.set_defaults(func=_cmd_implies)
+
+    p_diagnose = sub.add_parser("diagnose", help="specification health report")
+    p_diagnose.add_argument("dtd")
+    p_diagnose.add_argument("constraints")
+    p_diagnose.set_defaults(func=_cmd_diagnose)
+
+    p_bounds = sub.add_parser("bounds", help="feasible |ext(tau)| range")
+    p_bounds.add_argument("dtd")
+    p_bounds.add_argument("constraints", nargs="?", default=None)
+    p_bounds.add_argument("--type", required=True, help="element type tau")
+    p_bounds.add_argument("--probe-limit", type=int, default=4096)
+    p_bounds.set_defaults(func=_cmd_bounds)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

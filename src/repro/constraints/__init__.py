@@ -1,0 +1,52 @@
+"""XML integrity constraints (Section 2.2 of Fan & Libkin).
+
+Five constraint forms over a DTD ``D``:
+
+* :class:`~repro.constraints.ast.Key` — ``tau[X] -> tau``;
+* :class:`~repro.constraints.ast.InclusionConstraint` — ``tau1[X] ⊆ tau2[Y]``;
+* :class:`~repro.constraints.ast.ForeignKey` — an inclusion constraint plus
+  the key on its target;
+* :class:`~repro.constraints.ast.NegKey` — ``tau.l -/-> tau`` (unary only);
+* :class:`~repro.constraints.ast.NegInclusion` — ``tau1.l1 ⊄ tau2.l2``
+  (unary only).
+
+The classes C_K,FK / C_K / C^unary_K,FK / C^unary_K¬,IC / C^unary_K¬,IC¬ of
+the paper are recognized by :func:`~repro.constraints.classes.classify`.
+"""
+
+from repro.constraints.ast import (
+    Constraint,
+    ForeignKey,
+    InclusionConstraint,
+    Key,
+    NegInclusion,
+    NegKey,
+)
+from repro.constraints.classes import (
+    ConstraintClass,
+    classify,
+    expand_foreign_keys,
+    is_primary_key_set,
+    validate_constraints,
+)
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.satisfaction import satisfies, satisfies_all, violations
+
+__all__ = [
+    "Constraint",
+    "Key",
+    "InclusionConstraint",
+    "ForeignKey",
+    "NegKey",
+    "NegInclusion",
+    "ConstraintClass",
+    "classify",
+    "validate_constraints",
+    "expand_foreign_keys",
+    "is_primary_key_set",
+    "parse_constraint",
+    "parse_constraints",
+    "satisfies",
+    "satisfies_all",
+    "violations",
+]

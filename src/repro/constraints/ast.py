@@ -1,0 +1,179 @@
+"""Constraint AST (Section 2.2).
+
+All constraints are immutable and hashable, so sets of constraints behave
+like the paper's Σ. Multi-attribute forms carry tuples of attribute names;
+the unary classes are exactly the constraints whose tuples have length one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Constraint:
+    """Base class of all XML integrity constraints."""
+
+    __slots__ = ()
+
+    def is_unary(self) -> bool:
+        """Is this constraint defined with single attributes only?"""
+        raise NotImplementedError
+
+    def element_types(self) -> tuple[str, ...]:
+        """Element types the constraint mentions."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Key(Constraint):
+    """``tau[X] -> tau``: X-attribute values identify ``tau`` elements.
+
+    Satisfaction uses string equality on attribute values and node identity
+    on elements: no two *distinct* ``tau`` nodes agree on all of ``X``.
+    """
+
+    element_type: str
+    attrs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attrs:
+            raise ValueError("a key needs at least one attribute")
+        if len(set(self.attrs)) != len(self.attrs):
+            raise ValueError(f"duplicate attributes in key: {self.attrs}")
+
+    def is_unary(self) -> bool:
+        return len(self.attrs) == 1
+
+    def element_types(self) -> tuple[str, ...]:
+        return (self.element_type,)
+
+    def __str__(self) -> str:
+        if self.is_unary():
+            return f"{self.element_type}.{self.attrs[0]} -> {self.element_type}"
+        attr_list = ",".join(self.attrs)
+        return f"{self.element_type}[{attr_list}] -> {self.element_type}"
+
+
+@dataclass(frozen=True, slots=True)
+class InclusionConstraint(Constraint):
+    """``tau1[X] ⊆ tau2[Y]``: every X-value list occurs as some Y-value list.
+
+    ``X`` and ``Y`` are equal-length nonempty *lists* (order matters for the
+    multi-attribute comparison).
+    """
+
+    child_type: str
+    child_attrs: tuple[str, ...]
+    parent_type: str
+    parent_attrs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.child_attrs or not self.parent_attrs:
+            raise ValueError("inclusion constraints need nonempty attribute lists")
+        if len(self.child_attrs) != len(self.parent_attrs):
+            raise ValueError(
+                "inclusion constraint attribute lists must have equal length: "
+                f"{self.child_attrs} vs {self.parent_attrs}"
+            )
+
+    def is_unary(self) -> bool:
+        return len(self.child_attrs) == 1
+
+    def element_types(self) -> tuple[str, ...]:
+        return (self.child_type, self.parent_type)
+
+    def __str__(self) -> str:
+        if self.is_unary():
+            return (
+                f"{self.child_type}.{self.child_attrs[0]} <= "
+                f"{self.parent_type}.{self.parent_attrs[0]}"
+            )
+        return (
+            f"{self.child_type}[{','.join(self.child_attrs)}] <= "
+            f"{self.parent_type}[{','.join(self.parent_attrs)}]"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey(Constraint):
+    """A foreign key: an inclusion constraint whose target list is a key.
+
+    Satisfaction requires both parts (Section 2.2): ``T |= phi`` iff
+    ``T |= inclusion`` and ``T |= key``.
+    """
+
+    inclusion: InclusionConstraint
+
+    @property
+    def key(self) -> Key:
+        """The key component ``tau2[Y] -> tau2``."""
+        return Key(self.inclusion.parent_type, self.inclusion.parent_attrs)
+
+    def is_unary(self) -> bool:
+        return self.inclusion.is_unary()
+
+    def element_types(self) -> tuple[str, ...]:
+        return self.inclusion.element_types()
+
+    def __str__(self) -> str:
+        if self.is_unary():
+            return (
+                f"{self.inclusion.child_type}.{self.inclusion.child_attrs[0]} => "
+                f"{self.inclusion.parent_type}.{self.inclusion.parent_attrs[0]}"
+            )
+        return (
+            f"{self.inclusion.child_type}[{','.join(self.inclusion.child_attrs)}] => "
+            f"{self.inclusion.parent_type}[{','.join(self.inclusion.parent_attrs)}]"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NegKey(Constraint):
+    """``tau.l -/-> tau``: two distinct ``tau`` nodes share an ``l`` value.
+
+    Negations are unary only, as in the paper (they exist to express the
+    complement of implication problems).
+    """
+
+    element_type: str
+    attr: str
+
+    def is_unary(self) -> bool:
+        return True
+
+    def element_types(self) -> tuple[str, ...]:
+        return (self.element_type,)
+
+    @property
+    def key(self) -> Key:
+        """The key this constraint negates."""
+        return Key(self.element_type, (self.attr,))
+
+    def __str__(self) -> str:
+        return f"{self.element_type}.{self.attr} !-> {self.element_type}"
+
+
+@dataclass(frozen=True, slots=True)
+class NegInclusion(Constraint):
+    """``tau1.l1 ⊄ tau2.l2``: some ``tau1`` node's value matches no ``tau2``."""
+
+    child_type: str
+    child_attr: str
+    parent_type: str
+    parent_attr: str
+
+    def is_unary(self) -> bool:
+        return True
+
+    def element_types(self) -> tuple[str, ...]:
+        return (self.child_type, self.parent_type)
+
+    @property
+    def inclusion(self) -> InclusionConstraint:
+        """The inclusion constraint this negates."""
+        return InclusionConstraint(
+            self.child_type, (self.child_attr,), self.parent_type, (self.parent_attr,)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.child_type}.{self.child_attr} !<= {self.parent_type}.{self.parent_attr}"

@@ -1,0 +1,153 @@
+"""Constraint-class taxonomy and validation (Section 2.2).
+
+The paper studies four classes; we also recognize the keys-only class C_K
+(Section 3.3) and the intermediate C^unary_K,IC (unary keys plus bare
+inclusion constraints, Section 4.1), giving the dispatch lattice used by
+:mod:`repro.checkers`:
+
+    C_K           multi-attribute keys only                 (linear time)
+    C_K_FK        multi-attribute keys + foreign keys       (undecidable)
+    C_UNARY_K_FK  unary keys + foreign keys                 (NP-complete)
+    C_UNARY_K_IC  unary keys + inclusion constraints        (NP, Thm 4.1)
+    C_UNARY_KNEG_IC      + negated keys                     (NP, Cor 4.9)
+    C_UNARY_KNEG_ICNEG   + negated inclusion constraints    (NP, Thm 5.1)
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+from repro.constraints.ast import (
+    Constraint,
+    ForeignKey,
+    InclusionConstraint,
+    Key,
+    NegInclusion,
+    NegKey,
+)
+from repro.dtd.model import DTD
+from repro.errors import InvalidConstraintError
+
+
+class ConstraintClass(enum.Enum):
+    """The constraint classes of the paper, ordered by generality."""
+
+    EMPTY = "empty"
+    K = "C_K (multi-attribute keys)"
+    K_FK = "C_K,FK (multi-attribute keys and foreign keys)"
+    UNARY_K_FK = "C^unary_K,FK (unary keys and foreign keys)"
+    UNARY_K_IC = "C^unary_K,IC (unary keys and inclusion constraints)"
+    UNARY_KNEG_IC = "C^unary_K-,IC (plus negated keys)"
+    UNARY_KNEG_ICNEG = "C^unary_K-,IC- (plus negated inclusions)"
+
+
+def classify(constraints: Iterable[Constraint]) -> ConstraintClass:
+    """The smallest paper class containing every constraint in the set.
+
+    >>> classify([Key("a", ("x",))])
+    <ConstraintClass.K: 'C_K (multi-attribute keys)'>
+    """
+    constraints = list(constraints)
+    if not constraints:
+        return ConstraintClass.EMPTY
+    has_multi = any(not phi.is_unary() for phi in constraints)
+    has_neg_ic = any(isinstance(phi, NegInclusion) for phi in constraints)
+    has_neg_key = any(isinstance(phi, NegKey) for phi in constraints)
+    has_bare_ic = any(
+        isinstance(phi, InclusionConstraint) for phi in constraints
+    )
+    has_fk = any(isinstance(phi, ForeignKey) for phi in constraints)
+    only_keys = all(isinstance(phi, Key) for phi in constraints)
+
+    if has_multi:
+        if has_neg_ic or has_neg_key:
+            raise InvalidConstraintError(
+                "negated constraints are unary-only in the paper's classes"
+            )
+        return ConstraintClass.K if only_keys else ConstraintClass.K_FK
+    if has_neg_ic:
+        return ConstraintClass.UNARY_KNEG_ICNEG
+    if has_neg_key:
+        return ConstraintClass.UNARY_KNEG_IC
+    if has_bare_ic:
+        return ConstraintClass.UNARY_K_IC
+    if has_fk:
+        return ConstraintClass.UNARY_K_FK
+    # Only unary keys: still within the keys-only class C_K.
+    return ConstraintClass.K if only_keys else ConstraintClass.UNARY_K_FK
+
+
+def validate_constraints(dtd: DTD, constraints: Iterable[Constraint]) -> None:
+    """Check every constraint is well-formed over ``dtd``.
+
+    Raises :class:`InvalidConstraintError` if a constraint mentions an
+    undeclared element type or an attribute outside ``R(tau)``.
+    """
+    types = set(dtd.element_types)
+
+    def check_attrs(tau: str, attrs: Iterable[str], phi: Constraint) -> None:
+        if tau not in types:
+            raise InvalidConstraintError(
+                f"constraint {phi} mentions undeclared element type {tau!r}"
+            )
+        declared = dtd.attrs(tau)
+        for attr in attrs:
+            if attr not in declared:
+                raise InvalidConstraintError(
+                    f"constraint {phi}: attribute {attr!r} is not in R({tau!r})"
+                )
+
+    for phi in constraints:
+        if isinstance(phi, Key):
+            check_attrs(phi.element_type, phi.attrs, phi)
+        elif isinstance(phi, InclusionConstraint):
+            check_attrs(phi.child_type, phi.child_attrs, phi)
+            check_attrs(phi.parent_type, phi.parent_attrs, phi)
+        elif isinstance(phi, ForeignKey):
+            check_attrs(phi.inclusion.child_type, phi.inclusion.child_attrs, phi)
+            check_attrs(phi.inclusion.parent_type, phi.inclusion.parent_attrs, phi)
+        elif isinstance(phi, NegKey):
+            check_attrs(phi.element_type, (phi.attr,), phi)
+        elif isinstance(phi, NegInclusion):
+            check_attrs(phi.child_type, (phi.child_attr,), phi)
+            check_attrs(phi.parent_type, (phi.parent_attr,), phi)
+        else:
+            raise InvalidConstraintError(f"unknown constraint object {phi!r}")
+
+
+def expand_foreign_keys(constraints: Iterable[Constraint]) -> list[Constraint]:
+    """Decompose foreign keys into their inclusion and key components.
+
+    The result contains no :class:`ForeignKey` objects; the decision
+    procedures work with the decomposed form (a foreign key *is* the
+    conjunction of its parts, Section 2.2).
+    """
+    expanded: list[Constraint] = []
+    seen: set[Constraint] = set()
+
+    def add(phi: Constraint) -> None:
+        if phi not in seen:
+            seen.add(phi)
+            expanded.append(phi)
+
+    for phi in constraints:
+        if isinstance(phi, ForeignKey):
+            add(phi.inclusion)
+            add(phi.key)
+        else:
+            add(phi)
+    return expanded
+
+
+def is_primary_key_set(constraints: Iterable[Constraint]) -> bool:
+    """Does the set satisfy the primary-key restriction?
+
+    At most one key per element type, counting keys stated directly and
+    keys required by foreign keys (Section 4.2).
+    """
+    keys_per_type: dict[str, set[tuple[str, ...]]] = {}
+    for phi in expand_foreign_keys(constraints):
+        if isinstance(phi, Key):
+            keys_per_type.setdefault(phi.element_type, set()).add(tuple(phi.attrs))
+    return all(len(keys) <= 1 for keys in keys_per_type.values())

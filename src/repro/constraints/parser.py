@@ -1,0 +1,123 @@
+"""Textual syntax for constraints.
+
+The syntax mirrors the paper's notation, ASCII-fied:
+
+* key:                 ``tau.l -> tau``        or ``tau[l1,l2] -> tau``
+* inclusion:           ``tau1.l1 <= tau2.l2``  or ``tau1[X] <= tau2[Y]``
+* foreign key:         ``tau1.l1 => tau2.l2``  or ``tau1[X] => tau2[Y]``
+  (the key ``tau2[Y] -> tau2`` is implied, per Section 2.2)
+* negated key:         ``tau.l !-> tau``
+* negated inclusion:   ``tau1.l1 !<= tau2.l2``
+
+The Unicode subset symbols ``⊆`` and ``⊄`` are accepted as synonyms for
+``<=`` and ``!<=``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.constraints.ast import (
+    Constraint,
+    ForeignKey,
+    InclusionConstraint,
+    Key,
+    NegInclusion,
+    NegKey,
+)
+from repro.errors import ParseError
+
+_NAME = r"[A-Za-z_:][A-Za-z0-9._:\-]*"
+
+#: ``tau.l`` or ``tau[l1,l2,...]`` — a typed attribute list.
+_SIDE_RE = re.compile(
+    rf"^\s*(?P<type>{_NAME})\s*"
+    rf"(?:\.\s*(?P<single>{_NAME})|\[\s*(?P<list>[^\]]*)\])\s*$"
+)
+
+
+def _parse_side(text: str) -> tuple[str, tuple[str, ...]]:
+    match = _SIDE_RE.match(text)
+    if match is None:
+        raise ParseError(f"cannot parse constraint side {text.strip()!r}")
+    element_type = match.group("type")
+    if match.group("single") is not None:
+        return element_type, (match.group("single"),)
+    raw = match.group("list")
+    attrs = tuple(part.strip() for part in raw.split(",") if part.strip())
+    if not attrs:
+        raise ParseError(f"empty attribute list in {text.strip()!r}")
+    return element_type, attrs
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse one constraint.
+
+    >>> parse_constraint("teacher.name -> teacher")
+    Key(element_type='teacher', attrs=('name',))
+    >>> str(parse_constraint("subject.taught_by => teacher.name"))
+    'subject.taught_by => teacher.name'
+    """
+    source = text.strip().replace("⊆", "<=").replace("⊄", "!<=")
+    if not source:
+        raise ParseError("empty constraint")
+
+    for op, negated in (("!<=", True), ("!->", True), ("=>", False),
+                        ("<=", False), ("->", False)):
+        index = source.find(op)
+        if index < 0:
+            continue
+        left, right = source[:index], source[index + len(op):]
+        left_type, left_attrs = _parse_side(left)
+        if op == "->" or op == "!->":
+            target = right.strip()
+            if target != left_type:
+                raise ParseError(
+                    f"key must target its own element type: {left_type!r} vs {target!r}"
+                )
+            if op == "->":
+                return Key(left_type, left_attrs)
+            if len(left_attrs) != 1:
+                raise ParseError("negated keys are unary only")
+            return NegKey(left_type, left_attrs[0])
+        right_type, right_attrs = _parse_side(right)
+        if len(left_attrs) != len(right_attrs):
+            raise ParseError(
+                f"attribute lists differ in length: {left_attrs} vs {right_attrs}"
+            )
+        if op == "<=":
+            return InclusionConstraint(left_type, left_attrs, right_type, right_attrs)
+        if op == "=>":
+            return ForeignKey(
+                InclusionConstraint(left_type, left_attrs, right_type, right_attrs)
+            )
+        # op == "!<=":
+        if len(left_attrs) != 1:
+            raise ParseError("negated inclusion constraints are unary only")
+        return NegInclusion(left_type, left_attrs[0], right_type, right_attrs[0])
+    raise ParseError(f"no constraint operator found in {text.strip()!r}")
+
+
+def parse_constraints(text: str) -> list[Constraint]:
+    """Parse a block of constraints: one per line or semicolon-separated.
+
+    Blank lines and ``#`` comments are ignored.
+
+    >>> sigma = parse_constraints('''
+    ...     teacher.name -> teacher          # name identifies teachers
+    ...     subject.taught_by -> subject
+    ...     subject.taught_by => teacher.name
+    ... ''')
+    >>> len(sigma)
+    3
+    """
+    constraints: list[Constraint] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        for piece in line.split(";"):
+            piece = piece.strip()
+            if piece:
+                constraints.append(parse_constraint(piece))
+    return constraints

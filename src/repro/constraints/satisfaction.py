@@ -1,0 +1,88 @@
+"""Constraint satisfaction on XML trees: ``T |= phi`` (Section 2.2).
+
+Keys compare attribute values by string equality and elements by node
+identity; inclusion constraints compare value *lists*; foreign keys require
+both of their components; negations hold when the corresponding positive
+constraint fails *in the specific witnessed way* the paper defines (which
+for these forms coincides with plain logical negation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.constraints.ast import (
+    Constraint,
+    ForeignKey,
+    InclusionConstraint,
+    Key,
+    NegInclusion,
+    NegKey,
+)
+from repro.xmltree.model import XMLTree
+
+
+def _value_lists(
+    tree: XMLTree, element_type: str, attrs: tuple[str, ...]
+) -> list[tuple[str, ...] | None]:
+    """Per-element tuples of attribute values (None if any attribute absent).
+
+    In a DTD-conformant tree attributes are total, so ``None`` only appears
+    for malformed inputs; a ``None`` tuple never matches anything, which is
+    the conservative reading.
+    """
+    rows: list[tuple[str, ...] | None] = []
+    for node in tree.ext(element_type):
+        try:
+            rows.append(tuple(node.attrs[attr] for attr in attrs))
+        except KeyError:
+            rows.append(None)
+    return rows
+
+
+def satisfies(tree: XMLTree, phi: Constraint) -> bool:
+    """Does ``tree |= phi``?
+
+    >>> from repro.xmltree.builder import element
+    >>> t = XMLTree(element("db", element("u", k="1"), element("u", k="1")))
+    >>> satisfies(t, Key("u", ("k",)))
+    False
+    >>> satisfies(t, NegKey("u", "k"))
+    True
+    """
+    if isinstance(phi, Key):
+        seen: set[tuple[str, ...]] = set()
+        for row in _value_lists(tree, phi.element_type, phi.attrs):
+            if row is None:
+                continue
+            if row in seen:
+                return False
+            seen.add(row)
+        return True
+    if isinstance(phi, InclusionConstraint):
+        parent_rows = {
+            row
+            for row in _value_lists(tree, phi.parent_type, phi.parent_attrs)
+            if row is not None
+        }
+        for row in _value_lists(tree, phi.child_type, phi.child_attrs):
+            if row is None or row not in parent_rows:
+                return False
+        return True
+    if isinstance(phi, ForeignKey):
+        return satisfies(tree, phi.inclusion) and satisfies(tree, phi.key)
+    if isinstance(phi, NegKey):
+        return not satisfies(tree, phi.key)
+    if isinstance(phi, NegInclusion):
+        return not satisfies(tree, phi.inclusion)
+    raise TypeError(f"unknown constraint {phi!r}")
+
+
+def satisfies_all(tree: XMLTree, constraints: Iterable[Constraint]) -> bool:
+    """Does ``tree |= Sigma`` for every constraint in the collection?"""
+    return all(satisfies(tree, phi) for phi in constraints)
+
+
+def violations(tree: XMLTree, constraints: Iterable[Constraint]) -> list[Constraint]:
+    """The subset of constraints the tree violates (for diagnostics)."""
+    return [phi for phi in constraints if not satisfies(tree, phi)]

@@ -1,0 +1,52 @@
+"""DTDs as defined in Definition 2.1 of Fan & Libkin.
+
+A DTD is a tuple ``D = (E, A, P, R, r)``: element types, attributes, content
+models (regular expressions over ``E`` and the string type ``S``), attribute
+assignments, and a root type. This package provides:
+
+* :mod:`repro.dtd.model` — the formal object with well-formedness checking;
+* :mod:`repro.dtd.parser` / :mod:`repro.dtd.serializer` — concrete
+  ``<!ELEMENT ...>`` / ``<!ATTLIST ...>`` syntax;
+* :mod:`repro.dtd.analysis` — productivity (Theorem 3.5(1)), reachability,
+  and ``can_have_two`` (Lemma 3.6);
+* :mod:`repro.dtd.simplify` — the binary normal form of Section 4.1 with the
+  count-preservation property of Lemma 4.3.
+"""
+
+from repro.dtd.analysis import (
+    can_have_two,
+    has_valid_tree,
+    productive_types,
+    reachable_types,
+    usable_types,
+)
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import dtd_to_string
+from repro.dtd.simplify import (
+    AltRule,
+    EpsRule,
+    OneRule,
+    SeqRule,
+    SimpleDTD,
+    SimpleRule,
+    simplify_dtd,
+)
+
+__all__ = [
+    "DTD",
+    "parse_dtd",
+    "dtd_to_string",
+    "has_valid_tree",
+    "productive_types",
+    "reachable_types",
+    "usable_types",
+    "can_have_two",
+    "SimpleDTD",
+    "SimpleRule",
+    "EpsRule",
+    "OneRule",
+    "SeqRule",
+    "AltRule",
+    "simplify_dtd",
+]

@@ -1,0 +1,130 @@
+"""Parser for DTD declaration syntax.
+
+Supports the subset of DTD syntax corresponding to the paper's model:
+
+* ``<!ELEMENT name content-model>``;
+* ``<!ATTLIST name attr1 CDATA #REQUIRED attr2 CDATA #REQUIRED ...>`` —
+  attribute types and defaults are accepted but ignored beyond recording
+  the attribute names (the paper's attributes are single-valued strings,
+  i.e. effectively ``CDATA #REQUIRED``);
+* ``<!-- comments -->`` anywhere between declarations.
+
+The root element type defaults to the first declared element and can be
+overridden with the ``root=`` argument. ID/IDREF attribute types are
+accepted syntactically but treated as plain string attributes, matching the
+paper's explicit choice to ignore DTD ID/IDREF constraints (footnote 1).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dtd.model import DTD
+from repro.errors import ParseError
+from repro.regex.parser import parse_content_model
+
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_DECL_RE = re.compile(r"<!(?P<kind>ELEMENT|ATTLIST)\s+(?P<body>[^>]*)>", re.DOTALL)
+_NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9._:\-]*")
+
+#: Attribute type keywords accepted in ATTLIST declarations.
+_ATTR_TYPES = {
+    "CDATA",
+    "ID",
+    "IDREF",
+    "IDREFS",
+    "NMTOKEN",
+    "NMTOKENS",
+    "ENTITY",
+    "ENTITIES",
+}
+
+#: Attribute default keywords accepted in ATTLIST declarations.
+_ATTR_DEFAULTS = {"#REQUIRED", "#IMPLIED", "#FIXED"}
+
+
+def _parse_attlist_body(body: str, position: int) -> tuple[str, list[str]]:
+    """Parse an ATTLIST body into ``(element_type, attribute_names)``."""
+    tokens = body.split()
+    if not tokens:
+        raise ParseError("empty ATTLIST declaration", position)
+    element_type = tokens[0]
+    names: list[str] = []
+    index = 1
+    while index < len(tokens):
+        name = tokens[index]
+        if not _NAME_RE.fullmatch(name):
+            raise ParseError(f"invalid attribute name {name!r} in ATTLIST", position)
+        names.append(name)
+        index += 1
+        # Optional attribute type (CDATA, ID, ..., or an enumeration).
+        if index < len(tokens) and (
+            tokens[index] in _ATTR_TYPES or tokens[index].startswith("(")
+        ):
+            if tokens[index].startswith("("):
+                while index < len(tokens) and not tokens[index].endswith(")"):
+                    index += 1
+            index += 1
+        # Optional default declaration.
+        if index < len(tokens) and tokens[index] in _ATTR_DEFAULTS:
+            if tokens[index] == "#FIXED":
+                index += 1  # skip the fixed value token as well
+            index += 1
+        elif index < len(tokens) and tokens[index].startswith('"'):
+            index += 1  # a bare default value
+    return element_type, names
+
+
+def parse_dtd(text: str, root: str | None = None) -> DTD:
+    """Parse DTD text into a :class:`~repro.dtd.model.DTD`.
+
+    >>> d = parse_dtd('''
+    ...   <!ELEMENT teachers (teacher+)>
+    ...   <!ELEMENT teacher (teach, research)>
+    ...   <!ELEMENT teach (subject, subject)>
+    ...   <!ELEMENT subject (#PCDATA)>
+    ...   <!ELEMENT research (#PCDATA)>
+    ...   <!ATTLIST teacher name CDATA #REQUIRED>
+    ...   <!ATTLIST subject taught_by CDATA #REQUIRED>
+    ... ''')
+    >>> d.root
+    'teachers'
+    >>> sorted(d.attrs('subject'))
+    ['taught_by']
+    """
+    cleaned = _COMMENT_RE.sub(" ", text)
+    content: dict[str, object] = {}
+    attrs: dict[str, set[str]] = {}
+    first_element: str | None = None
+    consumed_spans: list[tuple[int, int]] = []
+    for match in _DECL_RE.finditer(cleaned):
+        consumed_spans.append(match.span())
+        kind = match.group("kind")
+        body = match.group("body").strip()
+        if kind == "ELEMENT":
+            parts = body.split(None, 1)
+            if len(parts) != 2:
+                raise ParseError("ELEMENT declaration needs a name and a content model",
+                                 match.start())
+            name, model_text = parts
+            if name in content:
+                raise ParseError(f"duplicate ELEMENT declaration for {name!r}", match.start())
+            content[name] = parse_content_model(model_text)
+            if first_element is None:
+                first_element = name
+        else:
+            element_type, names = _parse_attlist_body(body, match.start())
+            attrs.setdefault(element_type, set()).update(names)
+    leftover = cleaned
+    for start, end in reversed(consumed_spans):
+        leftover = leftover[:start] + leftover[end:]
+    if leftover.strip():
+        raise ParseError(f"unrecognized DTD content: {leftover.strip()[:60]!r}")
+    if not content:
+        raise ParseError("no ELEMENT declarations found")
+    for element_type in attrs:
+        if element_type not in content:
+            raise ParseError(f"ATTLIST for undeclared element {element_type!r}")
+    chosen_root = root if root is not None else first_element
+    assert chosen_root is not None
+    return DTD.build(chosen_root, content, attrs={t: sorted(a) for t, a in attrs.items()})

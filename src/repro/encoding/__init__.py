@@ -1,0 +1,44 @@
+"""Encodings of DTDs and unary constraints as linear integer systems.
+
+This package implements Section 4 and 5 of the paper:
+
+* :mod:`repro.encoding.dtd_system` — the cardinality constraints
+  ``Psi_DN`` determined by a simplified DTD (Lemma 4.5), plus the support
+  clauses and occurrence edges used to repair realizability (DESIGN.md
+  section 3);
+* :mod:`repro.encoding.cardinality` — the constraints ``C_Sigma``
+  determined by unary keys and inclusion constraints (Lemma 4.4), the
+  attribute-totality conditionals of ``Psi(D, Sigma)`` (Lemma 4.6), and
+  the negated-key rows (Corollary 4.9);
+* :mod:`repro.encoding.setrep` — the set-representation extension for
+  negated inclusion constraints: the ``z_theta`` block of Lemma 5.3 and
+  the intersection-pattern matrix ``W`` of Theorem 5.1;
+* :mod:`repro.encoding.combined` — assembly of everything into one
+  :class:`~repro.ilp.condsys.ConditionalSystem` plus the bookkeeping the
+  witness synthesizer needs.
+"""
+
+from repro.encoding.cardinality import CardinalityEncoding, encode_constraints
+from repro.encoding.combined import ConsistencyEncoding, build_encoding
+from repro.encoding.dtd_system import DTDSystem, encode_dtd
+from repro.encoding.setrep import (
+    SetRepBlock,
+    build_intersection_pattern_matrix,
+    build_uv_matrices,
+    encode_set_representation,
+    has_set_representation,
+)
+
+__all__ = [
+    "DTDSystem",
+    "encode_dtd",
+    "CardinalityEncoding",
+    "encode_constraints",
+    "SetRepBlock",
+    "encode_set_representation",
+    "build_uv_matrices",
+    "build_intersection_pattern_matrix",
+    "has_set_representation",
+    "ConsistencyEncoding",
+    "build_encoding",
+]

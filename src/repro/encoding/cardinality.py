@@ -1,0 +1,122 @@
+"""``C_Sigma`` and the attribute-totality conditionals (Lemmas 4.4, 4.6).
+
+For every attribute pair ``(tau, l)`` with ``l in R(tau)`` the variable
+``|ext(tau.l)|`` counts the *distinct* ``l``-values of ``tau`` elements.
+Rows (referring to an arbitrary tree valid w.r.t. the DTD):
+
+* ``0 <= |ext(tau.l)| <= |ext(tau)|`` — always (each element contributes
+  one value);
+* a key ``tau.l -> tau`` holds iff ``|ext(tau.l)| = |ext(tau)|``;
+* an inclusion ``tau1.l1 ⊆ tau2.l2`` implies
+  ``|ext(tau1.l1)| <= |ext(tau2.l2)|`` (and the witness construction of
+  Lemma 4.4 realizes the converse with prefix-nested value sets);
+* a negated key ``tau.l -/-> tau`` holds iff
+  ``|ext(tau.l)| <= |ext(tau)| - 1`` (Corollary 4.9);
+* attribute totality — ``|ext(tau)| > 0 -> |ext(tau.l)| > 0`` — is *not* a
+  linear row; it is recorded as a conditional for the support solver
+  (the paper handles it with a big-M constant instead; see DESIGN.md).
+
+Support clauses: an inclusion constraint forces ``s(tau1) -> s(tau2)``
+(a present tau1 has an l1-value, which must appear among tau2's values, so
+some tau2 element exists); negated constraints force their element types
+present (``tau`` for a negated key needs two elements; ``tau1`` for a
+negated inclusion needs a witness element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.ast import (
+    InclusionConstraint,
+    Key,
+    NegInclusion,
+    NegKey,
+)
+from repro.dtd.model import DTD
+from repro.encoding.dtd_system import ext_var
+from repro.errors import InvalidConstraintError
+from repro.ilp.condsys import SupportClause
+from repro.ilp.model import LinearSystem, VarId
+
+
+def attr_var(tau: str, attr: str) -> VarId:
+    """The ``|ext(tau.l)|`` variable identifier."""
+    return ("attr", tau, attr)
+
+
+@dataclass
+class CardinalityEncoding:
+    """The ``C_Sigma`` rows plus conditional/support bookkeeping."""
+
+    requires_if_present: dict[str, tuple[VarId, ...]] = field(default_factory=dict)
+    clauses: tuple[SupportClause, ...] = ()
+    forced_true: frozenset[str] = frozenset()
+
+
+def encode_constraints(
+    dtd: DTD,
+    system: LinearSystem,
+    keys: list[Key],
+    inclusions: list[InclusionConstraint],
+    neg_keys: list[NegKey],
+    neg_inclusions: list[NegInclusion],
+) -> CardinalityEncoding:
+    """Add ``C_Sigma`` rows (for unary constraints) to ``system``.
+
+    All constraints must be unary; multi-attribute input is a caller bug
+    and raises :class:`InvalidConstraintError`.
+    """
+    for phi in [*keys, *inclusions]:
+        if not phi.is_unary():
+            raise InvalidConstraintError(
+                f"cardinality encoding handles unary constraints only: {phi}"
+            )
+
+    # Bounds 0 <= |ext(tau.l)| <= |ext(tau)| for *all* attribute pairs, and
+    # the attribute-totality conditionals (lower bounds are implicit: all
+    # ILP variables are nonnegative).
+    requires: dict[str, list[VarId]] = {}
+    for tau, attr in dtd.attribute_pairs():
+        var = attr_var(tau, attr)
+        system.add_le({var: 1, ext_var(tau): -1}, 0, label=f"attr-bound:{tau}.{attr}")
+        requires.setdefault(tau, []).append(var)
+
+    clauses: list[SupportClause] = []
+    forced_true: set[str] = set()
+
+    for key in keys:
+        tau, attr = key.element_type, key.attrs[0]
+        system.add_eq(
+            {attr_var(tau, attr): 1, ext_var(tau): -1}, 0, label=f"key:{tau}.{attr}"
+        )
+
+    for inc in inclusions:
+        child = attr_var(inc.child_type, inc.child_attrs[0])
+        parent = attr_var(inc.parent_type, inc.parent_attrs[0])
+        if child != parent:
+            system.add_le({child: 1, parent: -1}, 0, label=f"ic:{inc}")
+        if inc.child_type != inc.parent_type:
+            clauses.append(
+                SupportClause(inc.child_type, frozenset([inc.parent_type]))
+            )
+
+    for neg in neg_keys:
+        tau, attr = neg.element_type, neg.attr
+        # |ext(tau.l)| < |ext(tau)|, i.e. <= ext - 1; with attribute
+        # totality this forces |ext(tau)| >= 2: a genuine duplicate exists.
+        system.add_le(
+            {attr_var(tau, attr): 1, ext_var(tau): -1}, -1, label=f"negkey:{neg}"
+        )
+        forced_true.add(tau)
+
+    for neg in neg_inclusions:
+        # The counting part lives in the set-representation block; here we
+        # only record that a witness tau1 element must exist.
+        forced_true.add(neg.child_type)
+
+    return CardinalityEncoding(
+        requires_if_present={tau: tuple(vars_) for tau, vars_ in requires.items()},
+        clauses=tuple(clauses),
+        forced_true=frozenset(forced_true),
+    )

@@ -1,0 +1,143 @@
+"""Assembly of ``Psi(D, Sigma)`` (Lemma 4.6, Theorem 4.1, Theorem 5.1).
+
+:func:`build_encoding` turns a DTD and a set of *unary* constraints into a
+single :class:`~repro.ilp.condsys.ConditionalSystem`:
+
+* ``Psi_DN`` rows for the simplified DTD (:mod:`repro.encoding.dtd_system`);
+* ``C_Sigma`` rows, negated-key rows and attribute-totality conditionals
+  (:mod:`repro.encoding.cardinality`);
+* the ``z_theta`` set-representation block when negated inclusion
+  constraints are present (:mod:`repro.encoding.setrep`);
+* support clauses and forced/forbidden supports for the search.
+
+The resulting system is solvable iff an XML tree conforming to ``D`` and
+satisfying ``Sigma`` exists; a feasible solution is realizable as an actual
+witness tree by :mod:`repro.witness`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.ast import (
+    Constraint,
+    ForeignKey,
+    InclusionConstraint,
+    Key,
+    NegInclusion,
+    NegKey,
+)
+from repro.constraints.classes import expand_foreign_keys, validate_constraints
+from repro.dtd.analysis import usable_types
+from repro.dtd.model import DTD
+from repro.dtd.simplify import SimpleDTD, simplify_dtd
+from repro.encoding.cardinality import encode_constraints
+from repro.encoding.dtd_system import encode_dtd, ext_var
+from repro.encoding.setrep import SetRepBlock, encode_set_representation
+from repro.errors import InvalidConstraintError
+from repro.ilp.condsys import ConditionalSystem
+
+
+@dataclass
+class ConsistencyEncoding:
+    """Everything the solver and the witness synthesizer need."""
+
+    dtd: DTD
+    simple: SimpleDTD
+    condsys: ConditionalSystem
+    keys: list[Key]
+    inclusions: list[InclusionConstraint]
+    neg_keys: list[NegKey]
+    neg_inclusions: list[NegInclusion]
+    setrep: SetRepBlock | None
+    constraints: list[Constraint]
+
+
+def split_unary(
+    constraints: list[Constraint],
+) -> tuple[list[Key], list[InclusionConstraint], list[NegKey], list[NegInclusion]]:
+    """Split an FK-expanded constraint list by kind, rejecting multi-attribute."""
+    keys: list[Key] = []
+    inclusions: list[InclusionConstraint] = []
+    neg_keys: list[NegKey] = []
+    neg_inclusions: list[NegInclusion] = []
+    for phi in constraints:
+        if not phi.is_unary():
+            raise InvalidConstraintError(
+                f"the linear-integer encoding handles unary constraints only "
+                f"(Theorem 3.1 makes the multi-attribute problem undecidable): {phi}"
+            )
+        if isinstance(phi, Key):
+            if phi not in keys:
+                keys.append(phi)
+        elif isinstance(phi, InclusionConstraint):
+            if phi not in inclusions:
+                inclusions.append(phi)
+        elif isinstance(phi, NegKey):
+            if phi not in neg_keys:
+                neg_keys.append(phi)
+        elif isinstance(phi, NegInclusion):
+            if phi not in neg_inclusions:
+                neg_inclusions.append(phi)
+        elif isinstance(phi, ForeignKey):  # pragma: no cover - expanded earlier
+            raise InvalidConstraintError("foreign keys must be expanded first")
+        else:
+            raise InvalidConstraintError(f"unknown constraint {phi!r}")
+    return keys, inclusions, neg_keys, neg_inclusions
+
+
+def build_encoding(
+    dtd: DTD,
+    constraints: list[Constraint],
+    max_setrep_attrs: int = 12,
+) -> ConsistencyEncoding:
+    """Build ``Psi(D, Sigma)`` for unary ``Sigma`` over ``dtd``.
+
+    >>> from repro.dtd.model import DTD
+    >>> from repro.constraints.parser import parse_constraints
+    >>> d = DTD.build("r", {"r": "(a)", "a": "EMPTY"}, attrs={"a": ["k"]})
+    >>> enc = build_encoding(d, parse_constraints("a.k -> a"))
+    >>> enc.condsys.base.num_rows >= 3
+    True
+    """
+    validate_constraints(dtd, constraints)
+    expanded = expand_foreign_keys(constraints)
+    keys, inclusions, neg_keys, neg_inclusions = split_unary(expanded)
+
+    simple = simplify_dtd(dtd)
+    dtd_system = encode_dtd(simple)
+    cardinality = encode_constraints(
+        dtd, dtd_system.system, keys, inclusions, neg_keys, neg_inclusions
+    )
+    setrep: SetRepBlock | None = None
+    if neg_inclusions:
+        setrep = encode_set_representation(
+            dtd_system.system, inclusions, neg_inclusions, max_active=max_setrep_attrs
+        )
+
+    simple_as_dtd = simple.to_dtd()
+    usable = usable_types(simple_as_dtd)
+    forced_false = frozenset(set(simple.types) - set(usable))
+
+    condsys = ConditionalSystem(
+        base=dtd_system.system,
+        ext_var={symbol: ext_var(symbol) for symbol in simple.symbols()},
+        root=simple.root,
+        element_types=simple.types,
+        edges=dtd_system.edges,
+        requires_if_present=cardinality.requires_if_present,
+        clauses=dtd_system.clauses + cardinality.clauses,
+        forced_true=cardinality.forced_true,
+        forced_false=forced_false,
+    )
+    return ConsistencyEncoding(
+        dtd=dtd,
+        simple=simple,
+        condsys=condsys,
+        keys=keys,
+        inclusions=inclusions,
+        neg_keys=neg_keys,
+        neg_inclusions=neg_inclusions,
+        setrep=setrep,
+        constraints=list(constraints),
+    )

@@ -1,0 +1,141 @@
+"""``Psi_DN``: the cardinality constraints determined by a simple DTD.
+
+Variables (Lemma 4.5): ``|ext(tau)|`` for every element type and the string
+type, and one occurrence variable ``x^i_{a,tau}`` for each occurrence of a
+symbol ``a`` at position ``i`` in the rule of ``tau``. Rows:
+
+* ``|ext(r)| = 1`` — a unique root;
+* per rule, the local equations (``One``: ``ext = x1``; ``Seq``:
+  ``ext = x1`` and ``ext = x2``; ``Alt``: ``ext = x1 + x2``);
+* totality: for every non-root symbol, ``|ext(a)| = sum of its occurrence
+  variables`` — every node sits under exactly one parent slot.
+
+Beyond the paper, we also emit the *support clauses* and the *occurrence
+edge list* that the conditional solver uses to enforce realizability
+(DESIGN.md section 3): the paper's claim that any solution of ``Psi_DN``
+yields a tree misses a connectivity condition for recursive DTDs, which the
+solver restores with connectivity cuts over exactly these edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.simplify import AltRule, EpsRule, OneRule, SeqRule, SimpleDTD
+from repro.ilp.condsys import SupportClause
+from repro.ilp.model import LinearSystem, VarId
+from repro.regex.ast import TEXT_SYMBOL
+
+
+def ext_var(symbol: str) -> VarId:
+    """The ``|ext(symbol)|`` variable identifier."""
+    return ("ext", symbol)
+
+
+def occ_var(slot: int, child: str, parent: str) -> VarId:
+    """The occurrence variable ``x^slot_{child,parent}``."""
+    return ("occ", slot, child, parent)
+
+
+@dataclass
+class DTDSystem:
+    """``Psi_DN`` plus the structural data the solver needs."""
+
+    simple: SimpleDTD
+    system: LinearSystem
+    edges: tuple[tuple[VarId, str, str], ...]
+    clauses: tuple[SupportClause, ...]
+
+
+def encode_dtd(simple: SimpleDTD) -> DTDSystem:
+    """Build ``Psi_DN`` for a simplified DTD.
+
+    >>> from repro.dtd.model import DTD
+    >>> from repro.dtd.simplify import simplify_dtd
+    >>> d = DTD.build("r", {"r": "(a, a)", "a": "EMPTY"})
+    >>> psi = encode_dtd(simplify_dtd(d))
+    >>> psi.system.num_rows >= 3
+    True
+    """
+    system = LinearSystem()
+    edges: list[tuple[VarId, str, str]] = []
+    clauses: list[SupportClause] = []
+
+    # Unique root.
+    system.add_eq({ext_var(simple.root): 1}, 1, label="root")
+
+    occurrence_sites: dict[str, list[VarId]] = {
+        symbol: [] for symbol in simple.types
+    }
+    occurrence_sites[TEXT_SYMBOL] = []
+    parents_of: dict[str, set[str]] = {symbol: set() for symbol in simple.types}
+
+    for tau in simple.types:
+        rule = simple.rules[tau]
+        ext_tau = ext_var(tau)
+        if isinstance(rule, EpsRule):
+            continue
+        if isinstance(rule, OneRule):
+            var = occ_var(1, rule.symbol, tau)
+            system.add_eq({ext_tau: 1, var: -1}, 0, label=f"rule:{tau}")
+            occurrence_sites[rule.symbol].append(var)
+            edges.append((var, tau, rule.symbol))
+            if rule.symbol != TEXT_SYMBOL:
+                parents_of[rule.symbol].add(tau)
+                # Deepest-node argument: a required child of tau's own type
+                # would force infinite descent, so tau minus itself.
+                clauses.append(SupportClause(tau, frozenset([rule.symbol]) - {tau}))
+        elif isinstance(rule, SeqRule):
+            for slot, symbol in ((1, rule.first), (2, rule.second)):
+                var = occ_var(slot, symbol, tau)
+                system.add_eq({ext_tau: 1, var: -1}, 0, label=f"rule:{tau}:{slot}")
+                occurrence_sites[symbol].append(var)
+                edges.append((var, tau, symbol))
+                if symbol != TEXT_SYMBOL:
+                    parents_of[symbol].add(tau)
+                    clauses.append(SupportClause(tau, frozenset([symbol]) - {tau}))
+        elif isinstance(rule, AltRule):
+            var1 = occ_var(1, rule.left, tau)
+            var2 = occ_var(2, rule.right, tau)
+            system.add_eq({ext_tau: 1, var1: -1, var2: -1}, 0, label=f"rule:{tau}")
+            occurrence_sites[rule.left].append(var1)
+            occurrence_sites[rule.right].append(var2)
+            edges.append((var1, tau, rule.left))
+            edges.append((var2, tau, rule.right))
+            for symbol in (rule.left, rule.right):
+                if symbol != TEXT_SYMBOL:
+                    parents_of[symbol].add(tau)
+            # If either branch is text, a present tau needs no element
+            # child. Otherwise the *deepest* tau node's child cannot be a
+            # tau, so tau itself is excluded from the alternatives (an
+            # empty set then means tau can never be present).
+            if TEXT_SYMBOL not in (rule.left, rule.right):
+                element_alts = frozenset((rule.left, rule.right)) - {tau}
+                clauses.append(SupportClause(tau, element_alts))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown rule {rule!r}")
+
+    # Totality: every non-root node is some parent's child, exactly once.
+    for symbol, sites in occurrence_sites.items():
+        if symbol == simple.root:
+            continue
+        coeffs: dict[VarId, int] = {ext_var(symbol): 1}
+        for var in sites:
+            coeffs[var] = coeffs.get(var, 0) - 1
+        system.add_eq(coeffs, 0, label=f"totality:{symbol}")
+
+    # A present non-root type needs a present parent type; the shallowest
+    # node of a type never has a parent of the same type, so the type
+    # itself is excluded from the alternatives.
+    for symbol in simple.types:
+        if symbol == simple.root:
+            continue
+        alternatives = frozenset(parents_of[symbol] - {symbol})
+        clauses.append(SupportClause(symbol, alternatives))
+
+    return DTDSystem(
+        simple=simple,
+        system=system,
+        edges=tuple(edges),
+        clauses=tuple(clauses),
+    )

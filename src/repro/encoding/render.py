@@ -1,0 +1,90 @@
+"""Human-readable rendering of the cardinality systems.
+
+Section 4.1 of the paper prints ``Psi_DN1`` — the system for the
+simplified teachers DTD — equation by equation. This module reproduces
+that presentation for any encoding, which doubles as a debugging aid: the
+rows are grouped the way the paper groups them (per-rule blocks, totality
+equations, ``C_Sigma``, set-representation block).
+"""
+
+from __future__ import annotations
+
+from repro.encoding.combined import ConsistencyEncoding
+from repro.ilp.model import Row, VarId
+
+
+def _term(var: VarId, coeff: int) -> str:
+    name = _var_name(var)
+    if coeff == 1:
+        return name
+    if coeff == -1:
+        return f"-{name}"
+    return f"{coeff}*{name}"
+
+
+def _var_name(var: VarId) -> str:
+    if isinstance(var, tuple):
+        if var[0] == "ext":
+            return f"|ext({var[1]})|"
+        if var[0] == "attr":
+            return f"|ext({var[1]}.{var[2]})|"
+        if var[0] == "occ":
+            _tag, slot, child, parent = var
+            return f"x{slot}({child},{parent})"
+        if var[0] == "z":
+            return f"z[{var[1]:b}]"
+    return str(var)
+
+
+def _equation(row: Row) -> str:
+    """Render a row with the |ext| / x^i notation of the paper."""
+    positives = [(v, c) for v, c in row.coeffs if c > 0]
+    negatives = [(v, -c) for v, c in row.coeffs if c < 0]
+    left = " + ".join(_term(v, c) for v, c in positives) or "0"
+    right = " + ".join(_term(v, c) for v, c in negatives)
+    sense = {"==": "=", "<=": "<=", ">=": ">="}[row.sense]
+    if row.rhs == 0 and right:
+        return f"{left} {sense} {right}"
+    if right:
+        return f"{left} {sense} {right} + {row.rhs}"
+    return f"{left} {sense} {row.rhs}"
+
+
+def describe_encoding(encoding: ConsistencyEncoding) -> str:
+    """Render ``Psi(D, Sigma)`` in the paper's Section-4.1 style.
+
+    >>> from repro.encoding.combined import build_encoding
+    >>> from repro.workloads.examples import teachers_dtd_d1
+    >>> text = describe_encoding(build_encoding(teachers_dtd_d1(), []))
+    >>> "|ext(teachers)| = 1" in text
+    True
+    """
+    groups: dict[str, list[str]] = {
+        "DTD cardinality constraints (Psi_DN)": [],
+        "constraint cardinalities (C_Sigma)": [],
+        "set-representation block (Theorem 5.1)": [],
+    }
+    for row in encoding.condsys.base.rows:
+        rendered = _equation(row)
+        if row.label.startswith(("key:", "ic:", "negkey:", "attr-bound:")):
+            groups["constraint cardinalities (C_Sigma)"].append(rendered)
+        elif row.label.startswith("setrep"):
+            groups["set-representation block (Theorem 5.1)"].append(rendered)
+        else:
+            groups["DTD cardinality constraints (Psi_DN)"].append(rendered)
+
+    lines: list[str] = []
+    for title, equations in groups.items():
+        if not equations:
+            continue
+        lines.append(title)
+        lines.extend(f"    {eq}" for eq in equations)
+    conditionals = [
+        f"    |ext({tau})| > 0  ->  {', '.join(_var_name(v) + ' > 0' for v in attrs)}"
+        for tau, attrs in sorted(encoding.condsys.requires_if_present.items())
+    ]
+    if conditionals:
+        lines.append("attribute-totality conditionals")
+        lines.extend(conditionals)
+    lines.append("all variables >= 0, integer")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Integer linear programming substrate.
+
+The paper reduces consistency of unary constraints to linear integer
+programming (Theorem 4.1). This package supplies:
+
+* :mod:`repro.ilp.model` — a solver-independent system of integer linear
+  constraints over named variables;
+* :mod:`repro.ilp.scipy_backend` — the default solver (HiGHS via
+  ``scipy.optimize.milp``) with post-hoc exact verification of solutions;
+* :mod:`repro.ilp.exact` — a self-contained exact rational simplex with
+  branch-and-bound, used to certify small instances and as a fallback;
+* :mod:`repro.ilp.bounds` — the Papadimitriou small-solution bound used by
+  the paper's big-M argument;
+* :mod:`repro.ilp.condsys` — conditional systems ``x > 0 -> y > 0`` with
+  tree-connectivity side conditions, solved by support branching plus
+  connectivity cuts (see DESIGN.md section 3).
+"""
+
+from repro.ilp.bounds import papadimitriou_bound
+from repro.ilp.condsys import (
+    ConditionalSystem,
+    CondSolveStats,
+    SupportClause,
+    solve_conditional_system,
+)
+from repro.ilp.exact import solve_exact
+from repro.ilp.model import LinearSystem, Row, SolveResult
+from repro.ilp.scipy_backend import solve_milp
+
+__all__ = [
+    "LinearSystem",
+    "Row",
+    "SolveResult",
+    "solve_milp",
+    "solve_exact",
+    "papadimitriou_bound",
+    "ConditionalSystem",
+    "SupportClause",
+    "CondSolveStats",
+    "solve_conditional_system",
+]

@@ -1,0 +1,32 @@
+"""Small-solution bounds for integer programs.
+
+Papadimitriou (JACM 1981, cited by the paper in the proof of Theorem 4.1):
+if a system of ``m`` linear constraints over ``n`` nonnegative integer
+variables with all constants bounded by ``a`` in absolute value has an
+integer solution, it has one in which every variable is at most
+``n * (m * a) ** (2 * m + 1)``.
+
+The paper uses this twice: to big-M-encode the conditional constraints
+``|ext(tau)| > 0 -> |ext(tau.l)| > 0`` (Theorem 4.1) and to bound the
+guessed solutions in the NP procedure of Theorem 5.1 (Lemma 5.3). Our
+default solver replaces the big-M route with support branching (DESIGN.md
+section 3), but the bound is still used to make exact branch-and-bound
+complete and is exposed for the faithful big-M strategy.
+"""
+
+from __future__ import annotations
+
+
+def papadimitriou_bound(num_vars: int, num_rows: int, max_abs: int) -> int:
+    """The bound ``n * (m * a) ** (2m + 1)`` as an exact integer.
+
+    Arguments are clamped to at least 1 so degenerate systems still get a
+    positive bound.
+
+    >>> papadimitriou_bound(2, 1, 1)
+    2
+    """
+    n = max(1, num_vars)
+    m = max(1, num_rows)
+    a = max(1, max_abs)
+    return n * (m * a) ** (2 * m + 1)

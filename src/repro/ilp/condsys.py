@@ -1,0 +1,322 @@
+"""Conditional linear systems with tree-connectivity side conditions.
+
+The combined system of Theorem 4.1 is ``Psi(D, Sigma) = Psi_DN ∪ C_Sigma ∪
+{ |ext(tau)| > 0 -> |ext(tau.l)| > 0 }``. Two features fall outside plain
+ILP:
+
+1. the **conditionals** — the paper big-M-encodes them with the
+   (astronomical) Papadimitriou bound; we instead branch on the *support*:
+   which element types have ``|ext(tau)| >= 1``. Once supports are fixed,
+   each conditional becomes a plain linear row.
+2. the **connectivity side condition** — an integer solution is realizable
+   as a tree only if every positive element type is reachable from the root
+   through positive occurrence variables (DESIGN.md section 3; this repairs
+   the glossed step in the paper's Lemma 4.5). With supports fixed we
+   enforce it with iterated connectivity cuts: whenever the solution leaves
+   a positive set ``U`` unreachable, the valid inequality
+   ``sum(occ edges entering U from outside) >= 1`` is added and the leaf is
+   re-solved.
+
+The search propagates *support clauses* (Horn-style implications derived
+from the DTD rules and the inclusion constraints) and prunes with LP
+relaxations; every answer is exact because pruning only uses definite LP
+infeasibility and every leaf solution is verified integer-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping
+
+from repro.errors import ComplexityLimitError, SolverError
+from repro.ilp.exact import solve_exact
+from repro.ilp.model import LinearSystem, SolveResult, VarId
+from repro.ilp.scipy_backend import lp_infeasible, solve_milp
+
+
+@dataclass(frozen=True)
+class SupportClause:
+    """``s(premise) -> OR s(a) for a in alternatives``.
+
+    An empty alternative set means the premise can never be present.
+    """
+
+    premise: str
+    alternatives: frozenset[str]
+
+
+@dataclass
+class ConditionalSystem:
+    """A linear system plus support conditionals and connectivity data.
+
+    Attributes
+    ----------
+    base:
+        The unconditional linear rows (``Psi_DN`` and ``C_Sigma``).
+    ext_var:
+        Maps each node symbol (element types and the text symbol) to its
+        ``|ext(.)|`` variable.
+    root:
+        The root element type (its extent is pinned to 1 in ``base``).
+    element_types:
+        All element types of the simplified DTD — the support search
+        branches exactly over these.
+    edges:
+        Occurrence sites ``(occ_var, parent_symbol, child_symbol)`` used
+        for connectivity checking and cuts.
+    requires_if_present:
+        Per element type, variables forced ``>= 1`` when the type is
+        present (the ``|ext(tau.l)|`` conditionals).
+    clauses:
+        Support implications for propagation/pruning (sound, not complete —
+        completeness comes from exhaustive branching).
+    forced_true / forced_false:
+        Types whose support is fixed up front (the root and types forced by
+        negated constraints; unusable types respectively).
+    """
+
+    base: LinearSystem
+    ext_var: dict[str, VarId]
+    root: str
+    element_types: tuple[str, ...]
+    edges: tuple[tuple[VarId, str, str], ...]
+    requires_if_present: dict[str, tuple[VarId, ...]] = field(default_factory=dict)
+    clauses: tuple[SupportClause, ...] = ()
+    forced_true: frozenset[str] = frozenset()
+    forced_false: frozenset[str] = frozenset()
+
+
+@dataclass
+class CondSolveStats:
+    """Search statistics, reported for benchmarks and diagnostics."""
+
+    dfs_nodes: int = 0
+    leaves_solved: int = 0
+    cuts_added: int = 0
+    lp_prunes: int = 0
+    shortcut_hit: bool = False
+
+
+def _leaf_rows(
+    cs: ConditionalSystem, assignment: Mapping[str, bool]
+) -> LinearSystem:
+    """The plain ILP once every element type's support is decided."""
+    leaf = cs.base.copy()
+    for tau, present in assignment.items():
+        ext = cs.ext_var[tau]
+        if present:
+            leaf.add_ge({ext: 1}, 1, label=f"support:{tau}")
+            for var in cs.requires_if_present.get(tau, ()):
+                leaf.add_ge({var: 1}, 1, label=f"attr-total:{tau}")
+        else:
+            leaf.add_eq({ext: 1}, 0, label=f"absent:{tau}")
+    return leaf
+
+
+def _partial_rows(
+    cs: ConditionalSystem, assignment: Mapping[str, bool | None]
+) -> LinearSystem:
+    """Relaxation used for pruning: only decided supports constrained."""
+    partial = cs.base.copy()
+    for tau, decided in assignment.items():
+        if decided is None:
+            continue
+        ext = cs.ext_var[tau]
+        if decided:
+            partial.add_ge({ext: 1}, 1)
+            for var in cs.requires_if_present.get(tau, ()):
+                partial.add_ge({var: 1}, 1)
+        else:
+            partial.add_eq({ext: 1}, 0)
+    return partial
+
+
+def _unreachable_positive(
+    cs: ConditionalSystem, values: Mapping[VarId, int]
+) -> frozenset[str]:
+    """Positive symbols not reachable from the root via positive edges."""
+    positive = {
+        symbol for symbol, var in cs.ext_var.items() if values.get(var, 0) > 0
+    }
+    if cs.root not in positive:
+        return frozenset(positive)
+    adjacency: dict[str, set[str]] = {}
+    for occ_var, parent, child in cs.edges:
+        if values.get(occ_var, 0) > 0:
+            adjacency.setdefault(parent, set()).add(child)
+    reached = {cs.root}
+    frontier = [cs.root]
+    while frontier:
+        node = frontier.pop()
+        for child in adjacency.get(node, ()):
+            if child in reached:
+                continue
+            reached.add(child)
+            frontier.append(child)
+    return frozenset(positive - reached)
+
+
+def _solve_leaf(
+    cs: ConditionalSystem,
+    leaf: LinearSystem,
+    solve: Callable[[LinearSystem], SolveResult],
+    stats: CondSolveStats,
+    max_cut_rounds: int,
+) -> SolveResult:
+    """Solve a leaf ILP, iterating connectivity cuts to a fixpoint."""
+    for _ in range(max_cut_rounds):
+        stats.leaves_solved += 1
+        result = solve(leaf)
+        if not result.feasible:
+            return result
+        unreachable = _unreachable_positive(cs, result.values)
+        if not unreachable:
+            return result
+        cut: dict[VarId, int] = {}
+        for occ_var, parent, child in cs.edges:
+            if child in unreachable and parent not in unreachable:
+                cut[occ_var] = cut.get(occ_var, 0) + 1
+        if not cut:
+            # No occurrence site can ever feed U from outside: with these
+            # supports fixed positive, no tree exists.
+            return SolveResult(
+                "infeasible",
+                message=f"positive types {sorted(unreachable)} cannot be connected",
+            )
+        stats.cuts_added += 1
+        leaf.add_ge(cut, 1, label=f"connect:{','.join(sorted(unreachable)[:4])}")
+    raise SolverError("connectivity cut loop did not converge")
+
+
+def _propagate(
+    cs: ConditionalSystem, assignment: dict[str, bool | None]
+) -> bool:
+    """Unit-propagate support clauses; False on conflict."""
+    changed = True
+    while changed:
+        changed = False
+        for clause in cs.clauses:
+            if assignment.get(clause.premise) is not True:
+                continue
+            if any(assignment.get(a) is True for a in clause.alternatives):
+                continue
+            open_alts = [
+                a for a in clause.alternatives if assignment.get(a) is None
+            ]
+            if not open_alts:
+                return False
+            if len(open_alts) == 1:
+                assignment[open_alts[0]] = True
+                changed = True
+    return True
+
+
+def _make_solver(backend: str) -> Callable[[LinearSystem], SolveResult]:
+    """A robust solve function: scipy with exact fallback, or exact only."""
+    if backend == "exact":
+        return lambda system: solve_exact(system)
+    if backend != "scipy":
+        raise SolverError(f"unknown backend {backend!r}")
+
+    def solve(system: LinearSystem) -> SolveResult:
+        result = solve_milp(system)
+        if result.status == "error":
+            # Floating-point trouble: certify with the exact solver.
+            return solve_exact(system)
+        return result
+
+    return solve
+
+
+def solve_conditional_system(
+    cs: ConditionalSystem,
+    backend: str = "scipy",
+    max_support_nodes: int = 20000,
+    max_cut_rounds: int = 200,
+    lp_prune: bool = True,
+) -> tuple[SolveResult, CondSolveStats]:
+    """Decide the conditional system; return a realizable solution if any.
+
+    The returned solution (when feasible) satisfies the base rows, all
+    conditionals, and the connectivity side condition — i.e. it is
+    realizable as an XML tree by :mod:`repro.witness`.
+    """
+    stats = CondSolveStats()
+    solve = _make_solver(backend)
+
+    assignment: dict[str, bool | None] = {tau: None for tau in cs.element_types}
+    for tau in cs.forced_true:
+        assignment[tau] = True
+    for tau in cs.forced_false:
+        if assignment.get(tau) is True:
+            return (
+                SolveResult(
+                    "infeasible",
+                    message=f"type {tau} is both required and unusable",
+                ),
+                stats,
+            )
+        assignment[tau] = False
+    assignment[cs.root] = True
+
+    if not _propagate(cs, assignment):
+        return SolveResult("infeasible", message="support propagation conflict"), stats
+
+    # Shortcut: the maximal support (everything not forced out present) is
+    # often feasible and found in one leaf solve.
+    maximal = dict(assignment)
+    for tau in cs.element_types:
+        if maximal[tau] is None:
+            maximal[tau] = True
+    if _propagate(cs, maximal) and all(v is not None for v in maximal.values()):
+        result = _solve_leaf(
+            cs, _leaf_rows(cs, maximal), solve, stats, max_cut_rounds  # type: ignore[arg-type]
+        )
+        if result.feasible:
+            stats.shortcut_hit = True
+            return result, stats
+
+    # Branching order: constrained types first (their supports interact with
+    # Sigma), then DTD order.
+    involved = set(cs.requires_if_present) | {
+        clause.premise for clause in cs.clauses
+    }
+    order = sorted(
+        cs.element_types,
+        key=lambda tau: (tau not in involved, cs.element_types.index(tau)),
+    )
+
+    def undecided(current: Mapping[str, bool | None]) -> str | None:
+        for tau in order:
+            if current[tau] is None:
+                return tau
+        return None
+
+    stack: list[dict[str, bool | None]] = [assignment]
+    while stack:
+        current = stack.pop()
+        stats.dfs_nodes += 1
+        if stats.dfs_nodes > max_support_nodes:
+            raise ComplexityLimitError(
+                f"support search exceeded {max_support_nodes} nodes"
+            )
+        if not _propagate(cs, current):
+            continue
+        if lp_prune and lp_infeasible(_partial_rows(cs, current)):
+            stats.lp_prunes += 1
+            continue
+        choice = undecided(current)
+        if choice is None:
+            result = _solve_leaf(
+                cs, _leaf_rows(cs, current), solve, stats, max_cut_rounds  # type: ignore[arg-type]
+            )
+            if result.feasible:
+                return result, stats
+            continue
+        with_false = dict(current)
+        with_false[choice] = False
+        with_true = dict(current)
+        with_true[choice] = True
+        stack.append(with_false)
+        stack.append(with_true)
+    return SolveResult("infeasible", message="support search exhausted"), stats

@@ -1,0 +1,251 @@
+"""Exact integer linear programming over rationals.
+
+A self-contained two-phase simplex on :class:`fractions.Fraction` tableaus
+(Bland's rule, hence guaranteed termination) with depth-first branch and
+bound for integrality. No floating point anywhere, so answers are certified
+— this is the oracle the scipy backend is cross-checked against in tests,
+and the fallback when a rounded HiGHS solution fails exact verification.
+
+Termination of branch and bound is guaranteed by bounding every variable
+with the Papadimitriou small-solution bound (see :mod:`repro.ilp.bounds`):
+if any solution exists, one exists within the bound, so searching the
+bounded box is complete. A node budget guards running time; exceeding it
+raises :class:`SolverError` rather than returning a wrong answer.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import ceil, floor
+
+from repro.errors import SolverError
+from repro.ilp.bounds import papadimitriou_bound
+from repro.ilp.model import EQ, GE, LE, LinearSystem, SolveResult
+
+
+class _Simplex:
+    """Two-phase dense simplex over Fractions with Bland's rule."""
+
+    def __init__(self, num_vars: int):
+        self.num_vars = num_vars
+        self.rows: list[list[Fraction]] = []  # coefficients per structural var
+        self.senses: list[str] = []
+        self.rhs: list[Fraction] = []
+
+    def add(self, coeffs: dict[int, Fraction], sense: str, rhs: Fraction) -> None:
+        dense = [Fraction(0)] * self.num_vars
+        for index, coeff in coeffs.items():
+            dense[index] += coeff
+        self.rows.append(dense)
+        self.senses.append(sense)
+        self.rhs.append(rhs)
+
+    def solve(self, objective: list[Fraction]) -> tuple[str, list[Fraction] | None]:
+        """Minimize ``objective``; returns (status, solution).
+
+        Status is ``"optimal"``, ``"infeasible"`` or ``"unbounded"``.
+        """
+        m = len(self.rows)
+        # Slack/surplus columns: one per inequality row.
+        slack_cols = [i for i, sense in enumerate(self.senses) if sense != EQ]
+        n_slack = len(slack_cols)
+        n_total = self.num_vars + n_slack + m  # + artificials
+        art_start = self.num_vars + n_slack
+        tableau: list[list[Fraction]] = []
+        basis: list[int] = []
+        slack_index = {row: self.num_vars + k for k, row in enumerate(slack_cols)}
+        for i in range(m):
+            line = [Fraction(0)] * (n_total + 1)
+            for j in range(self.num_vars):
+                line[j] = self.rows[i][j]
+            if self.senses[i] == LE:
+                line[slack_index[i]] = Fraction(1)
+            elif self.senses[i] == GE:
+                line[slack_index[i]] = Fraction(-1)
+            line[n_total] = self.rhs[i]
+            if line[n_total] < 0:
+                line = [-value for value in line]
+            line[art_start + i] = Fraction(1)
+            tableau.append(line)
+            basis.append(art_start + i)
+
+        def pivot(row: int, col: int) -> None:
+            pivot_value = tableau[row][col]
+            tableau[row] = [value / pivot_value for value in tableau[row]]
+            for other in range(m):
+                if other != row and tableau[other][col] != 0:
+                    factor = tableau[other][col]
+                    tableau[other] = [
+                        value - factor * pivot_row_value
+                        for value, pivot_row_value in zip(tableau[other], tableau[row])
+                    ]
+            basis[row] = col
+
+        def run_phase(cost: list[Fraction], allowed: int) -> Fraction:
+            """Minimize cost over columns [0, allowed); returns optimum."""
+            while True:
+                # Reduced costs: z_j - c_j for basic representation.
+                duals = [cost[basis[i]] for i in range(m)]
+                entering = -1
+                for j in range(allowed):
+                    reduced = cost[j] - sum(
+                        duals[i] * tableau[i][j] for i in range(m)
+                    )
+                    if reduced < 0:
+                        entering = j
+                        break  # Bland: first improving column
+                if entering < 0:
+                    objective_value = sum(
+                        duals[i] * tableau[i][n_total] for i in range(m)
+                    )
+                    return objective_value
+                leaving = -1
+                best_ratio: Fraction | None = None
+                for i in range(m):
+                    coeff = tableau[i][entering]
+                    if coeff > 0:
+                        ratio = tableau[i][n_total] / coeff
+                        if (
+                            best_ratio is None
+                            or ratio < best_ratio
+                            or (ratio == best_ratio and basis[i] < basis[leaving])
+                        ):
+                            best_ratio = ratio
+                            leaving = i
+                if leaving < 0:
+                    raise _Unbounded()
+                pivot(leaving, entering)
+
+        # Phase 1: drive artificials to zero.
+        phase1_cost = [Fraction(0)] * n_total
+        for j in range(art_start, n_total):
+            phase1_cost[j] = Fraction(1)
+        try:
+            phase1_value = run_phase(phase1_cost, n_total)
+        except _Unbounded:  # pragma: no cover - phase 1 is bounded below by 0
+            raise SolverError("phase 1 reported unbounded") from None
+        if phase1_value > 0:
+            return "infeasible", None
+        # Pivot artificials out of the basis where possible.
+        for i in range(m):
+            if basis[i] >= art_start:
+                for j in range(art_start):
+                    if tableau[i][j] != 0:
+                        pivot(i, j)
+                        break
+        # Phase 2 over structural + slack columns only.
+        phase2_cost = [Fraction(0)] * n_total
+        for j in range(self.num_vars):
+            phase2_cost[j] = objective[j]
+        try:
+            run_phase(phase2_cost, art_start)
+        except _Unbounded:
+            return "unbounded", None
+        solution = [Fraction(0)] * self.num_vars
+        n_total_col = n_total
+        for i in range(m):
+            if basis[i] < self.num_vars:
+                solution[basis[i]] = tableau[i][n_total_col]
+        return "optimal", solution
+
+
+class _Unbounded(Exception):
+    """Internal: the current phase detected an unbounded direction."""
+
+
+def _solve_lp(
+    system: LinearSystem,
+    extra: list[tuple[int, str, int]],
+) -> tuple[str, list[Fraction] | None]:
+    """LP relaxation of ``system`` plus branching bounds ``extra``.
+
+    ``extra`` entries are ``(var_index, sense, bound)``.
+    """
+    simplex = _Simplex(system.num_vars)
+    for row in system.rows:
+        simplex.add(
+            {system.index_of(var): Fraction(coeff) for var, coeff in row.coeffs},
+            row.sense,
+            Fraction(row.rhs),
+        )
+    for var in system.variables:
+        bound = system.upper(var)
+        if bound is not None:
+            simplex.add({system.index_of(var): Fraction(1)}, LE, Fraction(bound))
+    for index, sense, bound in extra:
+        simplex.add({index: Fraction(1)}, sense, Fraction(bound))
+    objective = [Fraction(1)] * system.num_vars
+    return simplex.solve(objective)
+
+
+def solve_exact(system: LinearSystem, node_limit: int = 5000) -> SolveResult:
+    """Certified feasibility check of the integer system.
+
+    Minimizes the sum of all variables (small solutions make small witness
+    trees). Every variable without an explicit upper bound receives the
+    Papadimitriou bound, which makes branch and bound complete; the node
+    budget guards time and raises :class:`SolverError` when exhausted.
+    """
+    if system.num_vars == 0:
+        for row in system.rows:
+            if not row.evaluate({}):
+                return SolveResult("infeasible", message="constant row violated")
+        return SolveResult("feasible", {})
+
+    # GCD preprocessing: an equality whose coefficients share a divisor that
+    # does not divide the right-hand side is unsatisfiable over integers.
+    from math import gcd
+
+    for row in system.rows:
+        if row.sense == EQ and row.coeffs:
+            divisor = 0
+            for _, coeff in row.coeffs:
+                divisor = gcd(divisor, abs(coeff))
+            if divisor > 1 and row.rhs % divisor != 0:
+                return SolveResult(
+                    "infeasible", message=f"gcd cut on row {row.pretty()}"
+                )
+
+    default_bound = papadimitriou_bound(
+        system.num_vars, system.num_rows, system.max_abs_value()
+    )
+    bounded = system.copy()
+    for var in bounded.variables:
+        if bounded.upper(var) is None:
+            bounded.set_upper(var, default_bound)
+
+    nodes = 0
+    stack: list[list[tuple[int, str, int]]] = [[]]
+    while stack:
+        extra = stack.pop()
+        nodes += 1
+        if nodes > node_limit:
+            raise SolverError(
+                f"exact branch-and-bound exceeded {node_limit} nodes"
+            )
+        status, solution = _solve_lp(bounded, extra)
+        if status == "infeasible":
+            continue
+        if status == "unbounded":  # pragma: no cover - bounds forbid this
+            raise SolverError("bounded system reported unbounded")
+        assert solution is not None
+        fractional = next(
+            (
+                index
+                for index, value in enumerate(solution)
+                if value.denominator != 1
+            ),
+            None,
+        )
+        if fractional is None:
+            values = {
+                var: int(solution[bounded.index_of(var)])
+                for var in bounded.variables
+            }
+            return SolveResult("feasible", values)
+        value = solution[fractional]
+        down = extra + [(fractional, LE, floor(value))]
+        up = extra + [(fractional, GE, ceil(value))]
+        stack.append(up)
+        stack.append(down)
+    return SolveResult("infeasible", message="branch and bound exhausted")

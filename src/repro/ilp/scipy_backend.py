@@ -1,0 +1,145 @@
+"""MILP solving via scipy (HiGHS).
+
+The backend minimizes the sum of all variables by default — the paper only
+needs feasibility, and minimal solutions give small witness trees. Because
+HiGHS works in floating point, every reported solution is rounded and then
+re-checked *exactly* against the integer system; a solution that fails the
+exact check is reported as an error rather than trusted (callers fall back
+to the exact backend).
+
+LP relaxations (used for pruning in the support search) are exposed through
+:func:`lp_infeasible`; only a definite "infeasible" answer is ever used to
+prune, so numerical trouble degrades performance, not correctness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+from repro.errors import SolverError
+from repro.ilp.model import EQ, GE, LE, LinearSystem, SolveResult, VarId
+
+#: Cap on variables+rows beyond which we refuse to densify matrices.
+_DENSE_LIMIT = 4_000_000
+
+
+def _assemble(system: LinearSystem):
+    """Build the constraint matrix, row bounds and variable bounds."""
+    num_vars = system.num_vars
+    num_rows = system.num_rows
+    if num_vars * max(num_rows, 1) > _DENSE_LIMIT:
+        raise SolverError(
+            f"system too large for the dense scipy backend "
+            f"({num_vars} vars x {num_rows} rows)"
+        )
+    matrix = np.zeros((num_rows, num_vars))
+    lower = np.full(num_rows, -np.inf)
+    upper = np.full(num_rows, np.inf)
+    for i, row in enumerate(system.rows):
+        for var, coeff in row.coeffs:
+            matrix[i, system.index_of(var)] += coeff
+        if row.sense == LE:
+            upper[i] = row.rhs
+        elif row.sense == GE:
+            lower[i] = row.rhs
+        elif row.sense == EQ:
+            lower[i] = row.rhs
+            upper[i] = row.rhs
+        else:  # pragma: no cover - defensive
+            raise SolverError(f"unknown row sense {row.sense!r}")
+    var_lower = np.zeros(num_vars)
+    var_upper = np.full(num_vars, np.inf)
+    for var in system.variables:
+        bound = system.upper(var)
+        if bound is not None:
+            var_upper[system.index_of(var)] = bound
+    return matrix, lower, upper, var_lower, var_upper
+
+
+def solve_milp(
+    system: LinearSystem,
+    objective: Mapping[VarId, float] | None = None,
+    binary_vars: frozenset[VarId] | set[VarId] | None = None,
+) -> SolveResult:
+    """Solve the integer system; minimize ``objective`` (default: sum of vars).
+
+    ``binary_vars`` get bounds ``[0, 1]`` (used by the big-M strategy).
+    The returned values are exact-checked; on mismatch the status is
+    ``"error"`` so callers can fall back to the exact backend.
+    """
+    if system.num_vars == 0:
+        # Degenerate: rows without variables are constant checks.
+        for row in system.rows:
+            if not row.evaluate({}):
+                return SolveResult("infeasible", message="constant row violated")
+        return SolveResult("feasible", {})
+    matrix, lower, upper, var_lower, var_upper = _assemble(system)
+    if binary_vars:
+        for var in binary_vars:
+            var_upper[system.index_of(var)] = 1.0
+    cost = np.ones(system.num_vars)
+    if objective is not None:
+        cost = np.zeros(system.num_vars)
+        for var, coeff in objective.items():
+            cost[system.index_of(var)] = coeff
+    constraints = (
+        LinearConstraint(matrix, lower, upper) if system.num_rows else ()
+    )
+    result = milp(
+        c=cost,
+        constraints=constraints,
+        integrality=np.ones(system.num_vars),
+        bounds=Bounds(var_lower, var_upper),
+    )
+    if result.status == 2:
+        return SolveResult("infeasible", message=result.message)
+    if result.x is None:
+        return SolveResult("error", message=f"milp failed: {result.message}")
+    values = {
+        var: int(round(result.x[system.index_of(var)])) for var in system.variables
+    }
+    violated = system.check(values)
+    if violated:
+        detail = "; ".join(row.pretty() for row in violated[:3])
+        return SolveResult("error", message=f"rounded solution violates: {detail}")
+    return SolveResult("feasible", values)
+
+
+def lp_infeasible(system: LinearSystem) -> bool:
+    """Is the LP *relaxation* definitely infeasible?
+
+    Used only for pruning: ``True`` must imply the integer system has no
+    solution (LP relaxation infeasible implies ILP infeasible). Any doubt
+    (numerical failure, success, unboundedness) returns ``False``.
+    """
+    if system.num_vars == 0:
+        return any(not row.evaluate({}) for row in system.rows)
+    try:
+        matrix, lower, upper, var_lower, var_upper = _assemble(system)
+    except SolverError:
+        return False
+    # linprog wants split equality/inequality form; use milp-style bounds by
+    # doubling rows: lower <= Ax <= upper  ==>  Ax <= upper, -Ax <= -lower.
+    a_ub_parts = []
+    b_ub_parts = []
+    finite_upper = np.isfinite(upper)
+    if finite_upper.any():
+        a_ub_parts.append(matrix[finite_upper])
+        b_ub_parts.append(upper[finite_upper])
+    finite_lower = np.isfinite(lower)
+    if finite_lower.any():
+        a_ub_parts.append(-matrix[finite_lower])
+        b_ub_parts.append(-lower[finite_lower])
+    a_ub = np.vstack(a_ub_parts) if a_ub_parts else None
+    b_ub = np.concatenate(b_ub_parts) if b_ub_parts else None
+    result = linprog(
+        c=np.zeros(system.num_vars),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=list(zip(var_lower, var_upper)),
+        method="highs",
+    )
+    return result.status == 2

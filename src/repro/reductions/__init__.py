@@ -1,0 +1,27 @@
+"""Complexity reductions between LIP and XML consistency.
+
+:mod:`repro.reductions.lip` implements the Theorem 4.7 construction
+(Figure 4): a 0/1 linear integer program ``Ax = 1`` becomes a DTD with
+unary keys and foreign keys whose consistency decides the program — the
+NP-hardness direction of the paper's main upper bound, executable both as
+a correctness cross-check (our consistency checker against a brute-force
+LIP oracle) and as a workload generator for hard instances.
+"""
+
+from repro.reductions.lip import (
+    LIPInstance,
+    LIPReduction,
+    brute_force_binary_solution,
+    extract_binary_solution,
+    lip_to_xml,
+    random_lip_instance,
+)
+
+__all__ = [
+    "LIPInstance",
+    "LIPReduction",
+    "lip_to_xml",
+    "brute_force_binary_solution",
+    "extract_binary_solution",
+    "random_lip_instance",
+]

@@ -1,0 +1,63 @@
+"""Regular expressions for DTD content models.
+
+A DTD maps each element type to a regular expression over element-type names
+and the string type ``S`` (``#PCDATA``), per Definition 2.1 of the paper:
+
+    alpha ::= S | tau | epsilon | alpha "|" alpha | alpha "," alpha | alpha*
+
+This package provides the expression AST (:mod:`repro.regex.ast`), a parser
+for the concrete DTD content-model syntax (:mod:`repro.regex.parser`), two
+independent matchers — Brzozowski derivatives (:mod:`repro.regex.derivatives`,
+used as a test oracle) and a Glushkov position automaton
+(:mod:`repro.regex.glushkov`, used by the validator) — and the structural
+analyses needed by the decision procedures (:mod:`repro.regex.analysis`).
+"""
+
+from repro.regex.ast import (
+    EPSILON,
+    TEXT,
+    TEXT_SYMBOL,
+    Concat,
+    Epsilon,
+    Name,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Text,
+    Union,
+)
+from repro.regex.analysis import (
+    alphabet,
+    can_derive_over,
+    nullable,
+    saturating_count,
+)
+from repro.regex.derivatives import matches as matches_derivative
+from repro.regex.determinism import is_deterministic, nondeterminism_witnesses
+from repro.regex.glushkov import GlushkovAutomaton
+from repro.regex.parser import parse_content_model
+
+__all__ = [
+    "Regex",
+    "Epsilon",
+    "Text",
+    "Name",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "Optional",
+    "EPSILON",
+    "TEXT",
+    "TEXT_SYMBOL",
+    "parse_content_model",
+    "matches_derivative",
+    "GlushkovAutomaton",
+    "is_deterministic",
+    "nondeterminism_witnesses",
+    "nullable",
+    "alphabet",
+    "can_derive_over",
+    "saturating_count",
+]

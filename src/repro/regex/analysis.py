@@ -1,0 +1,188 @@
+"""Structural analyses of content-model expressions.
+
+These are the regex-level building blocks for the DTD-level algorithms of
+Section 3.3 of the paper:
+
+* :func:`nullable` / :func:`alphabet` — basic structure;
+* :func:`can_derive_over` — can the expression derive *some* word using only
+  an allowed symbol set? This powers DTD productivity (emptiness) checking,
+  Theorem 3.5(1);
+* :func:`saturating_count` — the maximum total "weight" of a derivable word,
+  saturated at 2, where each symbol carries a weight in ``{0, 1, 2}``. This
+  powers ``can_have_two`` (Lemma 3.6): weights are each symbol's saturated
+  capability of producing the target type in its subtree;
+* :func:`min_weight_word` — the minimum total weight of a derivable word,
+  used to detect types that are *forced* to occur (mandatory descendants).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.regex.ast import (
+    TEXT_SYMBOL,
+    Concat,
+    Epsilon,
+    Name,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Text,
+    Union,
+)
+
+#: Saturation cap for occurrence counting: the algorithms only ever need to
+#: distinguish "none", "exactly one is possible" and "two or more".
+SATURATE_AT = 2
+
+
+def nullable(expr: Regex) -> bool:
+    """Does ``expr`` accept the empty word?"""
+    if isinstance(expr, (Epsilon, Star, Optional)):
+        return True
+    if isinstance(expr, (Text, Name)):
+        return False
+    if isinstance(expr, Concat):
+        return all(nullable(item) for item in expr.items)
+    if isinstance(expr, Union):
+        return any(nullable(item) for item in expr.items)
+    if isinstance(expr, Plus):
+        return nullable(expr.item)
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def alphabet(expr: Regex) -> frozenset[str]:
+    """All symbols occurring in ``expr`` (including :data:`TEXT_SYMBOL`)."""
+    if isinstance(expr, Epsilon):
+        return frozenset()
+    if isinstance(expr, Text):
+        return frozenset([TEXT_SYMBOL])
+    if isinstance(expr, Name):
+        return frozenset([expr.symbol])
+    if isinstance(expr, (Concat, Union)):
+        result: frozenset[str] = frozenset()
+        for item in expr.items:
+            result |= alphabet(item)
+        return result
+    if isinstance(expr, (Star, Plus, Optional)):
+        return alphabet(expr.item)
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def can_derive_over(expr: Regex, allowed: frozenset[str] | set[str]) -> bool:
+    """Can ``expr`` derive some word whose symbols all lie in ``allowed``?
+
+    ``allowed`` must include :data:`TEXT_SYMBOL` if text is permitted (it
+    always is when checking DTD productivity, since text nodes need no
+    further derivation).
+    """
+    if isinstance(expr, Epsilon):
+        return True
+    if isinstance(expr, Text):
+        return TEXT_SYMBOL in allowed
+    if isinstance(expr, Name):
+        return expr.symbol in allowed
+    if isinstance(expr, Concat):
+        return all(can_derive_over(item, allowed) for item in expr.items)
+    if isinstance(expr, Union):
+        return any(can_derive_over(item, allowed) for item in expr.items)
+    if isinstance(expr, (Star, Optional)):
+        return True
+    if isinstance(expr, Plus):
+        return can_derive_over(expr.item, allowed)
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def _saturate(value: int) -> int:
+    return min(value, SATURATE_AT)
+
+
+def saturating_count(expr: Regex, weights: Mapping[str, int]) -> int | None:
+    """Maximum total weight of a derivable word, saturated at 2.
+
+    ``weights`` maps symbols to values in ``{0, 1, 2}``; symbols missing from
+    the mapping are *non-derivable* (dead): a concatenation containing a dead
+    symbol contributes nothing, a union skips dead branches. Returns ``None``
+    when ``expr`` cannot derive any word at all over the weighted alphabet.
+
+    For ``can_have_two`` the weight of a symbol ``a`` is the saturated
+    maximum number of target-type nodes in any tree rooted at an ``a``
+    element (computed by the DTD-level fixpoint).
+    """
+    if isinstance(expr, Epsilon):
+        return 0
+    if isinstance(expr, Text):
+        return weights.get(TEXT_SYMBOL, 0) if TEXT_SYMBOL in weights else None
+    if isinstance(expr, Name):
+        if expr.symbol not in weights:
+            return None
+        return _saturate(weights[expr.symbol])
+    if isinstance(expr, Concat):
+        total = 0
+        for item in expr.items:
+            value = saturating_count(item, weights)
+            if value is None:
+                return None
+            total = _saturate(total + value)
+        return total
+    if isinstance(expr, Union):
+        best: int | None = None
+        for item in expr.items:
+            value = saturating_count(item, weights)
+            if value is not None:
+                best = value if best is None else max(best, value)
+        return best
+    if isinstance(expr, Star):
+        value = saturating_count(expr.item, weights)
+        if value is None or value == 0:
+            return 0
+        return SATURATE_AT
+    if isinstance(expr, Plus):
+        value = saturating_count(expr.item, weights)
+        if value is None:
+            return None
+        if value == 0:
+            return 0
+        return SATURATE_AT
+    if isinstance(expr, Optional):
+        value = saturating_count(expr.item, weights)
+        return 0 if value is None else value
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def min_weight_word(expr: Regex, weights: Mapping[str, int]) -> int | None:
+    """Minimum total weight of a derivable word (no saturation).
+
+    Symbols missing from ``weights`` are dead, as in
+    :func:`saturating_count`. Returns ``None`` when nothing is derivable.
+    With weight 1 on a target type and 0 elsewhere this computes whether the
+    type is *unavoidable* below an element; with all weights 1 it gives the
+    minimum number of children.
+    """
+    if isinstance(expr, Epsilon):
+        return 0
+    if isinstance(expr, Text):
+        return weights.get(TEXT_SYMBOL) if TEXT_SYMBOL in weights else None
+    if isinstance(expr, Name):
+        return weights.get(expr.symbol) if expr.symbol in weights else None
+    if isinstance(expr, Concat):
+        total = 0
+        for item in expr.items:
+            value = min_weight_word(item, weights)
+            if value is None:
+                return None
+            total += value
+        return total
+    if isinstance(expr, Union):
+        best: int | None = None
+        for item in expr.items:
+            value = min_weight_word(item, weights)
+            if value is not None:
+                best = value if best is None else min(best, value)
+        return best
+    if isinstance(expr, (Star, Optional)):
+        return 0
+    if isinstance(expr, Plus):
+        return min_weight_word(expr.item, weights)
+    raise TypeError(f"unknown regex node {expr!r}")

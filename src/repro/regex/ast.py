@@ -1,0 +1,156 @@
+"""AST for DTD content-model regular expressions.
+
+The grammar follows Definition 2.1 of Fan & Libkin:
+
+    alpha ::= S | tau' | epsilon | alpha "|" alpha | alpha "," alpha | alpha*
+
+with the two standard DTD conveniences ``alpha+`` and ``alpha?`` included as
+first-class nodes (they desugar to ``alpha, alpha*`` and ``alpha | epsilon``
+during DTD simplification).
+
+All nodes are immutable and hashable; concatenation and union are n-ary
+(with at least two children) to keep parsed trees flat and readable. The
+string type ``S`` of the paper is represented by :class:`Text` and appears
+in word-level APIs as the sentinel symbol :data:`TEXT_SYMBOL`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Sentinel symbol used for the string type ``S`` in words over the content
+#: model alphabet. Element-type names never collide with it because ``#`` is
+#: not a valid name character.
+TEXT_SYMBOL = "#PCDATA"
+
+
+class Regex:
+    """Base class of all content-model expression nodes."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - exercised via subclasses
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The empty word (``EMPTY`` in DTD syntax)."""
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True, slots=True)
+class Text(Regex):
+    """The string type ``S`` (``#PCDATA`` in DTD syntax)."""
+
+    def __str__(self) -> str:
+        return TEXT_SYMBOL
+
+
+@dataclass(frozen=True, slots=True)
+class Name(Regex):
+    """A reference to an element type."""
+
+    symbol: str
+
+    def __str__(self) -> str:
+        return self.symbol
+
+
+def _wrap(item: Regex) -> str:
+    """Parenthesize compound children for unambiguous printing."""
+    if isinstance(item, (Concat, Union)):
+        return f"({item})"
+    return str(item)
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    """Ordered concatenation ``alpha1, alpha2, ...`` (two or more items)."""
+
+    items: tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.items) < 2:
+            raise ValueError("Concat requires at least two items")
+
+    def __str__(self) -> str:
+        return ", ".join(_wrap(item) for item in self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    """Choice ``alpha1 | alpha2 | ...`` (two or more items)."""
+
+    items: tuple[Regex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.items) < 2:
+            raise ValueError("Union requires at least two items")
+
+    def __str__(self) -> str:
+        return " | ".join(_wrap(item) for item in self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    """Kleene closure ``alpha*``."""
+
+    item: Regex
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.item)}*"
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(Regex):
+    """One-or-more ``alpha+`` (sugar for ``alpha, alpha*``)."""
+
+    item: Regex
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.item)}+"
+
+
+@dataclass(frozen=True, slots=True)
+class Optional(Regex):
+    """Zero-or-one ``alpha?`` (sugar for ``alpha | EMPTY``)."""
+
+    item: Regex
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.item)}?"
+
+
+#: Shared instance of the empty-word expression.
+EPSILON = Epsilon()
+
+#: Shared instance of the string-type expression.
+TEXT = Text()
+
+
+def concat(*items: Regex) -> Regex:
+    """Build a concatenation, collapsing the 0- and 1-item cases.
+
+    ``concat()`` is :data:`EPSILON`; ``concat(a)`` is ``a``. Useful when
+    assembling expressions programmatically.
+    """
+    if not items:
+        return EPSILON
+    if len(items) == 1:
+        return items[0]
+    return Concat(tuple(items))
+
+
+def union(*items: Regex) -> Regex:
+    """Build a union, collapsing the 1-item case.
+
+    ``union(a)`` is ``a``; at least one item is required.
+    """
+    if not items:
+        raise ValueError("union requires at least one item")
+    if len(items) == 1:
+        return items[0]
+    return Union(tuple(items))

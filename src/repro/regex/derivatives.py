@@ -1,0 +1,140 @@
+"""Brzozowski-derivative matcher for content models.
+
+This is the *reference* matcher: simple enough to be obviously correct, used
+in tests as an oracle against the Glushkov automaton that the validator uses
+in production. Smart constructors keep derivatives small so property tests
+stay fast.
+
+Words are sequences of symbols: element-type names, with the string type
+``S`` represented by :data:`repro.regex.ast.TEXT_SYMBOL`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.regex.ast import (
+    EPSILON,
+    TEXT_SYMBOL,
+    Concat,
+    Epsilon,
+    Name,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Text,
+    Union,
+)
+
+
+class _Empty(Regex):
+    """The empty *language* (no words at all) — internal to derivatives."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "<empty>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Empty)
+
+    def __hash__(self) -> int:
+        return hash(_Empty)
+
+
+_EMPTY = _Empty()
+
+
+def nullable(expr: Regex) -> bool:
+    """Does ``expr`` accept the empty word?"""
+    if isinstance(expr, (Epsilon, Star)):
+        return True
+    if isinstance(expr, Optional):
+        return True
+    if isinstance(expr, (Text, Name, _Empty)):
+        return False
+    if isinstance(expr, Concat):
+        return all(nullable(item) for item in expr.items)
+    if isinstance(expr, Union):
+        return any(nullable(item) for item in expr.items)
+    if isinstance(expr, Plus):
+        return nullable(expr.item)
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def _concat2(left: Regex, right: Regex) -> Regex:
+    if isinstance(left, _Empty) or isinstance(right, _Empty):
+        return _EMPTY
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    left_items = left.items if isinstance(left, Concat) else (left,)
+    right_items = right.items if isinstance(right, Concat) else (right,)
+    return Concat(left_items + right_items)
+
+
+def _union2(left: Regex, right: Regex) -> Regex:
+    if isinstance(left, _Empty):
+        return right
+    if isinstance(right, _Empty):
+        return left
+    if left == right:
+        return left
+    left_items = left.items if isinstance(left, Union) else (left,)
+    right_items = right.items if isinstance(right, Union) else (right,)
+    # Deduplicate while preserving order to bound derivative growth.
+    seen: list[Regex] = []
+    for item in left_items + right_items:
+        if item not in seen:
+            seen.append(item)
+    if len(seen) == 1:
+        return seen[0]
+    return Union(tuple(seen))
+
+
+def derivative(expr: Regex, symbol: str) -> Regex:
+    """Brzozowski derivative of ``expr`` with respect to ``symbol``."""
+    if isinstance(expr, (Epsilon, _Empty)):
+        return _EMPTY
+    if isinstance(expr, Text):
+        return EPSILON if symbol == TEXT_SYMBOL else _EMPTY
+    if isinstance(expr, Name):
+        return EPSILON if symbol == expr.symbol else _EMPTY
+    if isinstance(expr, Union):
+        result: Regex = _EMPTY
+        for item in expr.items:
+            result = _union2(result, derivative(item, symbol))
+        return result
+    if isinstance(expr, Concat):
+        head, tail = expr.items[0], expr.items[1:]
+        rest: Regex = tail[0] if len(tail) == 1 else Concat(tail)
+        result = _concat2(derivative(head, symbol), rest)
+        if nullable(head):
+            result = _union2(result, derivative(rest, symbol))
+        return result
+    if isinstance(expr, Star):
+        return _concat2(derivative(expr.item, symbol), expr)
+    if isinstance(expr, Plus):
+        return _concat2(derivative(expr.item, symbol), Star(expr.item))
+    if isinstance(expr, Optional):
+        return derivative(expr.item, symbol)
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def matches(expr: Regex, word: Iterable[str]) -> bool:
+    """Does ``word`` (a sequence of symbols) belong to ``L(expr)``?
+
+    >>> from repro.regex.parser import parse_content_model
+    >>> matches(parse_content_model("(subject, subject)"), ["subject", "subject"])
+    True
+    >>> matches(parse_content_model("(subject, subject)"), ["subject"])
+    False
+    """
+    current = expr
+    for symbol in word:
+        current = derivative(current, symbol)
+        if isinstance(current, _Empty):
+            return False
+    return nullable(current)

@@ -1,0 +1,60 @@
+"""One-unambiguity (determinism) of content models.
+
+The XML 1.0 standard requires content models to be *deterministic*
+("1-unambiguous"): while reading a children sequence left to right, the
+next child must match at most one position of the expression. The paper's
+model deliberately ignores this (it changes nothing about the constraint
+interaction), but a faithful DTD toolkit should be able to check it —
+real DTDs that violate it are rejected by validating parsers.
+
+Brüggemann-Klein's criterion on the Glushkov automaton: an expression is
+1-unambiguous iff no two distinct *first* positions carry the same symbol
+and, for every position, no two distinct follow positions carry the same
+symbol.
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import Regex
+from repro.regex.glushkov import GlushkovAutomaton
+
+
+def nondeterminism_witnesses(expr: Regex) -> list[str]:
+    """Symbols witnessing nondeterminism (empty list = deterministic).
+
+    >>> from repro.regex.parser import parse_content_model
+    >>> nondeterminism_witnesses(parse_content_model("(a, b)"))
+    []
+    >>> nondeterminism_witnesses(parse_content_model("((a, b) | (a, c))"))
+    ['a']
+    """
+    automaton = GlushkovAutomaton(expr)
+    symbols = automaton._symbols  # noqa: SLF001 - same-package access
+    follow = automaton._follow  # noqa: SLF001
+    first = automaton._first  # noqa: SLF001
+    witnesses: set[str] = set()
+
+    def check(positions) -> None:
+        seen: dict[str, int] = {}
+        for position in positions:
+            symbol = symbols[position]
+            if symbol in seen and seen[symbol] != position:
+                witnesses.add(symbol)
+            seen[symbol] = position
+
+    check(sorted(first))
+    for position in range(len(symbols)):
+        check(sorted(follow[position]))
+    return sorted(witnesses)
+
+
+def is_deterministic(expr: Regex) -> bool:
+    """Is the content model 1-unambiguous (XML-standard deterministic)?
+
+    >>> from repro.regex.parser import parse_content_model
+    >>> is_deterministic(parse_content_model("(a*, b)"))
+    True
+    >>> is_deterministic(parse_content_model("(a*, a)"))
+    False
+    """
+    return not nondeterminism_witnesses(expr)

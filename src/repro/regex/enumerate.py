@@ -1,0 +1,83 @@
+"""Bounded enumeration of words in a content-model language.
+
+Used by the brute-force semi-decision procedures (and as a test oracle):
+enumerate all words of ``L(expr)`` up to a length bound, shortest first.
+The language may be infinite; the bound keeps enumeration finite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.regex.ast import (
+    TEXT_SYMBOL,
+    Concat,
+    Epsilon,
+    Name,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Text,
+    Union,
+)
+
+
+def _words(expr: Regex, max_len: int) -> set[tuple[str, ...]]:
+    """All words of ``L(expr)`` with length at most ``max_len``."""
+    if max_len < 0:
+        return set()
+    if isinstance(expr, Epsilon):
+        return {()}
+    if isinstance(expr, Text):
+        return {(TEXT_SYMBOL,)} if max_len >= 1 else set()
+    if isinstance(expr, Name):
+        return {(expr.symbol,)} if max_len >= 1 else set()
+    if isinstance(expr, Union):
+        result: set[tuple[str, ...]] = set()
+        for item in expr.items:
+            result |= _words(item, max_len)
+        return result
+    if isinstance(expr, Concat):
+        result = {()}
+        for item in expr.items:
+            grown: set[tuple[str, ...]] = set()
+            for prefix in result:
+                room = max_len - len(prefix)
+                for suffix in _words(item, room):
+                    grown.add(prefix + suffix)
+            result = grown
+            if not result:
+                return set()
+        return result
+    if isinstance(expr, Star):
+        result = {()}
+        frontier = {()}
+        while True:
+            grown = set()
+            for prefix in frontier:
+                room = max_len - len(prefix)
+                for suffix in _words(expr.item, room):
+                    if suffix:
+                        candidate = prefix + suffix
+                        if candidate not in result:
+                            grown.add(candidate)
+            if not grown:
+                return result
+            result |= grown
+            frontier = grown
+    if isinstance(expr, Plus):
+        return _words(Concat((expr.item, Star(expr.item))), max_len)
+    if isinstance(expr, Optional):
+        return _words(expr.item, max_len) | {()}
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def words_up_to(expr: Regex, max_len: int) -> Iterator[tuple[str, ...]]:
+    """Yield all words of ``L(expr)`` up to ``max_len``, shortest first.
+
+    >>> from repro.regex.parser import parse_content_model
+    >>> sorted(words_up_to(parse_content_model("(a, b?)"), 2))
+    [('a',), ('a', 'b')]
+    """
+    yield from sorted(_words(expr, max_len), key=lambda w: (len(w), w))

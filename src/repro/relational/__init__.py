@@ -1,0 +1,45 @@
+"""Relational substrate: schemas, instances, dependencies, reductions.
+
+The paper's undecidability results (Section 3) go through relational
+databases: implication of functional dependencies by FDs and inclusion
+dependencies (undecidable, classical) reduces to implication of keys by
+keys and foreign keys (Lemma 3.2), whose complement reduces to XML
+specification consistency (Theorem 3.1). Both reductions are *computable*
+even though the problems they connect are not decidable — this package
+implements them as executable transformations, together with the
+relational model they speak about.
+"""
+
+from repro.relational.constraints import (
+    FD,
+    ID,
+    RelForeignKey,
+    RelKey,
+    rel_satisfies,
+    rel_satisfies_all,
+)
+from repro.relational.model import Instance, RelationSchema, Schema
+from repro.relational.reductions import (
+    Lemma32Encoding,
+    Theorem31Reduction,
+    consistency_to_implication,
+    encode_fd_implication,
+    relational_implication_to_xml,
+)
+
+__all__ = [
+    "RelationSchema",
+    "Schema",
+    "Instance",
+    "FD",
+    "ID",
+    "RelKey",
+    "RelForeignKey",
+    "rel_satisfies",
+    "rel_satisfies_all",
+    "Lemma32Encoding",
+    "encode_fd_implication",
+    "Theorem31Reduction",
+    "relational_implication_to_xml",
+    "consistency_to_implication",
+]

@@ -1,0 +1,129 @@
+"""Relational dependencies: FDs, IDs, keys and foreign keys (Section 3.1).
+
+Keys here are the paper's relational keys (``R[l1..lk] -> R``: agreeing on
+the key attributes forces agreeing on *all* attributes, which under set
+semantics means being the same tuple); foreign keys pair an inclusion
+dependency with a key on its target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational.model import Instance
+
+
+@dataclass(frozen=True)
+class FD:
+    """Functional dependency ``R : X -> Y``."""
+
+    relation: str
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.relation}: {','.join(self.lhs)} -> {','.join(self.rhs)}"
+
+
+@dataclass(frozen=True)
+class ID:
+    """Inclusion dependency ``R1[X] ⊆ R2[Y]`` (Y need not be a key)."""
+
+    child: str
+    child_attrs: tuple[str, ...]
+    parent: str
+    parent_attrs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.child_attrs) != len(self.parent_attrs):
+            raise ValueError("inclusion dependency lists must have equal length")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.child}[{','.join(self.child_attrs)}] <= "
+            f"{self.parent}[{','.join(self.parent_attrs)}]"
+        )
+
+
+@dataclass(frozen=True)
+class RelKey:
+    """Relational key ``R[l1..lk] -> R``."""
+
+    relation: str
+    attrs: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.relation}[{','.join(self.attrs)}] -> {self.relation}"
+
+
+@dataclass(frozen=True)
+class RelForeignKey:
+    """Foreign key: ``R1[X] ⊆ R2[Y]`` together with key ``R2[Y] -> R2``."""
+
+    child: str
+    child_attrs: tuple[str, ...]
+    parent: str
+    parent_attrs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.child_attrs) != len(self.parent_attrs):
+            raise ValueError("foreign key lists must have equal length")
+
+    @property
+    def inclusion(self) -> ID:
+        return ID(self.child, self.child_attrs, self.parent, self.parent_attrs)
+
+    @property
+    def key(self) -> RelKey:
+        return RelKey(self.parent, self.parent_attrs)
+
+    def __str__(self) -> str:
+        return f"{self.inclusion} (key {self.key})"
+
+
+RelConstraint = FD | ID | RelKey | RelForeignKey
+
+
+def rel_satisfies(instance: Instance, phi: RelConstraint) -> bool:
+    """Does the instance satisfy the dependency?
+
+    >>> from repro.relational.model import Instance, RelationSchema, Schema
+    >>> schema = Schema((RelationSchema("R", ("a", "b")),))
+    >>> inst = Instance(schema)
+    >>> inst.insert("R", {"a": "1", "b": "x"})
+    >>> inst.insert("R", {"a": "1", "b": "y"})
+    >>> rel_satisfies(inst, RelKey("R", ("a",)))
+    False
+    """
+    if isinstance(phi, FD):
+        rel = instance.schema.relation(phi.relation)
+        lhs_idx = [rel.attributes.index(a) for a in phi.lhs]
+        rhs_idx = [rel.attributes.index(a) for a in phi.rhs]
+        seen: dict[tuple[str, ...], tuple[str, ...]] = {}
+        for row in instance.tuples(phi.relation):
+            left = tuple(row[i] for i in lhs_idx)
+            right = tuple(row[i] for i in rhs_idx)
+            if left in seen and seen[left] != right:
+                return False
+            seen[left] = right
+        return True
+    if isinstance(phi, RelKey):
+        # Under set semantics R[X] -> R means X determines the whole tuple.
+        rel = instance.schema.relation(phi.relation)
+        return rel_satisfies(
+            instance, FD(phi.relation, phi.attrs, rel.attributes)
+        )
+    if isinstance(phi, ID):
+        child_proj = instance.project(phi.child, phi.child_attrs)
+        parent_proj = instance.project(phi.parent, phi.parent_attrs)
+        return child_proj <= parent_proj
+    if isinstance(phi, RelForeignKey):
+        return rel_satisfies(instance, phi.inclusion) and rel_satisfies(
+            instance, phi.key
+        )
+    raise TypeError(f"unknown relational constraint {phi!r}")
+
+
+def rel_satisfies_all(instance: Instance, constraints) -> bool:
+    """Does the instance satisfy every dependency in the collection?"""
+    return all(rel_satisfies(instance, phi) for phi in constraints)

@@ -1,0 +1,98 @@
+"""Relational schemas and instances (Section 3.1's setting).
+
+Instances use set semantics (duplicate rows collapse), which makes
+``R[Att(R)] -> R`` hold automatically — the fact both reductions in the
+paper rely on ("the set of all attributes of a relation is a key").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation schema: a name and a tuple of attribute names."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attributes in {self.name}: {self.attributes}")
+
+    def has_attrs(self, attrs: Iterable[str]) -> bool:
+        return set(attrs) <= set(self.attributes)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A relational schema ``R = (R1, ..., Rn)``."""
+
+    relations: tuple[RelationSchema, ...]
+
+    def __post_init__(self) -> None:
+        names = [rel.name for rel in self.relations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate relation names: {names}")
+
+    def relation(self, name: str) -> RelationSchema:
+        for rel in self.relations:
+            if rel.name == name:
+                return rel
+        raise KeyError(f"no relation named {name!r}")
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(rel.name for rel in self.relations)
+
+
+class Instance:
+    """A finite database instance: per relation, a set of tuples.
+
+    Tuples are stored as value tuples aligned with the schema's attribute
+    order; convenience accessors deal in mappings.
+
+    >>> schema = Schema((RelationSchema("R", ("a", "b")),))
+    >>> inst = Instance(schema)
+    >>> inst.insert("R", {"a": "1", "b": "2"})
+    >>> inst.rows("R")
+    [{'a': '1', 'b': '2'}]
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._data: dict[str, set[tuple[str, ...]]] = {
+            rel.name: set() for rel in schema.relations
+        }
+
+    def insert(self, relation: str, row: Mapping[str, str]) -> None:
+        rel = self.schema.relation(relation)
+        missing = set(rel.attributes) - set(row)
+        if missing:
+            raise ValueError(f"row for {relation} missing attributes {sorted(missing)}")
+        self._data[relation].add(tuple(str(row[attr]) for attr in rel.attributes))
+
+    def tuples(self, relation: str) -> set[tuple[str, ...]]:
+        """Raw value tuples of a relation (schema attribute order)."""
+        return set(self._data[relation])
+
+    def rows(self, relation: str) -> list[dict[str, str]]:
+        """Rows as attribute-name mappings, deterministically ordered."""
+        rel = self.schema.relation(relation)
+        return [
+            dict(zip(rel.attributes, values))
+            for values in sorted(self._data[relation])
+        ]
+
+    def project(self, relation: str, attrs: Iterable[str]) -> set[tuple[str, ...]]:
+        """The projection ``pi_attrs`` of a relation, as a set of tuples."""
+        rel = self.schema.relation(relation)
+        indices = [rel.attributes.index(attr) for attr in attrs]
+        return {
+            tuple(values[index] for index in indices)
+            for values in self._data[relation]
+        }
+
+    def size(self) -> int:
+        return sum(len(rows) for rows in self._data.values())

@@ -1,0 +1,303 @@
+"""The executable reductions of Section 3.
+
+* :func:`encode_fd_implication` — Lemma 3.2: an instance of "FDs implied by
+  FDs + IDs" (undecidable, classical) becomes an instance of "keys implied
+  by keys + foreign keys" over an extended schema.
+* :func:`relational_implication_to_xml` — Theorem 3.1: the *complement* of
+  relational key implication becomes XML specification consistency for
+  multi-attribute keys and foreign keys, via the Figure-2 DTD.
+* :func:`consistency_to_implication` — Lemma 3.3: XML consistency reduces
+  to the complement of XML implication (Figure 3), used for the
+  undecidability of implication and the coNP-hardness transfers.
+
+These transformations are all PTIME-computable; the undecidability lives
+in the problems, not the reductions. Tests exercise both directions of
+each equivalence on instances small enough for brute-force oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.ast import (
+    Constraint,
+    ForeignKey,
+    InclusionConstraint,
+    Key,
+    NegKey,
+)
+from repro.dtd.model import DTD
+from repro.regex.ast import EPSILON, Concat, Name, Regex, Star
+from repro.relational.constraints import FD, ID, RelForeignKey, RelKey
+from repro.relational.model import RelationSchema, Schema
+
+
+def _fresh_name(base: str, used: set[str]) -> str:
+    """A name not in ``used`` (suffix digits as needed)."""
+    if base not in used:
+        used.add(base)
+        return base
+    index = 2
+    while f"{base}{index}" in used:
+        index += 1
+    name = f"{base}{index}"
+    used.add(name)
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3.2: FD implication by FDs+IDs  ->  key implication by keys+FKs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Lemma32Encoding:
+    """Output of the Lemma 3.2 reduction.
+
+    ``schema`` extends the input schema with the fresh ``Rnew`` relations;
+    ``sigma`` is the set Sigma' of keys and foreign keys; ``phi`` is the
+    key whose implication is equivalent to the input FD implication.
+    """
+
+    schema: Schema
+    sigma: list[RelKey | RelForeignKey]
+    phi: RelKey
+
+
+def _encode_fd(
+    fd: FD,
+    schema_rel: RelationSchema,
+    used_names: set[str],
+    new_relations: list[RelationSchema],
+) -> tuple[list[RelKey | RelForeignKey], RelKey]:
+    """Encode one FD ``R: X -> Y`` per the proof of Lemma 3.2.
+
+    ``Z`` is taken to be ``Att(R)`` (always a key under set semantics), so
+    ``XYZ = Att(R)`` and the superkey requirements hold automatically.
+    Returns (ell2..ell4, ell1): the constraints that always go into Sigma'
+    and the key ell1 (which joins Sigma' for FDs in Sigma but becomes the
+    implication target for the goal FD).
+    """
+    x, y = list(fd.lhs), list(fd.rhs)
+    xy = x + [a for a in y if a not in x]
+    xyz = xy + [a for a in schema_rel.attributes if a not in xy]
+    new_name = _fresh_name(f"{fd.relation}_new", used_names)
+    new_rel = RelationSchema(new_name, tuple(xyz))
+    new_relations.append(new_rel)
+    ell1 = RelKey(new_name, tuple(x))
+    ell4 = RelKey(new_name, tuple(xy))
+    # ell2: R[XY] ⊆ Rnew[XY] with key ell4 on the target — a foreign key.
+    ell2 = RelForeignKey(fd.relation, tuple(xy), new_name, tuple(xy))
+    # ell3: Rnew[XYZ] ⊆ R[XYZ]; XYZ = Att(R) is a key of R automatically,
+    # so a plain foreign key onto the full attribute set.
+    ell3 = RelForeignKey(new_name, tuple(xyz), fd.relation, tuple(xyz))
+    return [ell2, ell3, ell4], ell1
+
+
+def _encode_id(
+    id_dep: ID,
+    parent_rel: RelationSchema,
+    used_names: set[str],
+    new_relations: list[RelationSchema],
+) -> list[RelKey | RelForeignKey]:
+    """Encode one ID ``R1[X] ⊆ R2[Y]`` per the proof of Lemma 3.2."""
+    y = list(id_dep.parent_attrs)
+    yz = y + [a for a in parent_rel.attributes if a not in y]
+    new_name = _fresh_name(f"{id_dep.parent}_new", used_names)
+    new_rel = RelationSchema(new_name, tuple(yz))
+    new_relations.append(new_rel)
+    ell1 = RelKey(new_name, tuple(y))
+    ell2 = RelForeignKey(id_dep.child, tuple(id_dep.child_attrs), new_name, tuple(y))
+    ell3 = RelForeignKey(new_name, tuple(yz), id_dep.parent, tuple(yz))
+    return [ell1, ell2, ell3]
+
+
+def encode_fd_implication(
+    schema: Schema, sigma: list[FD | ID], theta: FD
+) -> Lemma32Encoding:
+    """Lemma 3.2: ``Sigma |- theta`` iff ``Sigma' |- ell1`` over keys/FKs.
+
+    >>> schema = Schema((RelationSchema("R", ("a", "b", "c")),))
+    >>> enc = encode_fd_implication(schema, [], FD("R", ("a",), ("b",)))
+    >>> enc.phi.relation.startswith("R_new")
+    True
+    """
+    used_names = {rel.name for rel in schema.relations}
+    new_relations: list[RelationSchema] = []
+    encoded: list[RelKey | RelForeignKey] = []
+    for dep in sigma:
+        if isinstance(dep, FD):
+            extra, ell1 = _encode_fd(
+                dep, schema.relation(dep.relation), used_names, new_relations
+            )
+            encoded.extend(extra)
+            encoded.append(ell1)
+        elif isinstance(dep, ID):
+            encoded.extend(
+                _encode_id(dep, schema.relation(dep.parent), used_names, new_relations)
+            )
+        else:
+            raise TypeError(f"Lemma 3.2 encodes FDs and IDs, got {dep!r}")
+    extra, phi = _encode_fd(
+        theta, schema.relation(theta.relation), used_names, new_relations
+    )
+    encoded.extend(extra)
+    return Lemma32Encoding(
+        schema=Schema(schema.relations + tuple(new_relations)),
+        sigma=encoded,
+        phi=phi,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.1: complement of key implication  ->  XML consistency
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Theorem31Reduction:
+    """The Figure-2 construction.
+
+    ``dtd`` and ``sigma`` form the XML specification; it is consistent iff
+    the input relational implication does **not** hold. ``tuple_type``
+    maps each relation name to its ``t_i`` element type.
+    """
+
+    dtd: DTD
+    sigma: list[Constraint]
+    tuple_type: dict[str, str]
+    dy_type: str
+    ex_type: str
+
+
+def relational_implication_to_xml(
+    schema: Schema,
+    theta: list[RelKey | RelForeignKey],
+    phi: RelKey,
+) -> Theorem31Reduction:
+    """Theorem 3.1: build ``(D, Sigma)`` consistent iff ``Theta |/- phi``.
+
+    The DTD has root ``r -> R1, ..., Rn, DY, DY, EX`` with ``Ri -> ti*``;
+    tuple types carry the relation's attributes; the two ``DY`` elements
+    and the single ``EX`` element force a witness pair for ``not phi``.
+    """
+    phi_rel = schema.relation(phi.relation)
+    x_attrs = list(phi.attrs)
+    y_attrs = [a for a in phi_rel.attributes if a not in x_attrs]
+
+    used_names = set()
+    type_of_rel: dict[str, str] = {}
+    tuple_type: dict[str, str] = {}
+    for rel in schema.relations:
+        type_of_rel[rel.name] = _fresh_name(rel.name, used_names)
+    for rel in schema.relations:
+        tuple_type[rel.name] = _fresh_name(f"t_{rel.name}", used_names)
+    root = _fresh_name("r", used_names)
+    dy = _fresh_name("DY", used_names)
+    ex = _fresh_name("EX", used_names)
+
+    content: dict[str, Regex] = {}
+    attrs: dict[str, list[str]] = {}
+    root_children = [Name(type_of_rel[rel.name]) for rel in schema.relations]
+    root_children += [Name(dy), Name(dy), Name(ex)]
+    content[root] = Concat(tuple(root_children)) if len(root_children) > 1 else root_children[0]
+    for rel in schema.relations:
+        content[type_of_rel[rel.name]] = Star(Name(tuple_type[rel.name]))
+        content[tuple_type[rel.name]] = EPSILON
+        attrs[tuple_type[rel.name]] = list(rel.attributes)
+    content[dy] = EPSILON
+    content[ex] = EPSILON
+    attrs[dy] = x_attrs + y_attrs
+    attrs[ex] = list(x_attrs)
+
+    dtd = DTD.build(root, content, attrs=attrs)
+
+    sigma: list[Constraint] = []
+    # Sigma_Theta: translate relational keys/FKs onto the tuple types.
+    for dep in theta:
+        if isinstance(dep, RelKey):
+            sigma.append(Key(tuple_type[dep.relation], tuple(dep.attrs)))
+        elif isinstance(dep, RelForeignKey):
+            sigma.append(
+                ForeignKey(
+                    InclusionConstraint(
+                        tuple_type[dep.child],
+                        tuple(dep.child_attrs),
+                        tuple_type[dep.parent],
+                        tuple(dep.parent_attrs),
+                    )
+                )
+            )
+        else:
+            raise TypeError(f"Theorem 3.1 takes keys and foreign keys, got {dep!r}")
+    # Sigma_phi: the witness gadget (Figure 2).
+    t_phi = tuple_type[phi.relation]
+    xy = x_attrs + y_attrs
+    if y_attrs:
+        sigma.append(Key(dy, tuple(y_attrs)))
+    sigma.append(Key(ex, tuple(x_attrs)))
+    sigma.append(
+        ForeignKey(InclusionConstraint(dy, tuple(x_attrs), ex, tuple(x_attrs)))
+    )
+    sigma.append(
+        ForeignKey(InclusionConstraint(dy, tuple(xy), t_phi, tuple(xy)))
+    )
+    return Theorem31Reduction(
+        dtd=dtd, sigma=sigma, tuple_type=tuple_type, dy_type=dy, ex_type=ex
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3.3: consistency  ->  complement of implication
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Lemma33Reduction:
+    """The Figure-3 construction.
+
+    Over ``dtd_prime``, Sigma is satisfiable with ``D`` iff
+    ``(D', Sigma ∪ {ell, phi2}) |/- phi1`` iff
+    ``(D', Sigma ∪ {ell, phi1}) |/- phi2``.
+    """
+
+    dtd_prime: DTD
+    ell: Key
+    phi1: Key
+    phi2: InclusionConstraint
+    not_phi1: NegKey
+
+
+def consistency_to_implication(dtd: DTD) -> Lemma33Reduction:
+    """Lemma 3.3: extend ``D`` with the ``DY, DY, EX`` tail (Figure 3).
+
+    Constraint sets transfer verbatim: any Sigma over ``D`` is a
+    constraint set over ``D'``.
+    """
+    used = set(dtd.element_types) | set(dtd.attributes)
+    dy = _fresh_name("DY", used)
+    ex = _fresh_name("EX", used)
+    k_attr = _fresh_name("K", used)
+
+    content: dict[str, Regex] = dict(dtd.content)
+    old_root = content[dtd.root]
+    tail = (Name(dy), Name(dy), Name(ex))
+    if old_root == EPSILON:
+        content[dtd.root] = Concat(tail)
+    else:
+        content[dtd.root] = Concat((old_root, *tail))
+    content[dy] = EPSILON
+    content[ex] = EPSILON
+
+    attrs = {tau: sorted(dtd.attrs(tau)) for tau in dtd.element_types}
+    attrs[dy] = [k_attr]
+    attrs[ex] = [k_attr]
+
+    dtd_prime = DTD.build(dtd.root, content, attrs=attrs)
+    return Lemma33Reduction(
+        dtd_prime=dtd_prime,
+        ell=Key(ex, (k_attr,)),
+        phi1=Key(dy, (k_attr,)),
+        phi2=InclusionConstraint(dy, (k_attr,), ex, (k_attr,)),
+        not_phi1=NegKey(dy, k_attr),
+    )

@@ -1,0 +1,20 @@
+"""Witness synthesis: from integer solutions to actual XML trees.
+
+This is the constructive content of the paper's equivalence proofs:
+
+* :mod:`repro.witness.skeleton` — Lemma 4.5's construction: given a
+  realizable solution of ``Psi_DN``, build a tree over the simplified DTD
+  with exactly the prescribed node and occurrence counts;
+* :mod:`repro.witness.values` — Lemma 4.4's value assignment (prefix-nested
+  value sets for keys and inclusion constraints), Corollary 4.9's pigeonhole
+  collisions for negated keys, and Lemma 5.2's set-representation values for
+  negated inclusions;
+* :mod:`repro.witness.synthesize` — the pipeline: skeleton over ``D_N``,
+  contraction to ``D`` (Lemma 4.3), value assignment, and re-verification.
+"""
+
+from repro.witness.skeleton import assemble_skeleton
+from repro.witness.synthesize import synthesize_witness
+from repro.witness.values import assign_values
+
+__all__ = ["assemble_skeleton", "assign_values", "synthesize_witness"]

@@ -1,0 +1,176 @@
+"""Tree skeleton assembly from a ``Psi_DN`` solution (Lemma 4.5).
+
+The solver guarantees the solution is connected at the type level (every
+positive type reachable from the root through positive occurrence
+variables); this module realizes it as a concrete tree. Node counts fix
+*how many* children each parent type takes from each occurrence pool; what
+remains is the parent-child matching. For ``One``/``Seq`` rules the
+matching is forced; for ``Alt`` rules each parent chooses a branch, and a
+bad sequence of choices can strand nodes even when a good one exists (see
+DESIGN.md section 3 for the worked example). We therefore assemble with
+depth-first backtracking over ``Alt`` choices, guided by a one-step
+lookahead heuristic (prefer the branch whose child still has work under
+it); the budget is generous because minimized solutions give small trees,
+and exceeding it raises :class:`SolverError` rather than mis-reporting.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Mapping
+
+from repro.dtd.simplify import AltRule, EpsRule, OneRule, SeqRule, SimpleDTD
+from repro.encoding.dtd_system import ext_var, occ_var
+from repro.errors import SolverError
+from repro.ilp.model import VarId
+from repro.regex.ast import TEXT_SYMBOL
+from repro.xmltree.model import Element, TextNode, XMLTree
+
+#: Pool key: (slot, child symbol, parent type).
+_PoolKey = tuple[int, str, str]
+
+
+def assemble_skeleton(
+    simple: SimpleDTD,
+    values: Mapping[VarId, int],
+    max_steps: int = 500_000,
+) -> XMLTree:
+    """Build a tree over the simplified DTD realizing the given counts.
+
+    The result has exactly ``values[("ext", tau)]`` elements of each type
+    (and as many text nodes), with child pools matching the occurrence
+    variables. Raises :class:`SolverError` if the counts are not
+    realizable within the step budget (which, for solver-produced counts,
+    indicates an internal bug — the solver enforces realizability).
+    """
+    counts = {symbol: values.get(ext_var(symbol), 0) for symbol in simple.symbols()}
+    if counts.get(simple.root, 0) != 1:
+        raise SolverError(
+            f"root count must be 1, got {counts.get(simple.root, 0)}"
+        )
+    total_nodes = sum(counts.values())
+
+    # Create the node inventory.
+    inventory: dict[str, list[Element | TextNode]] = {}
+    for symbol, count in counts.items():
+        if symbol == TEXT_SYMBOL:
+            inventory[symbol] = [TextNode("") for _ in range(count)]
+        else:
+            inventory[symbol] = [Element(symbol) for _ in range(count)]
+    root_node = inventory[simple.root][0]
+
+    # Distribute nodes into occurrence pools; every non-root node belongs to
+    # exactly one pool (the totality equations of Psi_DN guarantee the
+    # counts line up).
+    pools: dict[_PoolKey, list[Element | TextNode]] = {}
+    cursor: dict[str, int] = {symbol: 0 for symbol in counts}
+    cursor[simple.root] = 1  # the root node is nobody's child
+    for slot, child, parent in simple.occurrences():
+        key = (slot, child, parent)
+        take = values.get(occ_var(slot, child, parent), 0)
+        start = cursor[child]
+        pool_nodes = inventory[child][start:start + take]
+        if len(pool_nodes) != take:
+            raise SolverError(
+                f"occurrence pool {key} wants {take} nodes but only "
+                f"{len(pool_nodes)} remain; counts are inconsistent"
+            )
+        cursor[child] = start + take
+        pools[key] = pool_nodes
+    for symbol, used in cursor.items():
+        if used != len(inventory[symbol]):
+            raise SolverError(
+                f"{len(inventory[symbol]) - used} nodes of {symbol!r} are in "
+                "no occurrence pool; counts are inconsistent"
+            )
+
+    # Depth-first assembly with backtracking over Alt choices.
+    queue: list[Element] = [root_node]
+    state = {"attached": 1, "steps": 0}
+
+    def pool_score(symbol: str) -> int:
+        """One-step lookahead: remaining work under a child symbol."""
+        if symbol == TEXT_SYMBOL:
+            return 0
+        rule = simple.rules[symbol]
+        return sum(
+            len(pools[(slot, child, symbol)])
+            for slot, child in enumerate(rule.symbols(), start=1)
+            if (slot, child, symbol) in pools
+        )
+
+    def attach(parent: Element, key: _PoolKey) -> Element | TextNode | None:
+        pool = pools[key]
+        if not pool:
+            return None
+        child = pool.pop()
+        parent.children.append(child)
+        state["attached"] += 1
+        if isinstance(child, Element):
+            queue.append(child)
+        return child
+
+    def detach(parent: Element, key: _PoolKey, child: Element | TextNode) -> None:
+        parent.children.pop()
+        state["attached"] -= 1
+        if isinstance(child, Element):
+            queue.pop()
+        pools[key].append(child)
+
+    def expand(index: int) -> bool:
+        state["steps"] += 1
+        if state["steps"] > max_steps:
+            raise SolverError(
+                f"skeleton assembly exceeded {max_steps} steps; "
+                "counts may be unrealizable (solver bug?)"
+            )
+        if index == len(queue):
+            return state["attached"] == total_nodes
+        node = queue[index]
+        rule = simple.rules[node.label]
+        if isinstance(rule, EpsRule):
+            return expand(index + 1)
+        if isinstance(rule, (OneRule, SeqRule)):
+            keys = [
+                (slot, symbol, node.label)
+                for slot, symbol in enumerate(rule.symbols(), start=1)
+            ]
+            attached: list[tuple[_PoolKey, Element | TextNode]] = []
+            for key in keys:
+                child = attach(node, key)
+                if child is None:
+                    for done_key, done_child in reversed(attached):
+                        detach(node, done_key, done_child)
+                    return False
+                attached.append((key, child))
+            if expand(index + 1):
+                return True
+            for done_key, done_child in reversed(attached):
+                detach(node, done_key, done_child)
+            return False
+        if isinstance(rule, AltRule):
+            branches = [(1, rule.left, node.label), (2, rule.right, node.label)]
+            # Prefer the branch whose child symbol still has work under it.
+            branches.sort(key=lambda key: -pool_score(key[1]))
+            for key in branches:
+                child = attach(node, key)
+                if child is None:
+                    continue
+                if expand(index + 1):
+                    return True
+                detach(node, key, child)
+            return False
+        raise TypeError(f"unknown rule {rule!r}")  # pragma: no cover
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, total_nodes * 2 + 1000))
+    try:
+        success = expand(0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    if not success:
+        raise SolverError(
+            "could not realize the solution counts as a tree; the solver's "
+            "connectivity check should have prevented this"
+        )
+    return XMLTree(root_node)

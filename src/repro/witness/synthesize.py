@@ -1,0 +1,34 @@
+"""Witness pipeline: solution -> skeleton -> contraction -> values.
+
+:func:`synthesize_witness` is the composed construction used in the
+equivalence proofs: Lemma 4.5 (skeleton over the simplified DTD),
+Lemma 4.3 (contraction back to the original DTD), Lemma 4.4 / 5.2 (value
+assignment). The caller (:mod:`repro.checkers.consistency`) re-verifies the
+result against the DTD and the constraints, so encoder bugs surface as
+loud errors instead of wrong answers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.encoding.combined import ConsistencyEncoding
+from repro.ilp.model import VarId
+from repro.witness.skeleton import assemble_skeleton
+from repro.witness.values import assign_values
+from repro.xmltree.model import XMLTree
+from repro.xmltree.transform import splice_types
+
+
+def synthesize_witness(
+    encoding: ConsistencyEncoding,
+    values: Mapping[VarId, int],
+    max_steps: int = 500_000,
+) -> XMLTree:
+    """Build an XML tree realizing a feasible solution of ``Psi(D, Sigma)``."""
+    skeleton = assemble_skeleton(encoding.simple, values, max_steps=max_steps)
+    contracted = splice_types(
+        skeleton, lambda label: not encoding.simple.is_original(label)
+    )
+    assign_values(contracted, encoding.dtd, encoding, values)
+    return contracted

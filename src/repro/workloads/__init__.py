@@ -1,0 +1,44 @@
+"""Workloads: the paper's worked examples and scaling instance families.
+
+:mod:`repro.workloads.examples` packages every concrete specification the
+paper discusses (D1/Sigma1, D2, D3, the Figure-1 tree) as ready-made
+fixtures; :mod:`repro.workloads.generators` provides seeded random and
+structured families for each Figure-5 cell, used by the test suite and the
+benchmark harness.
+"""
+
+from repro.workloads.examples import (
+    figure1_tree,
+    recursive_dtd_d2,
+    school_constraints_d3,
+    school_document,
+    school_dtd_d3,
+    sigma1_constraints,
+    teachers_dtd_d1,
+)
+from repro.workloads.generators import (
+    chain_dtd,
+    fixed_dtd_constraint_family,
+    keys_only_family,
+    random_dtd,
+    random_unary_constraints,
+    star_schema_family,
+    teachers_family,
+)
+
+__all__ = [
+    "teachers_dtd_d1",
+    "sigma1_constraints",
+    "figure1_tree",
+    "recursive_dtd_d2",
+    "school_dtd_d3",
+    "school_constraints_d3",
+    "school_document",
+    "chain_dtd",
+    "keys_only_family",
+    "teachers_family",
+    "star_schema_family",
+    "fixed_dtd_constraint_family",
+    "random_dtd",
+    "random_unary_constraints",
+]

@@ -1,0 +1,124 @@
+"""The paper's worked examples as fixtures.
+
+* ``D1`` and ``Sigma1`` — the teachers specification of Section 1 whose
+  interaction is the paper's motivating inconsistency: the DTD forces
+  ``|ext(subject)| = 2|ext(teacher)| > |ext(teacher)|`` while the key and
+  foreign key force ``|ext(subject)| <= |ext(teacher)|``;
+* the Figure-1 tree (conforms to ``D1``, violates ``Sigma1``);
+* ``D2`` — the recursive ``db -> foo, foo -> foo`` DTD with no finite tree;
+* ``D3`` — the school DTD of Section 2.2 with its five multi-attribute
+  constraints, plus a satisfying document.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.ast import Constraint
+from repro.constraints.parser import parse_constraints
+from repro.dtd.model import DTD
+from repro.xmltree.builder import element, text
+from repro.xmltree.model import XMLTree
+
+
+def teachers_dtd_d1() -> DTD:
+    """The DTD ``D1`` of Section 1: every teacher teaches two subjects."""
+    return DTD.build(
+        "teachers",
+        {
+            "teachers": "(teacher, teacher*)",
+            "teacher": "(teach, research)",
+            "teach": "(subject, subject)",
+            "subject": "(#PCDATA)",
+            "research": "(#PCDATA)",
+        },
+        attrs={"teacher": ["name"], "subject": ["taught_by"]},
+    )
+
+
+def sigma1_constraints() -> list[Constraint]:
+    """``Sigma1``: name keys teachers; taught_by keys subjects and
+    references teacher names."""
+    return parse_constraints(
+        """
+        teacher.name -> teacher
+        subject.taught_by -> subject
+        subject.taught_by => teacher.name
+        """
+    )
+
+
+def figure1_tree() -> XMLTree:
+    """The Figure-1 document: conforms to ``D1``, violates ``Sigma1``
+    (both subjects share taught_by = Joe, breaking the subject key)."""
+    return XMLTree(
+        element(
+            "teachers",
+            element(
+                "teacher",
+                element(
+                    "teach",
+                    element("subject", text("XML"), taught_by="Joe"),
+                    element("subject", text("DB"), taught_by="Joe"),
+                ),
+                element("research", text("Web DB")),
+                name="Joe",
+            ),
+        )
+    )
+
+
+def recursive_dtd_d2() -> DTD:
+    """The DTD ``D2`` of Section 1: no finite tree conforms to it."""
+    return DTD.build("db", {"db": "(foo)", "foo": "(foo)"})
+
+
+def school_dtd_d3() -> DTD:
+    """The school DTD ``D3`` of Section 2.2 (multi-attribute constraints)."""
+    return DTD.build(
+        "school",
+        {
+            "school": "(course*, student*, enroll*)",
+            "course": "(subject)",
+            "student": "(name)",
+            "enroll": "EMPTY",
+            "name": "(#PCDATA)",
+            "subject": "(#PCDATA)",
+        },
+        attrs={
+            "course": ["dept", "course_no"],
+            "student": ["student_id"],
+            "enroll": ["student_id", "dept", "course_no"],
+        },
+    )
+
+
+def school_constraints_d3() -> list[Constraint]:
+    """Constraints (1)-(5) of Section 2.2 over ``D3``."""
+    return parse_constraints(
+        """
+        student[student_id] -> student
+        course[dept,course_no] -> course
+        enroll[student_id,dept,course_no] -> enroll
+        enroll[student_id] => student[student_id]
+        enroll[dept,course_no] => course[dept,course_no]
+        """
+    )
+
+
+def school_document() -> XMLTree:
+    """A school document satisfying all five ``D3`` constraints."""
+    return XMLTree(
+        element(
+            "school",
+            element("course", element("subject", text("Databases")),
+                    dept="CS", course_no="331"),
+            element("course", element("subject", text("Logic")),
+                    dept="CS", course_no="245"),
+            element("course", element("subject", text("Algebra")),
+                    dept="MATH", course_no="245"),
+            element("student", element("name", text("Ada")), student_id="s1"),
+            element("student", element("name", text("Alan")), student_id="s2"),
+            element("enroll", student_id="s1", dept="CS", course_no="331"),
+            element("enroll", student_id="s1", dept="MATH", course_no="245"),
+            element("enroll", student_id="s2", dept="CS", course_no="245"),
+        )
+    )

@@ -1,0 +1,265 @@
+"""Instance generators for tests and the Figure-5 benchmark harness.
+
+All generators are deterministic given their arguments (random ones take
+explicit seeds). Families are sized by a single scale parameter so the
+benchmarks can sweep it and check the claimed complexity's *shape*.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.ast import (
+    Constraint,
+    ForeignKey,
+    InclusionConstraint,
+    Key,
+)
+from repro.dtd.model import DTD
+from repro.regex.ast import (
+    EPSILON,
+    TEXT,
+    Concat,
+    Name,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Union,
+)
+
+
+def chain_dtd(depth: int, keyed: bool = True) -> tuple[DTD, list[Constraint]]:
+    """A linear chain ``r -> c1 -> ... -> c_depth`` with one key per type.
+
+    Scales ``|D|`` and ``|Sigma|`` linearly — the family for the
+    linear-time keys-only cell of Figure 5.
+    """
+    content: dict[str, Regex] = {}
+    attrs: dict[str, list[str]] = {}
+    sigma: list[Constraint] = []
+    names = ["r"] + [f"c{i}" for i in range(1, depth + 1)]
+    for here, below in zip(names, names[1:]):
+        content[here] = Plus(Name(below))
+        attrs[here] = ["id"]
+        if keyed:
+            sigma.append(Key(here, ("id",)))
+    content[names[-1]] = TEXT
+    attrs[names[-1]] = ["id"]
+    if keyed:
+        sigma.append(Key(names[-1], ("id",)))
+    return DTD.build("r", content, attrs=attrs), sigma
+
+
+def keys_only_family(scale: int) -> tuple[DTD, list[Constraint]]:
+    """Wide keys-only instances: ``scale`` sibling record types, each with
+    a multi-attribute key — exercises Theorem 3.5's linear procedures."""
+    content: dict[str, Regex] = {}
+    attrs: dict[str, list[str]] = {}
+    sigma: list[Constraint] = []
+    children = []
+    for index in range(scale):
+        name = f"rec{index}"
+        children.append(Star(Name(name)))
+        content[name] = EPSILON
+        attrs[name] = ["a", "b", "c"]
+        sigma.append(Key(name, ("a", "b")))
+        sigma.append(Key(name, ("c",)))
+    content["r"] = Concat(tuple(children)) if scale > 1 else (
+        children[0] if children else EPSILON
+    )
+    return DTD.build("r", content, attrs=attrs), sigma
+
+
+def teachers_family(
+    num_subjects: int, consistent: bool
+) -> tuple[DTD, list[Constraint]]:
+    """The Section-1 interaction, scaled: each teacher teaches
+    ``num_subjects`` subjects.
+
+    With a fixed subject count >= 2 and the Sigma1-style key/foreign key,
+    the specification is inconsistent (the cardinality clash of
+    equations (1)-(2)); the consistent variant uses ``subject*`` so
+    ``|ext(subject)| = |ext(teacher)|`` is achievable.
+    """
+    teach_children: Regex
+    if consistent:
+        teach_children = Star(Name("subject"))
+    else:
+        teach_children = Concat(tuple(Name("subject") for _ in range(max(2, num_subjects))))
+    dtd = DTD.build(
+        "teachers",
+        {
+            "teachers": Plus(Name("teacher")),
+            "teacher": Concat((Name("teach"), Name("research"))),
+            "teach": teach_children,
+            "subject": TEXT,
+            "research": TEXT,
+        },
+        attrs={"teacher": ["name"], "subject": ["taught_by"]},
+    )
+    sigma: list[Constraint] = [
+        Key("teacher", ("name",)),
+        Key("subject", ("taught_by",)),
+        ForeignKey(InclusionConstraint("subject", ("taught_by",), "teacher", ("name",))),
+    ]
+    return dtd, sigma
+
+
+def star_schema_family(
+    num_dimensions: int, consistent: bool = True
+) -> tuple[DTD, list[Constraint]]:
+    """A fact/dimension ("snowflake") schema with one foreign key per
+    dimension — a realistic consistent workload for the unary NP cell.
+
+    The inconsistent variant pins each dimension to exactly two rows while
+    a mutual foreign key forces ``|ext(fact)| = |ext(dim_i)|`` and the DTD
+    forces ``|ext(fact)| = 1``.
+    """
+    content: dict[str, Regex] = {}
+    attrs: dict[str, list[str]] = {}
+    sigma: list[Constraint] = []
+    dims = [f"dim{i}" for i in range(num_dimensions)]
+    if consistent:
+        content["r"] = Concat((Plus(Name("fact")), *(Plus(Name(d)) for d in dims)))
+    else:
+        content["r"] = Concat(
+            (Name("fact"), *(Concat((Name(d), Name(d))) for d in dims))
+        )
+    content["fact"] = EPSILON
+    attrs["fact"] = [f"ref{i}" for i in range(num_dimensions)]
+    for index, dim in enumerate(dims):
+        content[dim] = EPSILON
+        attrs[dim] = ["id"]
+        sigma.append(Key(dim, ("id",)))
+        sigma.append(
+            ForeignKey(InclusionConstraint("fact", (f"ref{index}",), dim, ("id",)))
+        )
+        if not consistent:
+            # Also point the dimension back at the fact: |ext(dim)| <= |ext(fact)| = 1,
+            # but the DTD pins |ext(dim)| = 2.
+            sigma.append(Key("fact", (f"ref{index}",)))
+            sigma.append(
+                ForeignKey(InclusionConstraint(dim, ("id",), "fact", (f"ref{index}",)))
+            )
+    return DTD.build("r", content, attrs=attrs), sigma
+
+
+def fixed_dtd_constraint_family(num_constraints: int) -> tuple[DTD, list[Constraint]]:
+    """A fixed small DTD with a growing constraint set (Corollary 4.11).
+
+    The DTD never changes with the scale parameter; only ``|Sigma|``
+    grows (inclusion constraints cycling among three record types).
+    """
+    dtd = DTD.build(
+        "r",
+        {
+            "r": Concat((Plus(Name("a")), Plus(Name("b")), Plus(Name("c")))),
+            "a": EPSILON,
+            "b": EPSILON,
+            "c": EPSILON,
+        },
+        attrs={"a": ["x", "y"], "b": ["x", "y"], "c": ["x", "y"]},
+    )
+    types = ["a", "b", "c"]
+    attr_names = ["x", "y"]
+    sigma: list[Constraint] = []
+    for index in range(num_constraints):
+        child = types[index % 3]
+        parent = types[(index + 1) % 3]
+        attr = attr_names[index % 2]
+        sigma.append(InclusionConstraint(child, (attr,), parent, (attr,)))
+    return dtd, sigma
+
+
+def random_dtd(
+    seed: int,
+    num_types: int = 6,
+    max_width: int = 3,
+    attr_prob: float = 0.7,
+    star_prob: float = 0.4,
+    union_prob: float = 0.3,
+) -> DTD:
+    """A seeded random DTD over ``num_types`` element types.
+
+    Content models reference only later types (plus text), so every
+    generated DTD has valid trees and every type is reachable — random
+    constraint sets over it are then nontrivially (in)consistent.
+    """
+    rng = random.Random(seed)
+    names = ["r"] + [f"e{i}" for i in range(1, num_types)]
+    content: dict[str, Regex] = {}
+    attrs: dict[str, list[str]] = {}
+    for index, name in enumerate(names):
+        later = names[index + 1:]
+        if not later:
+            content[name] = TEXT if rng.random() < 0.5 else EPSILON
+        else:
+            width = rng.randint(1, max_width)
+            parts: list[Regex] = []
+            for _ in range(width):
+                target = rng.choice(later)
+                atom: Regex = Name(target)
+                roll = rng.random()
+                if roll < star_prob:
+                    atom = Star(atom)
+                elif roll < star_prob + 0.2:
+                    atom = Optional(atom)
+                parts.append(atom)
+            if len(parts) >= 2 and rng.random() < union_prob:
+                content[name] = Union(tuple(parts))
+            else:
+                content[name] = Concat(tuple(parts)) if len(parts) > 1 else parts[0]
+        if rng.random() < attr_prob:
+            count = rng.randint(1, 2)
+            attrs[name] = [f"l{k}" for k in range(count)]
+    # Guarantee reachability of every declared type: append unreferenced
+    # ones to the root content under a star.
+    referenced: set[str] = set()
+    from repro.regex.analysis import alphabet
+    from repro.regex.ast import TEXT_SYMBOL
+
+    for expr in content.values():
+        referenced |= set(alphabet(expr)) - {TEXT_SYMBOL}
+    orphans = [n for n in names[1:] if n not in referenced]
+    if orphans:
+        extra = tuple(Star(Name(n)) for n in orphans)
+        content["r"] = Concat((content["r"], *extra))
+    return DTD.build("r", content, attrs=attrs)
+
+
+def random_unary_constraints(
+    seed: int,
+    dtd: DTD,
+    num_keys: int = 2,
+    num_fks: int = 2,
+    num_neg_keys: int = 0,
+    num_neg_inclusions: int = 0,
+) -> list[Constraint]:
+    """Seeded random unary constraints over the DTD's attribute pairs."""
+    from repro.constraints.ast import NegInclusion, NegKey
+
+    rng = random.Random(seed)
+    pairs = dtd.attribute_pairs()
+    if not pairs:
+        return []
+    sigma: list[Constraint] = []
+    for _ in range(num_keys):
+        tau, attr = rng.choice(pairs)
+        sigma.append(Key(tau, (attr,)))
+    for _ in range(num_fks):
+        (t1, a1), (t2, a2) = rng.choice(pairs), rng.choice(pairs)
+        sigma.append(ForeignKey(InclusionConstraint(t1, (a1,), t2, (a2,))))
+    for _ in range(num_neg_keys):
+        tau, attr = rng.choice(pairs)
+        sigma.append(NegKey(tau, attr))
+    for _ in range(num_neg_inclusions):
+        (t1, a1), (t2, a2) = rng.choice(pairs), rng.choice(pairs)
+        if (t1, a1) != (t2, a2):
+            sigma.append(NegInclusion(t1, a1, t2, a2))
+    # Deduplicate, preserving order.
+    unique: list[Constraint] = []
+    for phi in sigma:
+        if phi not in unique:
+            unique.append(phi)
+    return unique

@@ -1,0 +1,142 @@
+"""A realistic bibliography workload (DBLP-flavoured).
+
+The paper motivates XML constraints with data originating in databases;
+bibliography servers were the canonical early XML corpora. This module
+provides a medium-sized specification — publications, venues, people,
+citations — with the unary key/foreign key structure such data actually
+carries, a seeded document generator, and deliberately broken variants
+for negative testing. Used by integration tests and benchmarks as the
+"production-shaped" workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.constraints.ast import Constraint
+from repro.constraints.parser import parse_constraints
+from repro.dtd.model import DTD
+from repro.xmltree.builder import element, text
+from repro.xmltree.model import XMLTree
+
+
+def bibliography_dtd() -> DTD:
+    """Publications with authors, venues and citations."""
+    return DTD.build(
+        "bibliography",
+        {
+            "bibliography": "(venue+, person+, article+, cite*)",
+            "venue": "(vtitle)",
+            "person": "EMPTY",
+            "article": "(atitle, authorref+)",
+            "authorref": "EMPTY",
+            "cite": "EMPTY",
+            "vtitle": "(#PCDATA)",
+            "atitle": "(#PCDATA)",
+        },
+        attrs={
+            "venue": ["vid"],
+            "person": ["pid"],
+            "article": ["key", "venue_id"],
+            "authorref": ["pid"],
+            "cite": ["src", "dst"],
+        },
+    )
+
+
+def bibliography_constraints() -> list[Constraint]:
+    """The key/foreign key structure of the bibliography."""
+    return parse_constraints(
+        """
+        venue.vid -> venue              # venues are keyed
+        person.pid -> person            # people are keyed
+        article.key -> article          # articles are keyed
+        article.venue_id => venue.vid   # every article appears at a venue
+        authorref.pid => person.pid     # authorship references people
+        cite.src => article.key         # citations link articles
+        cite.dst => article.key
+        """
+    )
+
+
+def bibliography_document(
+    num_articles: int = 6,
+    num_people: int = 4,
+    num_venues: int = 2,
+    num_cites: int = 5,
+    seed: int = 0,
+) -> XMLTree:
+    """A seeded random document satisfying the bibliography constraints."""
+    rng = random.Random(seed)
+    venues = [
+        element("venue", element("vtitle", text(f"Venue {v}")), vid=f"v{v}")
+        for v in range(num_venues)
+    ]
+    people = [element("person", pid=f"p{p}") for p in range(num_people)]
+    articles = []
+    for a in range(num_articles):
+        author_count = rng.randint(1, min(3, num_people))
+        authors = rng.sample(range(num_people), author_count)
+        articles.append(
+            element(
+                "article",
+                element("atitle", text(f"Article {a}")),
+                *(element("authorref", pid=f"p{p}") for p in authors),
+                key=f"a{a}",
+                venue_id=f"v{rng.randrange(num_venues)}",
+            )
+        )
+    cites = []
+    for _ in range(num_cites):
+        src = rng.randrange(num_articles)
+        dst = rng.randrange(num_articles)
+        cites.append(element("cite", src=f"a{src}", dst=f"a{dst}"))
+    return XMLTree(
+        element("bibliography", *venues, *people, *articles, *cites)
+    )
+
+
+def broken_bibliography_document(seed: int = 0) -> XMLTree:
+    """A document with two injected violations: a duplicate article key
+    and a dangling citation target."""
+    doc = bibliography_document(seed=seed)
+    articles = doc.ext("article")
+    articles[1].attrs["key"] = articles[0].attrs["key"]
+    cites = doc.ext("cite")
+    if cites:
+        cites[0].attrs["dst"] = "a999"
+    return doc
+
+
+def inconsistent_bibliography() -> tuple[DTD, list[Constraint]]:
+    """A bibliography spec broken the Section-1 way.
+
+    The DTD models a *single-author* personal bibliography (exactly one
+    ``person``) in which every article carries exactly two author
+    references; the constraints make ``authorref.pid`` a key referencing
+    people. Then ``|ext(authorref.pid)| = 2|ext(article)| >= 2`` while the
+    foreign key bounds it by ``|ext(person)| = 1`` — the D1/Sigma1
+    cardinality clash in a realistic costume.
+    """
+    dtd = DTD.build(
+        "bibliography",
+        {
+            "bibliography": "(person, article+)",
+            "person": "EMPTY",
+            "article": "(authorref, authorref)",
+            "authorref": "EMPTY",
+        },
+        attrs={
+            "person": ["pid"],
+            "article": ["key"],
+            "authorref": ["pid"],
+        },
+    )
+    sigma = parse_constraints(
+        """
+        article.key -> article
+        authorref.pid -> authorref      # each reference uses a fresh pid...
+        authorref.pid => person.pid     # ...pointing at a person
+        """
+    )
+    return dtd, sigma

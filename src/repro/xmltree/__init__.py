@@ -1,0 +1,30 @@
+"""XML trees as defined in Definition 2.2 of Fan & Libkin.
+
+A tree ``T = (V, lab, ele, att, val, root)`` is represented object-style:
+:class:`~repro.xmltree.model.Element` nodes carry a label, an ordered list
+of children (elements and text nodes) and a mapping of attribute names to
+string values; :class:`~repro.xmltree.model.TextNode` carries a string.
+Node equality is *identity*, matching the paper's two-notions-of-equality
+semantics for keys (values compare as strings, nodes compare as nodes).
+"""
+
+from repro.xmltree.builder import element, text
+from repro.xmltree.model import Element, TextNode, XMLTree
+from repro.xmltree.parse import parse_xml
+from repro.xmltree.serialize import tree_to_string
+from repro.xmltree.transform import splice_types
+from repro.xmltree.validate import TreeValidator, ValidationReport, conforms
+
+__all__ = [
+    "Element",
+    "TextNode",
+    "XMLTree",
+    "element",
+    "text",
+    "conforms",
+    "TreeValidator",
+    "ValidationReport",
+    "tree_to_string",
+    "parse_xml",
+    "splice_types",
+]

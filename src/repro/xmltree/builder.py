@@ -1,0 +1,51 @@
+"""Concise construction helpers for XML trees.
+
+>>> from repro.xmltree.builder import element, text
+>>> from repro.xmltree.model import XMLTree
+>>> tree = XMLTree(
+...     element(
+...         "teachers",
+...         element(
+...             "teacher",
+...             element("teach",
+...                     element("subject", text("XML"), taught_by="Joe"),
+...                     element("subject", text("DB"), taught_by="Joe")),
+...             element("research", text("Web DB")),
+...             name="Joe",
+...         ),
+...     )
+... )
+>>> tree.root.label
+'teachers'
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidTreeError
+from repro.xmltree.model import Element, TextNode
+
+
+def element(label: str, *children: Element | TextNode | str, **attrs: str) -> Element:
+    """Build an element; string children become text nodes.
+
+    Attribute values must be strings (the model is string-typed).
+    """
+    materialized: list[Element | TextNode] = []
+    for child in children:
+        if isinstance(child, str):
+            materialized.append(TextNode(child))
+        elif isinstance(child, (Element, TextNode)):
+            materialized.append(child)
+        else:
+            raise InvalidTreeError(f"invalid child {child!r} for element {label!r}")
+    for name, value in attrs.items():
+        if not isinstance(value, str):
+            raise InvalidTreeError(
+                f"attribute {name!r} of {label!r} must be a string, got {value!r}"
+            )
+    return Element(label, children=materialized, attrs=attrs)
+
+
+def text(value: str) -> TextNode:
+    """Build a text node."""
+    return TextNode(value)

@@ -1,0 +1,70 @@
+"""Serialization of XML trees to markup text."""
+
+from __future__ import annotations
+
+from repro.xmltree.model import Element, TextNode, XMLTree
+
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+
+_ATTR_ESCAPES = dict(_ESCAPES)
+_ATTR_ESCAPES['"'] = "&quot;"
+
+
+def _escape(value: str, table: dict[str, str]) -> str:
+    for char, replacement in table.items():
+        value = value.replace(char, replacement)
+    return value
+
+
+def _render(root: Element | TextNode, pretty: bool, out: list[str]) -> None:
+    """Iterative pre/post-order rendering (depth-safe for deep witnesses)."""
+    stack: list[tuple[str, Element | TextNode | str, int]] = [("open", root, 0)]
+    while stack:
+        action, node, indent = stack.pop()
+        pad = "  " * indent if pretty else ""
+        if action == "close":
+            assert isinstance(node, str)
+            out.append(f"{pad}</{node}>")
+            continue
+        if isinstance(node, TextNode):
+            out.append(f"{pad}{_escape(node.value, _ESCAPES)}")
+            continue
+        assert isinstance(node, Element)
+        attrs = "".join(
+            f' {name}="{_escape(value, _ATTR_ESCAPES)}"'
+            for name, value in sorted(node.attrs.items())
+        )
+        if not node.children:
+            out.append(f"{pad}<{node.label}{attrs}/>")
+            continue
+        if all(isinstance(child, TextNode) for child in node.children):
+            inner = "".join(
+                _escape(child.value, _ESCAPES)
+                for child in node.children
+                if isinstance(child, TextNode)
+            )
+            out.append(f"{pad}<{node.label}{attrs}>{inner}</{node.label}>")
+            continue
+        out.append(f"{pad}<{node.label}{attrs}>")
+        stack.append(("close", node.label, indent))
+        for child in reversed(node.children):
+            stack.append(("open", child, indent + 1))
+
+
+def tree_to_string(tree: XMLTree, pretty: bool = True) -> str:
+    """Render ``tree`` as XML markup.
+
+    >>> from repro.xmltree.builder import element, text
+    >>> from repro.xmltree.model import XMLTree
+    >>> print(tree_to_string(XMLTree(element("a", element("b", text("hi"), k="v")))))
+    <a>
+      <b k="v">hi</b>
+    </a>
+    """
+    out: list[str] = []
+    _render(tree.root, pretty, out)
+    return "\n".join(out) if pretty else "".join(out)

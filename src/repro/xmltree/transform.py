@@ -1,0 +1,67 @@
+"""Structural tree transformations.
+
+:func:`splice_types` implements the contraction direction of Lemma 4.3: a
+tree valid with respect to a *simplified* DTD becomes a tree valid with
+respect to the original DTD by removing every element whose type was
+generated during simplification and splicing its children into the parent's
+child list. Generated types never carry attributes, so the contraction
+preserves ``|ext(tau)|`` and ``ext(tau.l)`` for all original ``tau, l``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.errors import InvalidTreeError
+from repro.xmltree.model import Element, TextNode, XMLTree
+
+
+def splice_types(tree: XMLTree, drop: Iterable[str] | Callable[[str], bool]) -> XMLTree:
+    """Remove elements with dropped labels, splicing children into parents.
+
+    ``drop`` is either a collection of labels or a predicate on labels.
+    The root must not be dropped; dropped elements must carry no attributes
+    (both would make the operation meaningless for Lemma 4.3).
+
+    >>> from repro.xmltree.builder import element
+    >>> t = XMLTree(element("r", element("~1", element("a"), element("b"))))
+    >>> [e.label for e in splice_types(t, {"~1"}).elements()]
+    ['r', 'a', 'b']
+    """
+    if callable(drop):
+        should_drop = drop
+    else:
+        labels = set(drop)
+        should_drop = labels.__contains__
+
+    if should_drop(tree.root.label):
+        raise InvalidTreeError("cannot splice away the root element")
+
+    # Iterative rebuild (witness trees can be deeper than the default
+    # Python recursion limit): walk the original tree with an explicit
+    # stack, keeping a parallel stack of rebuilt parents to append into.
+    # Dropped elements contribute no rebuilt node — their children are
+    # appended into the nearest kept ancestor, preserving order.
+    new_root = Element(tree.root.label, attrs=dict(tree.root.attrs))
+    stack: list[tuple[Element | TextNode, Element]] = [
+        (child, new_root) for child in reversed(tree.root.children)
+    ]
+    while stack:
+        node, target = stack.pop()
+        if isinstance(node, TextNode):
+            target.children.append(TextNode(node.value))
+            continue
+        if should_drop(node.label):
+            if node.attrs:
+                raise InvalidTreeError(
+                    f"cannot splice element {node.label!r}: it has attributes"
+                )
+            # Splice: the children flow into the same target, in order.
+            for child in reversed(node.children):
+                stack.append((child, target))
+            continue
+        rebuilt = Element(node.label, attrs=dict(node.attrs))
+        target.children.append(rebuilt)
+        for child in reversed(node.children):
+            stack.append((child, rebuilt))
+    return XMLTree(new_root)

@@ -1,0 +1,56 @@
+"""Shared fixtures: the paper's examples and checker configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers.config import CheckerConfig
+from repro.workloads.examples import (
+    recursive_dtd_d2,
+    school_constraints_d3,
+    school_dtd_d3,
+    sigma1_constraints,
+    teachers_dtd_d1,
+)
+
+
+@pytest.fixture
+def d1():
+    """The teachers DTD of Section 1."""
+    return teachers_dtd_d1()
+
+
+@pytest.fixture
+def sigma1():
+    """The constraints Sigma1 of Section 1."""
+    return sigma1_constraints()
+
+
+@pytest.fixture
+def d2():
+    """The recursive DTD D2 (no finite tree)."""
+    return recursive_dtd_d2()
+
+
+@pytest.fixture
+def d3():
+    """The school DTD of Section 2.2."""
+    return school_dtd_d3()
+
+
+@pytest.fixture
+def sigma3():
+    """The five multi-attribute constraints over D3."""
+    return school_constraints_d3()
+
+
+@pytest.fixture
+def fast_config():
+    """Checker config without witness synthesis (pure decision)."""
+    return CheckerConfig(want_witness=False)
+
+
+@pytest.fixture
+def exact_config():
+    """Checker config using the certified exact backend."""
+    return CheckerConfig(backend="exact")

@@ -1,0 +1,24 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from repro.dtd.model import DTD
+from repro.encoding.combined import build_encoding
+from repro.errors import SolverError
+from repro.ilp.condsys import solve_conditional_system
+from repro.witness.synthesize import synthesize_witness
+
+
+def synthesize_any_tree(dtd: DTD):
+    """Solve the empty-Sigma encoding and synthesize a witness tree.
+
+    Returns ``(tree, solution_values, simple_dtd)``; raises
+    :class:`SolverError` when the DTD has no valid tree (callers filter
+    with ``has_valid_tree`` first).
+    """
+    encoding = build_encoding(dtd, [])
+    result, _stats = solve_conditional_system(encoding.condsys)
+    if not result.feasible:
+        raise SolverError("DTD admits no valid tree")
+    tree = synthesize_witness(encoding, result.values)
+    return tree, result.values, encoding.simple

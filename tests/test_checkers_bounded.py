@@ -1,0 +1,102 @@
+"""Bounded brute-force search tests and ILP-checker cross-validation.
+
+The bounded searcher is the library's only procedure covering the full
+undecidable class C_K,FK; on the unary fragment it doubles as an oracle
+against which the NP checker is validated, seed by seed.
+"""
+
+import pytest
+
+from repro.checkers.bounded import bounded_consistency, enumerate_trees
+from repro.checkers.consistency import check_consistency
+from repro.constraints.parser import parse_constraints
+from repro.constraints.satisfaction import satisfies_all
+from repro.dtd.model import DTD
+from repro.workloads.examples import school_constraints_d3, school_dtd_d3
+from repro.workloads.generators import random_dtd, random_unary_constraints
+from repro.xmltree.validate import conforms
+
+
+class TestEnumerateTrees:
+    def test_counts_small_language(self):
+        d = DTD.build("r", {"r": "(a?, b?)", "a": "EMPTY", "b": "EMPTY"})
+        shapes = list(enumerate_trees(d, max_nodes=3))
+        # r, r(a), r(b), r(a,b)
+        assert len(shapes) == 4
+
+    def test_all_enumerated_conform(self, d1):
+        for tree in enumerate_trees(d1, max_nodes=10):
+            assert conforms(tree, d1)
+
+    def test_budget_respected(self, d1):
+        for tree in enumerate_trees(d1, max_nodes=12):
+            assert tree.size() <= 12
+
+    def test_empty_dtd_enumerates_nothing(self, d2):
+        assert list(enumerate_trees(d2, max_nodes=8)) == []
+
+
+class TestBoundedConsistency:
+    def test_finds_multiattr_witness(self):
+        witness = bounded_consistency(
+            school_dtd_d3(), school_constraints_d3(), max_nodes=4
+        )
+        assert witness is not None
+        assert conforms(witness, school_dtd_d3())
+        assert satisfies_all(witness, school_constraints_d3())
+
+    def test_unsatisfiable_within_bound_returns_none(self, d1, sigma1):
+        assert bounded_consistency(d1, sigma1, max_nodes=10) is None
+
+    def test_multiattr_keys_and_fk_interaction(self):
+        # Two-attribute FK whose target key forces distinctness.
+        d = DTD.build(
+            "r", {"r": "(a, a, b)", "a": "EMPTY", "b": "EMPTY"},
+            attrs={"a": ["x", "y"], "b": ["u", "v"]},
+        )
+        sigma = parse_constraints(
+            "a[x,y] -> a\na[x,y] => b[u,v]"
+        )
+        # Two distinct 'a' rows must both appear in the single 'b' row:
+        # impossible, since b can hold only one (u,v) pair.
+        assert bounded_consistency(d, sigma, max_nodes=6) is None
+
+    def test_multiattr_fk_satisfiable_case(self):
+        d = DTD.build(
+            "r", {"r": "(a, b*)", "a": "EMPTY", "b": "EMPTY"},
+            attrs={"a": ["x", "y"], "b": ["u", "v"]},
+        )
+        sigma = parse_constraints("a[x,y] => b[u,v]")
+        witness = bounded_consistency(d, sigma, max_nodes=4)
+        assert witness is not None
+        assert satisfies_all(witness, sigma)
+
+
+class TestCrossValidation:
+    """The NP checker and brute force agree on random tiny unary instances."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances(self, seed):
+        dtd = random_dtd(seed, num_types=4, max_width=2)
+        sigma = random_unary_constraints(
+            seed, dtd, num_keys=1, num_fks=2
+        )
+        checker = check_consistency(dtd, sigma)
+        if checker.consistent and checker.witness.size() <= 7:
+            found = bounded_consistency(dtd, sigma, max_nodes=7)
+            assert found is not None
+            assert satisfies_all(found, sigma)
+        if not checker.consistent:
+            assert bounded_consistency(dtd, sigma, max_nodes=6) is None
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_with_negations(self, seed):
+        dtd = random_dtd(seed + 100, num_types=3, max_width=2)
+        sigma = random_unary_constraints(
+            seed, dtd, num_keys=1, num_fks=1, num_neg_keys=1
+        )
+        checker = check_consistency(dtd, sigma)
+        if not checker.consistent:
+            assert bounded_consistency(dtd, sigma, max_nodes=6) is None
+        elif checker.witness.size() <= 7:
+            assert bounded_consistency(dtd, sigma, max_nodes=7) is not None

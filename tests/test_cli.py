@@ -1,0 +1,160 @@
+"""CLI tests: every subcommand, exit codes, file outputs."""
+
+import pytest
+
+from repro.cli import main
+from repro.dtd.serializer import dtd_to_string
+from repro.workloads.examples import (
+    figure1_tree,
+    school_document,
+    school_dtd_d3,
+    teachers_dtd_d1,
+)
+from repro.xmltree.parse import parse_xml
+from repro.xmltree.serialize import tree_to_string
+
+SIGMA1_TEXT = """
+teacher.name -> teacher
+subject.taught_by -> subject
+subject.taught_by => teacher.name
+"""
+
+KEYS_TEXT = """
+teacher.name -> teacher
+subject.taught_by -> subject
+"""
+
+
+@pytest.fixture
+def d1_file(tmp_path):
+    path = tmp_path / "d1.dtd"
+    path.write_text(dtd_to_string(teachers_dtd_d1()))
+    return str(path)
+
+
+@pytest.fixture
+def sigma1_file(tmp_path):
+    path = tmp_path / "sigma1.txt"
+    path.write_text(SIGMA1_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def keys_file(tmp_path):
+    path = tmp_path / "keys.txt"
+    path.write_text(KEYS_TEXT)
+    return str(path)
+
+
+class TestCheck:
+    def test_inconsistent_exit_code(self, d1_file, sigma1_file, capsys):
+        assert main(["check", d1_file, sigma1_file]) == 1
+        assert "consistent: False" in capsys.readouterr().out
+
+    def test_consistent_with_witness_file(self, d1_file, keys_file, tmp_path, capsys):
+        witness_path = tmp_path / "witness.xml"
+        code = main(
+            ["check", d1_file, keys_file, "--witness", str(witness_path)]
+        )
+        assert code == 0
+        assert "consistent: True" in capsys.readouterr().out
+        tree = parse_xml(witness_path.read_text())
+        assert tree.root.label == "teachers"
+
+    def test_dtd_only(self, d1_file, capsys):
+        assert main(["check", d1_file]) == 0
+
+    def test_missing_file_is_usage_error(self, capsys):
+        assert main(["check", "/nonexistent.dtd"]) == 2
+
+    def test_bad_dtd_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dtd"
+        bad.write_text("not a dtd at all")
+        assert main(["check", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_valid_document(self, d1_file, keys_file, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        tree = figure1_tree()
+        # Make taught_by values distinct so the subject key holds.
+        subjects = tree.ext("subject")
+        subjects[0].attrs["taught_by"] = "Joe"
+        subjects[1].attrs["taught_by"] = "Joe2"
+        doc.write_text(tree_to_string(tree))
+        # Figure-1 variant violates the FK (Joe2 is no teacher), so use keys only.
+        assert main(["validate", d1_file, str(doc), keys_file]) == 0
+
+    def test_figure1_violates_sigma1(self, d1_file, sigma1_file, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text(tree_to_string(figure1_tree()))
+        assert main(["validate", d1_file, str(doc), sigma1_file]) == 1
+        out = capsys.readouterr().out
+        assert "conforms to DTD: True" in out
+        assert "violated" in out
+
+    def test_nonconforming_document(self, d1_file, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<teachers/>")
+        assert main(["validate", d1_file, str(doc)]) == 1
+
+    def test_school_document(self, tmp_path):
+        dtd_path = tmp_path / "d3.dtd"
+        dtd_path.write_text(dtd_to_string(school_dtd_d3()))
+        doc = tmp_path / "school.xml"
+        doc.write_text(tree_to_string(school_document()))
+        assert main(["validate", str(dtd_path), str(doc)]) == 0
+
+
+class TestImplies:
+    def test_implied(self, d1_file, sigma1_file, capsys):
+        code = main(
+            ["implies", d1_file, sigma1_file, "subject.taught_by <= teacher.name"]
+        )
+        assert code == 0
+        assert "implied: True" in capsys.readouterr().out
+
+    def test_not_implied_prints_counterexample(self, d1_file, keys_file, capsys):
+        code = main(
+            ["implies", d1_file, keys_file, "subject.taught_by <= teacher.name"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "implied: False" in out
+        assert "counterexample" in out
+
+    def test_counterexample_to_file(self, d1_file, keys_file, tmp_path, capsys):
+        target = tmp_path / "cx.xml"
+        code = main(
+            [
+                "implies", d1_file, keys_file,
+                "subject.taught_by <= teacher.name",
+                "--counterexample", str(target),
+            ]
+        )
+        assert code == 1
+        assert parse_xml(target.read_text()).root.label == "teachers"
+
+
+class TestDiagnoseAndBounds:
+    def test_diagnose_inconsistent(self, d1_file, sigma1_file, capsys):
+        assert main(["diagnose", d1_file, sigma1_file]) == 1
+        out = capsys.readouterr().out
+        assert "INCONSISTENT" in out
+        assert "subject.taught_by => teacher.name" in out
+
+    def test_diagnose_consistent(self, d1_file, keys_file, capsys):
+        assert main(["diagnose", d1_file, keys_file]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_bounds(self, d1_file, capsys):
+        assert main(["bounds", d1_file, "--type", "subject"]) == 0
+        out = capsys.readouterr().out
+        assert "|ext(subject)| in [2, unbounded]" in out
+
+    def test_bounds_inconsistent(self, d1_file, sigma1_file, capsys):
+        code = main(
+            ["bounds", d1_file, sigma1_file, "--type", "subject"]
+        )
+        assert code == 1

@@ -1,0 +1,219 @@
+"""Unit tests for constraint AST, classes, parser and satisfaction."""
+
+import pytest
+
+from repro.constraints.ast import (
+    ForeignKey,
+    InclusionConstraint,
+    Key,
+    NegInclusion,
+    NegKey,
+)
+from repro.constraints.classes import (
+    ConstraintClass,
+    classify,
+    expand_foreign_keys,
+    is_primary_key_set,
+    validate_constraints,
+)
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.satisfaction import satisfies, satisfies_all, violations
+from repro.errors import InvalidConstraintError, ParseError
+from repro.workloads.examples import (
+    figure1_tree,
+    school_constraints_d3,
+    school_document,
+)
+from repro.xmltree.builder import element
+from repro.xmltree.model import XMLTree
+
+
+class TestAst:
+    def test_key_rejects_empty_attrs(self):
+        with pytest.raises(ValueError):
+            Key("a", ())
+
+    def test_key_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Key("a", ("x", "x"))
+
+    def test_inclusion_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            InclusionConstraint("a", ("x",), "b", ("y", "z"))
+
+    def test_foreign_key_exposes_its_key(self):
+        fk = ForeignKey(InclusionConstraint("a", ("x",), "b", ("y",)))
+        assert fk.key == Key("b", ("y",))
+
+    def test_unary_detection(self):
+        assert Key("a", ("x",)).is_unary()
+        assert not Key("a", ("x", "y")).is_unary()
+        assert NegKey("a", "x").is_unary()
+
+    def test_str_forms(self):
+        assert str(Key("a", ("x",))) == "a.x -> a"
+        assert str(Key("a", ("x", "y"))) == "a[x,y] -> a"
+        assert str(NegInclusion("a", "x", "b", "y")) == "a.x !<= b.y"
+
+
+class TestClassify:
+    def test_empty(self):
+        assert classify([]) == ConstraintClass.EMPTY
+
+    def test_keys_only_any_arity(self):
+        assert classify([Key("a", ("x", "y")), Key("b", ("z",))]) == ConstraintClass.K
+
+    def test_multiattr_fk_is_k_fk(self):
+        fk = ForeignKey(InclusionConstraint("a", ("x", "y"), "b", ("u", "v")))
+        assert classify([fk]) == ConstraintClass.K_FK
+
+    def test_unary_fk(self):
+        fk = ForeignKey(InclusionConstraint("a", ("x",), "b", ("y",)))
+        assert classify([fk]) == ConstraintClass.UNARY_K_FK
+
+    def test_bare_inclusion_escalates(self):
+        ic = InclusionConstraint("a", ("x",), "b", ("y",))
+        assert classify([ic]) == ConstraintClass.UNARY_K_IC
+
+    def test_negations_escalate(self):
+        assert classify([NegKey("a", "x")]) == ConstraintClass.UNARY_KNEG_IC
+        assert classify([NegInclusion("a", "x", "b", "y")]) == (
+            ConstraintClass.UNARY_KNEG_ICNEG
+        )
+
+    def test_multiattr_with_negation_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            classify([Key("a", ("x", "y")), NegKey("a", "x"),
+                      ForeignKey(InclusionConstraint("a", ("x",), "b", ("y",)))])
+
+
+class TestValidate:
+    def test_unknown_type_rejected(self, d1):
+        with pytest.raises(InvalidConstraintError, match="ghost"):
+            validate_constraints(d1, [Key("ghost", ("x",))])
+
+    def test_unknown_attribute_rejected(self, d1):
+        with pytest.raises(InvalidConstraintError, match="salary"):
+            validate_constraints(d1, [Key("teacher", ("salary",))])
+
+    def test_valid_set_passes(self, d1, sigma1):
+        validate_constraints(d1, sigma1)
+
+
+class TestExpandAndPrimary:
+    def test_expand_splits_fk(self):
+        fk = ForeignKey(InclusionConstraint("a", ("x",), "b", ("y",)))
+        expanded = expand_foreign_keys([fk])
+        assert InclusionConstraint("a", ("x",), "b", ("y",)) in expanded
+        assert Key("b", ("y",)) in expanded
+        assert all(not isinstance(phi, ForeignKey) for phi in expanded)
+
+    def test_expand_deduplicates(self):
+        fk = ForeignKey(InclusionConstraint("a", ("x",), "b", ("y",)))
+        expanded = expand_foreign_keys([fk, Key("b", ("y",))])
+        assert len(expanded) == 2
+
+    def test_primary_ok_with_one_key_per_type(self):
+        assert is_primary_key_set([Key("a", ("x",)), Key("b", ("y",))])
+
+    def test_two_keys_same_type_not_primary(self):
+        assert not is_primary_key_set([Key("a", ("x",)), Key("a", ("y",))])
+
+    def test_fk_induced_key_counts(self):
+        fk = ForeignKey(InclusionConstraint("a", ("x",), "b", ("y",)))
+        assert not is_primary_key_set([fk, Key("b", ("z",))])
+        assert is_primary_key_set([fk, Key("b", ("y",))])  # same key twice
+
+
+class TestParser:
+    def test_unary_key(self):
+        assert parse_constraint("teacher.name -> teacher") == Key(
+            "teacher", ("name",)
+        )
+
+    def test_multi_key(self):
+        assert parse_constraint("course[dept, course_no] -> course") == Key(
+            "course", ("dept", "course_no")
+        )
+
+    def test_inclusion_ascii_and_unicode(self):
+        expected = InclusionConstraint("a", ("x",), "b", ("y",))
+        assert parse_constraint("a.x <= b.y") == expected
+        assert parse_constraint("a.x ⊆ b.y") == expected
+
+    def test_foreign_key(self):
+        fk = parse_constraint("a.x => b.y")
+        assert isinstance(fk, ForeignKey)
+        assert fk.key == Key("b", ("y",))
+
+    def test_negations(self):
+        assert parse_constraint("a.x !-> a") == NegKey("a", "x")
+        assert parse_constraint("a.x !<= b.y") == NegInclusion("a", "x", "b", "y")
+        assert parse_constraint("a.x ⊄ b.y") == NegInclusion("a", "x", "b", "y")
+
+    def test_key_must_target_own_type(self):
+        with pytest.raises(ParseError):
+            parse_constraint("a.x -> b")
+
+    def test_multiattr_negation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("a[x,y] !-> a")
+
+    def test_block_parsing_with_comments(self):
+        sigma = parse_constraints(
+            """
+            a.x -> a     # key
+            a.x <= b.y; b.y -> b
+            """
+        )
+        assert len(sigma) == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("a[x,y] <= b[z]")
+
+
+class TestSatisfaction:
+    def test_figure1_violates_subject_key(self, sigma1):
+        tree = figure1_tree()
+        violated = violations(tree, sigma1)
+        assert [str(phi) for phi in violated] == ["subject.taught_by -> subject"]
+
+    def test_school_document_satisfies_d3_constraints(self):
+        assert satisfies_all(school_document(), school_constraints_d3())
+
+    def test_multiattr_key_violation_detected(self):
+        doc = school_document()
+        enrolls = doc.ext("enroll")
+        enrolls[1].attrs.update(enrolls[0].attrs)
+        key = parse_constraint("enroll[student_id,dept,course_no] -> enroll")
+        assert not satisfies(doc, key)
+
+    def test_inclusion_over_lists_respects_order(self):
+        tree = XMLTree(
+            element("r", element("a", x="1", y="2"), element("b", u="2", v="1"))
+        )
+        ok = parse_constraint("a[x,y] <= b[v,u]")
+        swapped = parse_constraint("a[x,y] <= b[u,v]")
+        assert satisfies(tree, ok)
+        assert not satisfies(tree, swapped)
+
+    def test_foreign_key_needs_both_parts(self):
+        tree = XMLTree(
+            element("r", element("a", x="1"),
+                    element("b", y="1"), element("b", y="1"))
+        )
+        fk = parse_constraint("a.x => b.y")
+        assert satisfies(tree, fk.inclusion)
+        assert not satisfies(tree, fk)  # duplicate b.y breaks the key part
+
+    def test_negations_are_logical_negations(self):
+        tree = XMLTree(element("r", element("a", x="1"), element("a", x="1")))
+        assert satisfies(tree, NegKey("a", "x"))
+        assert not satisfies(tree, Key("a", ("x",)))
+
+    def test_neg_inclusion_requires_witness(self):
+        # Empty child extent: inclusion holds vacuously, negation fails.
+        tree = XMLTree(element("r", element("b", y="1")))
+        assert satisfies(tree, parse_constraint("a.x <= b.y"))
+        assert not satisfies(tree, parse_constraint("a.x !<= b.y"))

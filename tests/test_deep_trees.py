@@ -1,0 +1,56 @@
+"""Depth-safety regressions: tree operations beyond the recursion limit.
+
+Witness trees for recursive DTDs are chains; all structural operations
+must handle depths far beyond Python's default recursion limit.
+"""
+
+import sys
+
+import pytest
+
+from repro.xmltree.builder import element
+from repro.xmltree.model import Element, XMLTree
+from repro.xmltree.serialize import tree_to_string
+from repro.xmltree.transform import splice_types
+
+DEPTH = 5000
+
+
+@pytest.fixture
+def deep_tree():
+    node = element("leaf")
+    for index in range(DEPTH):
+        label = "wrap" if index % 2 == 0 else "a"
+        node = Element(label, children=[node])
+    return XMLTree(Element("root", children=[node]))
+
+
+class TestDeepTrees:
+    def test_structure_validation(self, deep_tree):
+        assert deep_tree.size() == DEPTH + 2
+        # The point of the suite: these trees are deeper than naive
+        # recursion could handle.
+        assert DEPTH > sys.getrecursionlimit()
+
+    def test_copy(self, deep_tree):
+        clone = deep_tree.copy()
+        assert clone.size() == deep_tree.size()
+        assert clone.root is not deep_tree.root
+
+    def test_splice(self, deep_tree):
+        spliced = splice_types(deep_tree, {"wrap"})
+        assert spliced.size() == deep_tree.size() - DEPTH // 2
+        assert not spliced.ext("wrap")
+        # Order/nesting of the kept nodes is preserved.
+        assert len(spliced.ext("a")) == DEPTH // 2
+
+    def test_serialize(self, deep_tree):
+        text = tree_to_string(deep_tree, pretty=False)
+        assert text.count("<a>") == DEPTH // 2
+        assert text.endswith("</root>")
+
+    def test_iteration(self, deep_tree):
+        labels = set()
+        for node in deep_tree.elements():
+            labels.add(node.label)
+        assert labels == {"root", "wrap", "a", "leaf"}

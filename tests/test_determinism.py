@@ -1,0 +1,93 @@
+"""Tests for 1-unambiguity checking of content models."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dtd.analysis import nondeterministic_types
+from repro.dtd.model import DTD
+from repro.regex.determinism import is_deterministic, nondeterminism_witnesses
+from repro.regex.parser import parse_content_model
+from tests.test_regex_matchers import _regexes
+
+
+class TestIsDeterministic:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            "(a, b)",
+            "(a | b)",
+            "(a*, b)",
+            "(a, b)*",
+            "(a?, b)",
+            "EMPTY",
+            "(#PCDATA)",
+            "(#PCDATA | a | b)*",
+            "(teach, research)",
+        ],
+    )
+    def test_deterministic_models(self, model):
+        assert is_deterministic(parse_content_model(model))
+
+    @pytest.mark.parametrize(
+        "model,witness",
+        [
+            ("((a, b) | (a, c))", "a"),     # classic textbook example
+            ("(a*, a)", "a"),               # star then same symbol
+            ("(a?, a)", "a"),
+            ("((a | b)*, a)", "a"),
+            ("(a, a?)*", "a"),
+        ],
+    )
+    def test_nondeterministic_models(self, model, witness):
+        expr = parse_content_model(model)
+        assert not is_deterministic(expr)
+        assert witness in nondeterminism_witnesses(expr)
+
+    def test_repeated_symbol_in_sequence_is_fine(self):
+        # (subject, subject) is deterministic: positions follow in order.
+        assert is_deterministic(parse_content_model("(subject, subject)"))
+
+
+class TestDtdLevel:
+    def test_paper_dtds_are_deterministic(self, d1, d2, d3):
+        assert nondeterministic_types(d1) == {}
+        assert nondeterministic_types(d2) == {}
+        assert nondeterministic_types(d3) == {}
+
+    def test_offender_reported_with_witness(self):
+        d = DTD.build(
+            "r", {"r": "((a, b) | (a, c))", "a": "EMPTY", "b": "EMPTY",
+                  "c": "EMPTY"},
+        )
+        offenders = nondeterministic_types(d)
+        assert offenders == {"r": ["a"]}
+
+
+class TestAgainstBruteForce:
+    """Cross-check the Glushkov criterion against a direct simulation:
+    for deterministic expressions, the reachable position set stays a
+    singleton along every accepted word — that *is* what 1-unambiguity
+    means operationally."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(expr=_regexes())
+    def test_deterministic_models_have_unique_runs(self, expr):
+        from repro.regex.enumerate import words_up_to
+        from repro.regex.glushkov import GlushkovAutomaton
+
+        if not is_deterministic(expr):
+            return
+        auto = GlushkovAutomaton(expr)
+        for word in words_up_to(expr, 3):
+            if not word:
+                continue
+            current = {p for p in auto._first if auto._symbols[p] == word[0]}
+            assert len(current) <= 1
+            for symbol in word[1:]:
+                nxt = set()
+                for p in current:
+                    nxt |= {
+                        q for q in auto._follow[p] if auto._symbols[q] == symbol
+                    }
+                assert len(nxt) <= 1
+                current = nxt

@@ -1,0 +1,28 @@
+"""Run every docstring example in the package as a test.
+
+The docstrings double as the API documentation; their examples must stay
+executable and truthful (one of them once claimed the wrong consistency
+verdict — this test exists so that cannot recur).
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _module_names():
+    for modinfo in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if modinfo.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        yield modinfo.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_module_names()))
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module_name}"

@@ -1,0 +1,99 @@
+"""Unit tests for DTD analyses (Theorem 3.5(1), Lemma 3.6)."""
+
+from repro.dtd.analysis import (
+    can_have_two,
+    has_valid_tree,
+    must_occur,
+    productive_types,
+    reachable_types,
+    usable_types,
+)
+from repro.dtd.model import DTD
+
+
+class TestProductivity:
+    def test_d2_root_unproductive(self, d2):
+        assert "db" not in productive_types(d2)
+        assert not has_valid_tree(d2)
+
+    def test_d1_all_productive(self, d1):
+        assert productive_types(d1) == frozenset(d1.element_types)
+        assert has_valid_tree(d1)
+
+    def test_union_escape_makes_recursion_productive(self):
+        d = DTD.build("r", {"r": "(a)", "a": "(a | b)", "b": "EMPTY"})
+        assert has_valid_tree(d)
+
+    def test_mandatory_recursion_unproductive(self):
+        d = DTD.build("r", {"r": "(a)", "a": "(a, b)", "b": "EMPTY"})
+        assert productive_types(d) == frozenset({"b"})
+        assert not has_valid_tree(d)
+
+    def test_star_breaks_recursion(self):
+        d = DTD.build("r", {"r": "(a)", "a": "(a*)"})
+        assert has_valid_tree(d)
+
+
+class TestReachability:
+    def test_orphan_type_unreachable(self):
+        d = DTD.build("r", {"r": "(a)", "a": "EMPTY", "orphan": "EMPTY"})
+        assert "orphan" not in reachable_types(d)
+        assert "orphan" not in usable_types(d)
+
+    def test_usable_excludes_unproductive(self):
+        d = DTD.build("r", {"r": "(a | b)", "a": "(a)", "b": "EMPTY"})
+        assert "a" in reachable_types(d)
+        assert "a" not in usable_types(d)
+        assert "b" in usable_types(d)
+
+
+class TestCanHaveTwo:
+    def test_star_allows_two(self, d1):
+        assert can_have_two(d1, "teacher")
+        assert can_have_two(d1, "subject")
+
+    def test_fixed_count_types(self):
+        d = DTD.build("r", {"r": "(a, b)", "a": "EMPTY", "b": "EMPTY"})
+        assert not can_have_two(d, "a")
+        assert not can_have_two(d, "r")
+
+    def test_two_via_concat(self):
+        d = DTD.build("r", {"r": "(a, a)", "a": "EMPTY"})
+        assert can_have_two(d, "a")
+
+    def test_two_via_recursion(self):
+        d = DTD.build("r", {"r": "(a)", "a": "(a?)"})
+        assert can_have_two(d, "a")
+
+    def test_unknown_type(self, d1):
+        assert not can_have_two(d1, "ghost")
+
+    def test_empty_dtd_has_no_two(self, d2):
+        assert not can_have_two(d2, "foo")
+
+    def test_choice_bounds_count(self):
+        # Either one a or one b: never two a's.
+        d = DTD.build("r", {"r": "(a | b)", "a": "EMPTY", "b": "EMPTY"})
+        assert not can_have_two(d, "a")
+
+    def test_unreachable_type_never_two(self):
+        d = DTD.build("r", {"r": "(a)", "a": "EMPTY", "x": "(x?)"})
+        assert not can_have_two(d, "x")
+
+
+class TestMustOccur:
+    def test_root_always_occurs(self, d1):
+        assert must_occur(d1, "teachers")
+
+    def test_mandatory_child(self, d1):
+        assert must_occur(d1, "teacher")
+        assert must_occur(d1, "research")
+
+    def test_optional_child(self):
+        d = DTD.build("r", {"r": "(a*)", "a": "EMPTY"})
+        assert not must_occur(d, "a")
+
+    def test_choice_not_mandatory(self):
+        d = DTD.build("r", {"r": "(a | b)", "a": "EMPTY", "b": "EMPTY"})
+        assert not must_occur(d, "a")
+        assert not must_occur(d, "b")

@@ -1,0 +1,80 @@
+"""Unit tests for the DTD model (Definition 2.1 well-formedness)."""
+
+import pytest
+
+from repro.dtd.model import DTD
+from repro.errors import InvalidDTDError
+
+
+class TestBuild:
+    def test_minimal(self):
+        d = DTD.build("r", {"r": "EMPTY"})
+        assert d.root == "r"
+        assert d.element_types == ("r",)
+        assert d.attrs("r") == frozenset()
+
+    def test_attrs_recorded(self, d1):
+        assert d1.attrs("teacher") == frozenset({"name"})
+        assert d1.attrs("subject") == frozenset({"taught_by"})
+        assert d1.attrs("teach") == frozenset()
+
+    def test_attribute_pairs_deterministic(self, d3):
+        pairs = d3.attribute_pairs()
+        assert ("course", "course_no") in pairs
+        assert ("enroll", "student_id") in pairs
+        assert pairs == sorted(pairs)
+
+    def test_string_content_parsed(self):
+        d = DTD.build("r", {"r": "(a, b*)", "a": "EMPTY", "b": "(#PCDATA)"})
+        assert str(d.content["r"]) == "a, b*"
+
+
+class TestValidation:
+    def test_root_must_be_declared(self):
+        with pytest.raises(InvalidDTDError, match="root"):
+            DTD.build("missing", {"r": "EMPTY"})
+
+    def test_undeclared_child_type_rejected(self):
+        with pytest.raises(InvalidDTDError, match="undeclared"):
+            DTD.build("r", {"r": "(ghost)"})
+
+    def test_root_in_content_model_rejected(self):
+        # Definition 2.1 assumes the root never occurs in content models.
+        with pytest.raises(InvalidDTDError, match="root"):
+            DTD.build("r", {"r": "(a)", "a": "(r)"})
+
+    def test_element_attribute_name_overlap_rejected(self):
+        with pytest.raises(InvalidDTDError, match="disjoint"):
+            DTD(
+                element_types=("r", "x"),
+                attributes=("x",),
+                content={"r": DTD.build("r", {"r": "EMPTY"}).content["r"],
+                         "x": DTD.build("r", {"r": "EMPTY"}).content["r"]},
+                attrs_of={},
+                root="r",
+            )
+
+    def test_attrs_for_undeclared_type_rejected(self):
+        with pytest.raises(InvalidDTDError):
+            DTD.build("r", {"r": "EMPTY"}, attrs={"ghost": ["a"]})
+
+    def test_undeclared_attribute_rejected(self):
+        with pytest.raises(InvalidDTDError):
+            DTD(
+                element_types=("r",),
+                attributes=(),
+                content=DTD.build("r", {"r": "EMPTY"}).content,
+                attrs_of={"r": frozenset({"ghost"})},
+                root="r",
+            )
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(InvalidDTDError, match="invalid"):
+            DTD.build("r", {"r": "EMPTY", "bad name": "EMPTY"})
+
+
+class TestSize:
+    def test_size_grows_with_content(self):
+        small = DTD.build("r", {"r": "EMPTY"})
+        large = DTD.build("r", {"r": "(a, a, a, a)", "a": "EMPTY"})
+        assert large.size() > small.size()

@@ -1,0 +1,94 @@
+"""Unit tests for DTD declaration parsing and serialization."""
+
+import pytest
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.serializer import dtd_to_string
+from repro.errors import ParseError
+
+TEACHERS = """
+<!-- the Section 1 teachers DTD -->
+<!ELEMENT teachers (teacher+)>
+<!ELEMENT teacher (teach, research)>
+<!ELEMENT teach (subject, subject)>
+<!ELEMENT subject (#PCDATA)>
+<!ELEMENT research (#PCDATA)>
+<!ATTLIST teacher name CDATA #REQUIRED>
+<!ATTLIST subject taught_by CDATA #REQUIRED>
+"""
+
+
+class TestParse:
+    def test_teachers_dtd(self):
+        d = parse_dtd(TEACHERS)
+        assert d.root == "teachers"
+        assert set(d.element_types) == {
+            "teachers", "teacher", "teach", "subject", "research"
+        }
+        assert d.attrs("teacher") == frozenset({"name"})
+
+    def test_first_element_is_default_root(self):
+        d = parse_dtd("<!ELEMENT b EMPTY>\n<!ELEMENT a (b)>", root="a")
+        assert d.root == "a"
+        default = parse_dtd("<!ELEMENT a (b)>\n<!ELEMENT b EMPTY>")
+        assert default.root == "a"
+
+    def test_multiple_attributes_one_attlist(self):
+        d = parse_dtd(
+            "<!ELEMENT r EMPTY>"
+            "<!ATTLIST r a CDATA #REQUIRED b CDATA #IMPLIED c ID #REQUIRED>"
+        )
+        assert d.attrs("r") == frozenset({"a", "b", "c"})
+
+    def test_attlist_without_type_keywords(self):
+        d = parse_dtd("<!ELEMENT r EMPTY>\n<!ATTLIST r x y>")
+        assert d.attrs("r") == frozenset({"x", "y"})
+
+    def test_enumerated_attribute_type(self):
+        d = parse_dtd('<!ELEMENT r EMPTY>\n<!ATTLIST r kind (a|b|c) #REQUIRED>')
+        assert d.attrs("r") == frozenset({"kind"})
+
+    def test_id_idref_treated_as_plain_strings(self):
+        # Footnote 1: the paper ignores ID/IDREF semantics.
+        d = parse_dtd(
+            "<!ELEMENT r (item*)>\n<!ELEMENT item EMPTY>\n"
+            "<!ATTLIST item id ID #REQUIRED ref IDREF #IMPLIED>"
+        )
+        assert d.attrs("item") == frozenset({"id", "ref"})
+
+    def test_comments_ignored(self):
+        d = parse_dtd("<!-- c1 --><!ELEMENT r EMPTY><!-- c2 -->")
+        assert d.root == "r"
+
+
+class TestParseErrors:
+    def test_no_elements(self):
+        with pytest.raises(ParseError):
+            parse_dtd("<!-- nothing here -->")
+
+    def test_duplicate_element(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_dtd("<!ELEMENT r EMPTY><!ELEMENT r EMPTY>")
+
+    def test_attlist_for_unknown_element(self):
+        with pytest.raises(ParseError, match="undeclared"):
+            parse_dtd("<!ELEMENT r EMPTY><!ATTLIST ghost a CDATA #REQUIRED>")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError, match="unrecognized"):
+            parse_dtd("<!ELEMENT r EMPTY> stray text")
+
+
+class TestRoundTrip:
+    def test_serialize_parse_identity(self, d1):
+        text = dtd_to_string(d1)
+        again = parse_dtd(text)
+        assert again.root == d1.root
+        assert set(again.element_types) == set(d1.element_types)
+        for tau in d1.element_types:
+            assert again.attrs(tau) == d1.attrs(tau)
+            assert str(again.content[tau]) == str(d1.content[tau])
+
+    def test_root_serialized_first(self, d3):
+        text = dtd_to_string(d3)
+        assert text.splitlines()[0].startswith("<!ELEMENT school")

@@ -1,0 +1,50 @@
+"""Tests for the Section-4.1-style encoding renderer."""
+
+from repro.constraints.parser import parse_constraints
+from repro.dtd.model import DTD
+from repro.encoding.combined import build_encoding
+from repro.encoding.render import describe_encoding
+
+
+class TestDescribeEncoding:
+    def test_d1_system_matches_paper_shape(self, d1):
+        # Section 4.1 prints Psi_DN1; our rendering must contain the same
+        # structural facts: a unique root and the teach -> two-subjects
+        # equations via both occurrence variables.
+        text = describe_encoding(build_encoding(d1, []))
+        assert "|ext(teachers)| = 1" in text
+        assert "|ext(teach)| = x1(subject,teach)" in text
+        assert "|ext(teach)| = x2(subject,teach)" in text
+        assert "all variables >= 0, integer" in text
+
+    def test_constraint_rows_grouped(self, d1, sigma1):
+        text = describe_encoding(build_encoding(d1, sigma1))
+        assert "constraint cardinalities (C_Sigma)" in text
+        # Key row: |ext(teacher.name)| = |ext(teacher)|.
+        assert "|ext(teacher.name)| = |ext(teacher)|" in text
+        # IC row: |ext(subject.taught_by)| <= |ext(teacher.name)|.
+        assert "|ext(subject.taught_by)| <= |ext(teacher.name)|" in text
+
+    def test_conditionals_rendered(self, d1):
+        text = describe_encoding(build_encoding(d1, []))
+        assert "attribute-totality conditionals" in text
+        assert "|ext(teacher)| > 0  ->  |ext(teacher.name)| > 0" in text
+
+    def test_setrep_block_rendered(self):
+        d = DTD.build(
+            "r", {"r": "(a*, b*)", "a": "EMPTY", "b": "EMPTY"},
+            attrs={"a": ["x"], "b": ["y"]},
+        )
+        text = describe_encoding(
+            build_encoding(d, parse_constraints("a.x !<= b.y"))
+        )
+        assert "set-representation block (Theorem 5.1)" in text
+        assert "z[" in text
+
+    def test_negkey_row_rendered(self):
+        d = DTD.build("r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["x"]})
+        text = describe_encoding(
+            build_encoding(d, parse_constraints("a.x !-> a"))
+        )
+        # |ext(a.x)| <= |ext(a)| - 1, rendered with the -1 moved right.
+        assert "|ext(a.x)| <= |ext(a)| + -1" in text

@@ -1,0 +1,78 @@
+"""Unit tests for the linear-system model."""
+
+from repro.ilp.bounds import papadimitriou_bound
+from repro.ilp.model import EQ, GE, LE, LinearSystem, Row
+
+
+class TestLinearSystem:
+    def test_variables_registered_via_rows(self):
+        system = LinearSystem()
+        system.add_eq({"x": 1, "y": 2}, 3)
+        assert set(system.variables) == {"x", "y"}
+        assert system.num_rows == 1
+
+    def test_zero_coefficients_dropped(self):
+        system = LinearSystem()
+        system.add_le({"x": 0, "y": 1}, 1)
+        row = system.rows[0]
+        assert dict(row.coeffs) == {"y": 1}
+
+    def test_check_reports_violations(self):
+        system = LinearSystem()
+        system.add_eq({"x": 1}, 2, label="pin-x")
+        system.add_ge({"y": 1}, 1)
+        assert system.check({"x": 2, "y": 1}) == []
+        violated = system.check({"x": 1, "y": 1})
+        assert len(violated) == 1
+        assert violated[0].label == "pin-x"
+
+    def test_check_enforces_nonnegativity_and_upper(self):
+        system = LinearSystem()
+        system.ensure_var("x")
+        system.set_upper("x", 5)
+        assert system.check({"x": -1})
+        assert system.check({"x": 6})
+        assert not system.check({"x": 5})
+
+    def test_upper_bound_tightens_only(self):
+        system = LinearSystem()
+        system.set_upper("x", 10)
+        system.set_upper("x", 20)
+        assert system.upper("x") == 10
+
+    def test_copy_is_independent(self):
+        system = LinearSystem()
+        system.add_eq({"x": 1}, 1)
+        clone = system.copy()
+        clone.add_eq({"y": 1}, 2)
+        assert system.num_rows == 1
+        assert clone.num_rows == 2
+
+    def test_max_abs_value(self):
+        system = LinearSystem()
+        system.add_eq({"x": -7}, 3)
+        assert system.max_abs_value() == 7
+
+    def test_row_evaluate_senses(self):
+        assert Row((("x", 1),), LE, 2).evaluate({"x": 2})
+        assert not Row((("x", 1),), LE, 2).evaluate({"x": 3})
+        assert Row((("x", 1),), GE, 2).evaluate({"x": 2})
+        assert Row((("x", 1),), EQ, 2).evaluate({"x": 2})
+        assert not Row((("x", 1),), EQ, 2).evaluate({"x": 1})
+
+    def test_missing_variables_count_zero(self):
+        assert Row((("x", 1), ("y", 1)), EQ, 1).evaluate({"x": 1})
+
+    def test_pretty_includes_label(self):
+        row = Row((("x", 2),), LE, 4, "cap")
+        assert "cap" in row.pretty()
+        assert "2*x" in row.pretty()
+
+
+class TestBounds:
+    def test_formula(self):
+        assert papadimitriou_bound(2, 1, 1) == 2 * 1 ** 3
+        assert papadimitriou_bound(3, 2, 2) == 3 * (4) ** 5
+
+    def test_degenerate_clamped(self):
+        assert papadimitriou_bound(0, 0, 0) == 1

@@ -1,0 +1,158 @@
+"""The scipy and exact ILP backends agree — unit and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.ilp.exact import solve_exact
+from repro.ilp.model import LinearSystem
+from repro.ilp.scipy_backend import lp_infeasible, solve_milp
+
+
+def _both(system):
+    return solve_milp(system), solve_exact(system)
+
+
+class TestKnownSystems:
+    def test_simple_feasible(self):
+        system = LinearSystem()
+        system.add_eq({"x": 1, "y": 1}, 5)
+        system.add_ge({"x": 1}, 2)
+        for result in _both(system):
+            assert result.feasible
+            assert result.values["x"] + result.values["y"] == 5
+            assert result.values["x"] >= 2
+
+    def test_simple_infeasible(self):
+        system = LinearSystem()
+        system.add_le({"x": 1}, 1)
+        system.add_ge({"x": 1}, 2)
+        for result in _both(system):
+            assert result.infeasible
+
+    def test_parity_infeasibility(self):
+        # 2x = 2y + 1 has no integer solution; LP relaxation is feasible.
+        system = LinearSystem()
+        system.add_eq({"x": 2, "y": -2}, 1)
+        for result in _both(system):
+            assert result.infeasible
+        assert not lp_infeasible(system)
+
+    def test_integrality_forces_larger_solution(self):
+        # 3x >= 2, x integer: minimum is 1, not 2/3.
+        system = LinearSystem()
+        system.add_ge({"x": 3}, 2)
+        for result in _both(system):
+            assert result.feasible
+            assert result.values["x"] == 1
+
+    def test_empty_system_feasible(self):
+        system = LinearSystem()
+        for result in _both(system):
+            assert result.feasible
+
+    def test_constant_false_row(self):
+        system = LinearSystem()
+        system.add_ge({}, 1)
+        for result in _both(system):
+            assert result.infeasible
+
+    def test_upper_bounds_respected(self):
+        system = LinearSystem()
+        system.add_ge({"x": 1, "y": 1}, 10)
+        system.set_upper("x", 3)
+        for result in _both(system):
+            assert result.feasible
+            assert result.values["x"] <= 3
+            assert result.values["x"] + result.values["y"] >= 10
+
+    def test_minimization_prefers_small(self):
+        system = LinearSystem()
+        system.add_ge({"x": 1}, 4)
+        result = solve_milp(system)
+        assert result.values["x"] == 4
+
+    def test_objective_override(self):
+        system = LinearSystem()
+        system.add_ge({"x": 1, "y": 1}, 3)
+        result = solve_milp(system, objective={"x": 1.0, "y": 10.0})
+        assert result.feasible
+        assert result.values["y"] == 0
+
+    def test_exact_node_limit_raises(self):
+        # 2x + 3y = 1 over nonnegative integers: the root LP is fractional
+        # (gcd preprocessing cannot cut it), so branching is required and a
+        # one-node budget must be reported as exhausted.
+        system = LinearSystem()
+        system.add_eq({"x": 2, "y": 3}, 1)
+        with pytest.raises(SolverError):
+            solve_exact(system, node_limit=1)
+
+    def test_gcd_preprocessing_catches_divisibility(self):
+        system = LinearSystem()
+        system.add_eq({"x": 6, "y": 9}, 5)
+        assert solve_exact(system).infeasible
+
+
+class TestLpInfeasible:
+    def test_definitely_infeasible_lp(self):
+        system = LinearSystem()
+        system.add_le({"x": 1}, 1)
+        system.add_ge({"x": 1}, 3)
+        assert lp_infeasible(system)
+
+    def test_feasible_lp_not_pruned(self):
+        system = LinearSystem()
+        system.add_ge({"x": 1}, 3)
+        assert not lp_infeasible(system)
+
+
+@st.composite
+def _random_systems(draw):
+    num_vars = draw(st.integers(1, 4))
+    num_rows = draw(st.integers(1, 4))
+    names = [f"v{i}" for i in range(num_vars)]
+    system = LinearSystem()
+    for _ in range(num_rows):
+        coeffs = {
+            name: draw(st.integers(-3, 3)) for name in names
+        }
+        rhs = draw(st.integers(-6, 6))
+        sense = draw(st.sampled_from(["le", "ge", "eq"]))
+        if sense == "le":
+            system.add_le(coeffs, rhs)
+        elif sense == "ge":
+            system.add_ge(coeffs, rhs)
+        else:
+            system.add_eq(coeffs, rhs)
+    for name in names:
+        system.ensure_var(name)
+        system.set_upper(name, 8)  # keep brute force cheap
+    return system
+
+
+def _brute_force_feasible(system) -> bool:
+    from itertools import product
+
+    names = list(system.variables)
+    for values in product(range(9), repeat=len(names)):
+        assignment = dict(zip(names, values))
+        if not system.check(assignment):
+            return True
+    return False
+
+
+class TestBackendAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(system=_random_systems())
+    def test_scipy_exact_and_brute_force_agree(self, system):
+        expected = _brute_force_feasible(system)
+        scipy_result = solve_milp(system)
+        assert scipy_result.status in ("feasible", "infeasible")
+        assert scipy_result.feasible == expected
+        exact_result = solve_exact(system, node_limit=20000)
+        assert exact_result.feasible == expected
+        if expected:
+            assert not system.check(scipy_result.values)
+            assert not system.check(exact_result.values)

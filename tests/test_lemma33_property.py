@@ -1,0 +1,65 @@
+"""Property test: the Lemma 3.3 equivalence over random specifications.
+
+Consistency of (D, Sigma) must coincide with the *non*-implication of
+phi1 over the Figure-3 extension D' — for arbitrary unary Sigma, not just
+the worked examples. Both sides are decided by independent code paths
+(the consistency checker vs. the negation-based implication checker over
+a different DTD), so this is a strong end-to-end cross-check.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkers.consistency import check_consistency
+from repro.checkers.implication import implies
+from repro.checkers.config import CheckerConfig
+from repro.relational.reductions import consistency_to_implication
+from repro.workloads.generators import random_dtd, random_unary_constraints
+
+_FAST = CheckerConfig(want_witness=False)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    num_keys=st.integers(0, 2),
+    num_fks=st.integers(0, 2),
+)
+def test_lemma33_equivalence_random(seed, num_keys, num_fks):
+    dtd = random_dtd(seed, num_types=4)
+    sigma = random_unary_constraints(seed, dtd, num_keys, num_fks)
+    reduction = consistency_to_implication(dtd)
+
+    consistent = check_consistency(dtd, sigma, _FAST).consistent
+    implication1 = implies(
+        reduction.dtd_prime,
+        [*sigma, reduction.ell, reduction.phi2],
+        reduction.phi1,
+        _FAST,
+    ).implied
+    assert consistent == (not implication1)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10_000))
+def test_lemma33_second_form_random(seed):
+    dtd = random_dtd(seed, num_types=4)
+    sigma = random_unary_constraints(seed, dtd, num_keys=1, num_fks=1)
+    reduction = consistency_to_implication(dtd)
+
+    consistent = check_consistency(dtd, sigma, _FAST).consistent
+    implication2 = implies(
+        reduction.dtd_prime,
+        [*sigma, reduction.ell, reduction.phi1],
+        reduction.phi2,
+        _FAST,
+    ).implied
+    assert consistent == (not implication2)

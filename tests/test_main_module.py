@@ -1,0 +1,56 @@
+"""End-to-end test of the installed ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+from repro.dtd.serializer import dtd_to_string
+from repro.workloads.examples import teachers_dtd_d1
+
+SIGMA1 = (
+    "teacher.name -> teacher\n"
+    "subject.taught_by -> subject\n"
+    "subject.taught_by => teacher.name\n"
+)
+
+
+def _run(*argv: str):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestMainModule:
+    def test_check_inconsistent(self, tmp_path):
+        dtd_path = tmp_path / "d1.dtd"
+        dtd_path.write_text(dtd_to_string(teachers_dtd_d1()))
+        sigma_path = tmp_path / "sigma1.txt"
+        sigma_path.write_text(SIGMA1)
+        proc = _run("check", str(dtd_path), str(sigma_path))
+        assert proc.returncode == 1
+        assert "consistent: False" in proc.stdout
+
+    def test_check_dtd_alone(self, tmp_path):
+        dtd_path = tmp_path / "d1.dtd"
+        dtd_path.write_text(dtd_to_string(teachers_dtd_d1()))
+        proc = _run("check", str(dtd_path))
+        assert proc.returncode == 0
+        assert "consistent: True" in proc.stdout
+
+    def test_root_override(self, tmp_path):
+        dtd_path = tmp_path / "two_roots.dtd"
+        # `b` is independent of `a`, so either may serve as the root
+        # (Definition 2.1 forbids the root from occurring in content
+        # models, so only types unreferenced by others are re-rootable).
+        dtd_path.write_text(
+            "<!ELEMENT a (c?)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c EMPTY>\n"
+        )
+        assert _run("check", str(dtd_path)).returncode == 0
+        assert _run("--root", "b", "check", str(dtd_path)).returncode == 0
+
+    def test_usage_error_exit_code(self, tmp_path):
+        proc = _run("check", str(tmp_path / "missing.dtd"))
+        assert proc.returncode == 2
+        assert "error:" in proc.stderr

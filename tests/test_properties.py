@@ -1,0 +1,107 @@
+"""End-to-end property-based tests on the decision procedures.
+
+The central invariant of the library: *every* "consistent" answer is
+backed by a synthesized witness that re-verifies against both the DTD and
+the constraints (the checkers enforce this internally; here hypothesis
+hammers the pipeline with random specifications), and "inconsistent"
+answers agree with brute-force search on small instances.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checkers.bounded import bounded_consistency
+from repro.checkers.consistency import check_consistency
+from repro.checkers.implication import implies
+from repro.constraints.satisfaction import satisfies, satisfies_all
+from repro.dtd.analysis import has_valid_tree
+from repro.workloads.generators import random_dtd, random_unary_constraints
+from repro.xmltree.validate import conforms
+
+_slow = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+class TestConsistencyPipeline:
+    @_slow
+    @given(
+        seed=st.integers(0, 10_000),
+        num_keys=st.integers(0, 2),
+        num_fks=st.integers(0, 3),
+    )
+    def test_witnesses_always_verify(self, seed, num_keys, num_fks):
+        dtd = random_dtd(seed, num_types=5)
+        sigma = random_unary_constraints(seed, dtd, num_keys, num_fks)
+        result = check_consistency(dtd, sigma)
+        if result.consistent:
+            assert conforms(result.witness, dtd)
+            assert satisfies_all(result.witness, sigma)
+        else:
+            # Inconsistency implies no tiny witness either.
+            assert bounded_consistency(dtd, sigma, max_nodes=5) is None
+
+    @_slow
+    @given(seed=st.integers(0, 10_000))
+    def test_negation_witnesses_verify(self, seed):
+        dtd = random_dtd(seed, num_types=4)
+        sigma = random_unary_constraints(
+            seed, dtd, num_keys=1, num_fks=1, num_neg_keys=1, num_neg_inclusions=1
+        )
+        result = check_consistency(dtd, sigma)
+        if result.consistent:
+            assert satisfies_all(result.witness, sigma)
+
+    @_slow
+    @given(seed=st.integers(0, 10_000))
+    def test_empty_sigma_matches_emptiness_check(self, seed):
+        dtd = random_dtd(seed, num_types=5)
+        assert check_consistency(dtd, []).consistent == has_valid_tree(dtd)
+
+    @_slow
+    @given(seed=st.integers(0, 10_000))
+    def test_monotonicity_in_sigma(self, seed):
+        # A superset of constraints can only remove models.
+        dtd = random_dtd(seed, num_types=4)
+        sigma = random_unary_constraints(seed, dtd, num_keys=1, num_fks=2)
+        if not sigma:
+            return
+        whole = check_consistency(dtd, sigma).consistent
+        part = check_consistency(dtd, sigma[:-1]).consistent
+        if whole:
+            assert part
+
+
+class TestImplicationPipeline:
+    @_slow
+    @given(seed=st.integers(0, 10_000))
+    def test_sigma_members_are_implied(self, seed):
+        dtd = random_dtd(seed, num_types=4)
+        sigma = random_unary_constraints(seed, dtd, num_keys=1, num_fks=1)
+        if not sigma:
+            return
+        if not check_consistency(dtd, sigma).consistent:
+            return
+        for phi in sigma:
+            assert implies(dtd, sigma, phi).implied
+
+    @_slow
+    @given(seed=st.integers(0, 10_000))
+    def test_counterexamples_verify(self, seed):
+        dtd = random_dtd(seed, num_types=4)
+        sigma = random_unary_constraints(seed, dtd, num_keys=1, num_fks=1)
+        pairs = dtd.attribute_pairs()
+        if not pairs:
+            return
+        from repro.constraints.ast import Key
+
+        tau, attr = pairs[seed % len(pairs)]
+        phi = Key(tau, (attr,))
+        result = implies(dtd, sigma, phi)
+        if not result.implied and result.counterexample is not None:
+            tree = result.counterexample
+            assert conforms(tree, dtd)
+            assert satisfies_all(tree, sigma)
+            assert not satisfies(tree, phi)

@@ -1,0 +1,87 @@
+"""Integration tests on the realistic bibliography workload."""
+
+import pytest
+
+from repro.analysis.diagnostics import diagnose
+from repro.analysis.extent_bounds import extent_bounds
+from repro.checkers.consistency import check_consistency
+from repro.checkers.implication import implies
+from repro.constraints.parser import parse_constraint
+from repro.constraints.satisfaction import satisfies_all, violations
+from repro.workloads.realistic import (
+    bibliography_constraints,
+    bibliography_document,
+    bibliography_dtd,
+    broken_bibliography_document,
+    inconsistent_bibliography,
+)
+from repro.xmltree.validate import conforms
+
+
+class TestDocuments:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_documents_valid(self, seed):
+        dtd = bibliography_dtd()
+        sigma = bibliography_constraints()
+        doc = bibliography_document(seed=seed)
+        assert conforms(doc, dtd)
+        assert satisfies_all(doc, sigma)
+
+    def test_broken_document_violations_pinpointed(self):
+        sigma = bibliography_constraints()
+        doc = broken_bibliography_document()
+        violated = {str(phi) for phi in violations(doc, sigma)}
+        assert "article.key -> article" in violated
+        assert any("cite.dst" in phi for phi in violated)
+
+    def test_document_sizes_scale(self):
+        small = bibliography_document(num_articles=2, num_cites=0)
+        large = bibliography_document(num_articles=20, num_cites=30)
+        assert large.size() > small.size()
+
+
+class TestStaticAnalysis:
+    def test_specification_consistent(self):
+        dtd = bibliography_dtd()
+        sigma = bibliography_constraints()
+        result = check_consistency(dtd, sigma)
+        assert result.consistent
+        assert satisfies_all(result.witness, sigma)
+
+    def test_citation_inclusion_implied(self):
+        dtd = bibliography_dtd()
+        sigma = bibliography_constraints()
+        phi = parse_constraint("cite.src <= article.key")
+        assert implies(dtd, sigma, phi).implied
+
+    def test_reverse_inclusion_not_implied(self):
+        dtd = bibliography_dtd()
+        sigma = bibliography_constraints()
+        phi = parse_constraint("article.key <= cite.src")
+        result = implies(dtd, sigma, phi)
+        assert not result.implied
+        assert result.counterexample is not None
+
+    def test_extent_bounds_on_articles(self):
+        dtd = bibliography_dtd()
+        bounds = extent_bounds(dtd, bibliography_constraints(), "article")
+        assert bounds.minimum == 1  # article+ demands one
+        assert bounds.maximum is None
+
+    def test_inconsistent_variant_detected_and_explained(self):
+        dtd, sigma = inconsistent_bibliography()
+        result = check_consistency(dtd, sigma)
+        assert not result.consistent
+        report = diagnose(dtd, sigma)
+        mus = {str(phi) for phi in report.mus}
+        assert mus == {
+            "authorref.pid -> authorref",
+            "authorref.pid => person.pid",
+        }
+
+    def test_single_author_bounds_explain_the_clash(self):
+        dtd, _sigma = inconsistent_bibliography()
+        person = extent_bounds(dtd, [], "person")
+        authorref = extent_bounds(dtd, [], "authorref")
+        assert person.maximum == 1
+        assert authorref.minimum == 2

@@ -1,0 +1,80 @@
+"""Theorem 4.7 (Figure 4) reduction tests: LIP <-> XML consistency."""
+
+import pytest
+
+from repro.checkers.consistency import check_consistency
+from repro.checkers.primary import check_consistency_primary
+from repro.constraints.classes import classify, is_primary_key_set, ConstraintClass
+from repro.reductions.lip import (
+    LIPInstance,
+    brute_force_binary_solution,
+    extract_binary_solution,
+    lip_to_xml,
+    random_lip_instance,
+)
+
+
+class TestLIPInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LIPInstance(())
+        with pytest.raises(ValueError):
+            LIPInstance(((1, 2),))
+        with pytest.raises(ValueError):
+            LIPInstance(((1, 0), (1,)))
+
+    def test_brute_force_finds_solution(self):
+        assert brute_force_binary_solution(LIPInstance(((1, 0), (0, 1)))) == (1, 1)
+
+    def test_brute_force_detects_unsolvable(self):
+        # x1 = 1 and x1 + x2 = 1 and x2 = 1 cannot all hold.
+        instance = LIPInstance(((1, 0), (1, 1), (0, 1)))
+        assert brute_force_binary_solution(instance) is None
+
+    def test_random_instance_deterministic(self):
+        a = random_lip_instance(3, 4, 0.5, seed=7)
+        b = random_lip_instance(3, 4, 0.5, seed=7)
+        assert a == b
+        assert all(any(row) for row in a.matrix)
+
+
+class TestReductionStructure:
+    def test_constraints_are_unary_and_primary(self):
+        red = lip_to_xml(random_lip_instance(3, 3, 0.6, seed=1))
+        assert classify(red.sigma) == ConstraintClass.UNARY_K_FK
+        assert is_primary_key_set(red.sigma)
+
+    def test_dtd_elements_per_figure4(self):
+        red = lip_to_xml(LIPInstance(((1, 1),)))
+        types = set(red.dtd.element_types)
+        assert {"r", "F1", "b1", "VF1", "X1_1", "X1_2", "Z1_1", "Z1_2"} <= types
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_checker_agrees_with_brute_force(self, seed):
+        instance = random_lip_instance(3, 3, 0.55, seed=seed)
+        red = lip_to_xml(instance)
+        oracle = brute_force_binary_solution(instance)
+        result = check_consistency(red.dtd, red.sigma)
+        assert result.consistent == (oracle is not None)
+        if result.consistent:
+            solution = extract_binary_solution(red, result.witness)
+            for row in instance.matrix:
+                assert sum(a * x for a, x in zip(row, solution)) == 1
+
+    def test_known_solvable(self):
+        red = lip_to_xml(LIPInstance(((1, 0, 1), (0, 1, 0))))
+        result = check_consistency_primary(red.dtd, red.sigma)
+        assert result.consistent
+
+    def test_known_unsolvable(self):
+        red = lip_to_xml(LIPInstance(((1, 0), (1, 1), (0, 1))))
+        assert not check_consistency(red.dtd, red.sigma).consistent
+
+    def test_larger_instance(self):
+        instance = random_lip_instance(4, 5, 0.4, seed=42)
+        red = lip_to_xml(instance)
+        oracle = brute_force_binary_solution(instance)
+        result = check_consistency(red.dtd, red.sigma)
+        assert result.consistent == (oracle is not None)

@@ -1,0 +1,106 @@
+"""Unit tests for regex structural analyses."""
+
+import pytest
+
+from repro.regex.analysis import (
+    alphabet,
+    can_derive_over,
+    min_weight_word,
+    nullable,
+    saturating_count,
+)
+from repro.regex.ast import TEXT_SYMBOL
+from repro.regex.parser import parse_content_model
+
+
+def _expr(text):
+    return parse_content_model(text)
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "model,expected",
+        [
+            ("EMPTY", True),
+            ("a", False),
+            ("#PCDATA", False),
+            ("a*", True),
+            ("a+", False),
+            ("a?", True),
+            ("(a*, b*)", True),
+            ("(a*, b)", False),
+            ("(a | b*)", True),
+        ],
+    )
+    def test_cases(self, model, expected):
+        assert nullable(_expr(model)) is expected
+
+
+class TestAlphabet:
+    def test_collects_names_and_text(self):
+        assert alphabet(_expr("(a, (b | #PCDATA)*)")) == {"a", "b", TEXT_SYMBOL}
+
+    def test_empty(self):
+        assert alphabet(_expr("EMPTY")) == frozenset()
+
+
+class TestCanDeriveOver:
+    def test_star_always_derivable(self):
+        assert can_derive_over(_expr("dead*"), frozenset())
+
+    def test_concat_needs_all_parts(self):
+        expr = _expr("(a, b)")
+        assert can_derive_over(expr, {"a", "b"})
+        assert not can_derive_over(expr, {"a"})
+
+    def test_union_needs_one_part(self):
+        expr = _expr("(a | b)")
+        assert can_derive_over(expr, {"b"})
+        assert not can_derive_over(expr, set())
+
+    def test_text_requires_text_symbol(self):
+        assert can_derive_over(_expr("#PCDATA"), {TEXT_SYMBOL})
+        assert not can_derive_over(_expr("#PCDATA"), {"a"})
+
+
+class TestSaturatingCount:
+    def test_dead_symbol_kills_concat(self):
+        assert saturating_count(_expr("(a, dead)"), {"a": 1}) is None
+
+    def test_dead_branch_skipped_in_union(self):
+        assert saturating_count(_expr("(a | dead)"), {"a": 1}) == 1
+
+    def test_concat_sums_and_saturates(self):
+        assert saturating_count(_expr("(a, a)"), {"a": 1}) == 2
+        assert saturating_count(_expr("(a, a, a)"), {"a": 1}) == 2
+
+    def test_union_takes_max(self):
+        weights = {"a": 1, "b": 0}
+        assert saturating_count(_expr("(a | b)"), weights) == 1
+
+    def test_star_saturates_positive_content(self):
+        assert saturating_count(_expr("a*"), {"a": 1}) == 2
+        assert saturating_count(_expr("a*"), {"a": 0}) == 0
+        # Star of something underivable is still the empty word.
+        assert saturating_count(_expr("dead*"), {}) == 0
+
+    def test_optional_of_dead_is_zero(self):
+        assert saturating_count(_expr("dead?"), {}) == 0
+
+    def test_plus_needs_derivable_body(self):
+        assert saturating_count(_expr("dead+"), {}) is None
+        assert saturating_count(_expr("a+"), {"a": 1}) == 2
+
+
+class TestMinWeightWord:
+    def test_min_chooses_cheapest_branch(self):
+        assert min_weight_word(_expr("(a | b)"), {"a": 3, "b": 1}) == 1
+
+    def test_concat_adds_without_saturation(self):
+        assert min_weight_word(_expr("(a, a, a)"), {"a": 2}) == 6
+
+    def test_star_is_free(self):
+        assert min_weight_word(_expr("a*"), {"a": 5}) == 0
+
+    def test_underivable_returns_none(self):
+        assert min_weight_word(_expr("(a, dead)"), {"a": 1}) is None

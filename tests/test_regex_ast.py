@@ -1,0 +1,70 @@
+"""Unit tests for the content-model regex AST."""
+
+import pytest
+
+from repro.regex.ast import (
+    EPSILON,
+    TEXT,
+    TEXT_SYMBOL,
+    Concat,
+    Name,
+    Optional,
+    Plus,
+    Star,
+    Union,
+    concat,
+    union,
+)
+
+
+class TestNodes:
+    def test_epsilon_renders_as_empty(self):
+        assert str(EPSILON) == "EMPTY"
+
+    def test_text_renders_as_pcdata(self):
+        assert str(TEXT) == TEXT_SYMBOL
+
+    def test_name_renders_symbol(self):
+        assert str(Name("teacher")) == "teacher"
+
+    def test_concat_requires_two_items(self):
+        with pytest.raises(ValueError):
+            Concat((Name("a"),))
+
+    def test_union_requires_two_items(self):
+        with pytest.raises(ValueError):
+            Union((Name("a"),))
+
+    def test_concat_str_parenthesizes_compound_children(self):
+        inner = Union((Name("a"), Name("b")))
+        expr = Concat((inner, Name("c")))
+        assert str(expr) == "(a | b), c"
+
+    def test_star_plus_optional_render_postfix(self):
+        assert str(Star(Name("a"))) == "a*"
+        assert str(Plus(Name("a"))) == "a+"
+        assert str(Optional(Name("a"))) == "a?"
+
+    def test_star_of_compound_parenthesizes(self):
+        assert str(Star(Concat((Name("a"), Name("b"))))) == "(a, b)*"
+
+    def test_nodes_are_hashable_and_comparable(self):
+        assert Name("a") == Name("a")
+        assert Name("a") != Name("b")
+        assert len({Name("a"), Name("a"), Name("b")}) == 2
+        assert Concat((Name("a"), Name("b"))) == Concat((Name("a"), Name("b")))
+
+
+class TestHelpers:
+    def test_concat_helper_collapses_degenerate_cases(self):
+        assert concat() == EPSILON
+        assert concat(Name("a")) == Name("a")
+        assert concat(Name("a"), Name("b")) == Concat((Name("a"), Name("b")))
+
+    def test_union_helper_collapses_single(self):
+        assert union(Name("a")) == Name("a")
+        assert union(Name("a"), Name("b")) == Union((Name("a"), Name("b")))
+
+    def test_union_helper_rejects_empty(self):
+        with pytest.raises(ValueError):
+            union()

@@ -1,0 +1,110 @@
+"""The two matchers (derivatives, Glushkov) agree — unit and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.ast import (
+    EPSILON,
+    TEXT,
+    TEXT_SYMBOL,
+    Concat,
+    Name,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Union,
+)
+from repro.regex.derivatives import matches as matches_derivative
+from repro.regex.enumerate import words_up_to
+from repro.regex.glushkov import GlushkovAutomaton
+from repro.regex.parser import parse_content_model
+
+_SYMBOLS = ["a", "b", "c"]
+
+
+def _leaf() -> st.SearchStrategy[Regex]:
+    return st.one_of(
+        st.sampled_from([Name(s) for s in _SYMBOLS]),
+        st.just(EPSILON),
+        st.just(TEXT),
+    )
+
+
+def _regexes(max_depth: int = 3) -> st.SearchStrategy[Regex]:
+    return st.recursive(
+        _leaf(),
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda ab: Concat(ab)),
+            st.tuples(inner, inner).map(lambda ab: Union(ab)),
+            inner.map(Star),
+            inner.map(Plus),
+            inner.map(Optional),
+        ),
+        max_leaves=8,
+    )
+
+
+def _words(max_len: int = 4) -> st.SearchStrategy[list[str]]:
+    return st.lists(
+        st.sampled_from(_SYMBOLS + [TEXT_SYMBOL]), max_size=max_len
+    )
+
+
+class TestKnownLanguages:
+    @pytest.mark.parametrize(
+        "model,word,expected",
+        [
+            ("(a, b)", ["a", "b"], True),
+            ("(a, b)", ["b", "a"], False),
+            ("(a | b)", ["a"], True),
+            ("(a | b)", ["a", "b"], False),
+            ("(a)*", [], True),
+            ("(a)*", ["a"] * 5, True),
+            ("(a)+", [], False),
+            ("(a)+", ["a"], True),
+            ("a?", [], True),
+            ("a?", ["a", "a"], False),
+            ("EMPTY", [], True),
+            ("EMPTY", ["a"], False),
+            ("(#PCDATA)", [TEXT_SYMBOL], True),
+            ("(#PCDATA)", ["a"], False),
+            ("(a, (b | c)*)", ["a", "b", "c", "b"], True),
+            ("(a, (b | c)*)", ["b"], False),
+        ],
+    )
+    def test_both_matchers(self, model, word, expected):
+        expr = parse_content_model(model)
+        assert matches_derivative(expr, word) is expected
+        assert GlushkovAutomaton(expr).accepts(word) is expected
+
+    def test_repeated_symbol_positions(self):
+        # Glushkov must distinguish the two `subject` positions.
+        expr = parse_content_model("(subject, subject)")
+        auto = GlushkovAutomaton(expr)
+        assert auto.position_count == 2
+        assert auto.accepts(["subject", "subject"])
+        assert not auto.accepts(["subject"])
+        assert not auto.accepts(["subject"] * 3)
+
+
+class TestAgreementProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(expr=_regexes(), word=_words())
+    def test_derivative_and_glushkov_agree(self, expr, word):
+        assert matches_derivative(expr, word) == GlushkovAutomaton(expr).accepts(word)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=_regexes())
+    def test_enumerated_words_are_accepted(self, expr):
+        auto = GlushkovAutomaton(expr)
+        for word in words_up_to(expr, 3):
+            assert auto.accepts(word), f"{word} enumerated but rejected"
+            assert matches_derivative(expr, list(word))
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=_regexes(), word=_words(3))
+    def test_enumeration_is_complete_up_to_bound(self, expr, word):
+        if matches_derivative(expr, word):
+            assert tuple(word) in set(words_up_to(expr, len(word)))

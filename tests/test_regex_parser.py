@@ -1,0 +1,109 @@
+"""Unit tests for the content-model parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.regex.ast import (
+    EPSILON,
+    TEXT,
+    Concat,
+    Name,
+    Optional,
+    Plus,
+    Star,
+    Union,
+)
+from repro.regex.parser import parse_content_model
+
+
+class TestBasicForms:
+    def test_single_name(self):
+        assert parse_content_model("teacher") == Name("teacher")
+
+    def test_parenthesized_name(self):
+        assert parse_content_model("(teacher)") == Name("teacher")
+
+    def test_empty_keyword(self):
+        assert parse_content_model("EMPTY") == EPSILON
+
+    def test_pcdata(self):
+        assert parse_content_model("(#PCDATA)") == TEXT
+        assert parse_content_model("#PCDATA") == TEXT
+
+    def test_sequence(self):
+        assert parse_content_model("(a, b, c)") == Concat(
+            (Name("a"), Name("b"), Name("c"))
+        )
+
+    def test_choice(self):
+        assert parse_content_model("(a | b | c)") == Union(
+            (Name("a"), Name("b"), Name("c"))
+        )
+
+    def test_postfix_operators(self):
+        assert parse_content_model("(a)*") == Star(Name("a"))
+        assert parse_content_model("a+") == Plus(Name("a"))
+        assert parse_content_model("a?") == Optional(Name("a"))
+
+    def test_stacked_postfix(self):
+        assert parse_content_model("a*?") == Optional(Star(Name("a")))
+
+    def test_nested_grouping(self):
+        expr = parse_content_model("((a | b), c*)+")
+        assert expr == Plus(
+            Concat((Union((Name("a"), Name("b"))), Star(Name("c"))))
+        )
+
+    def test_mixed_content_declaration(self):
+        expr = parse_content_model("(#PCDATA | em | strong)*")
+        assert expr == Star(Union((TEXT, Name("em"), Name("strong"))))
+
+    def test_names_with_dots_dashes_colons(self):
+        assert parse_content_model("xs:element") == Name("xs:element")
+        assert parse_content_model("foo-bar.baz") == Name("foo-bar.baz")
+
+
+class TestErrors:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_content_model("   ")
+
+    def test_any_rejected(self):
+        with pytest.raises(ParseError, match="ANY"):
+            parse_content_model("ANY")
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(ParseError, match="mix"):
+            parse_content_model("(a, b | c)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_content_model("(a, b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_content_model("a b")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_content_model("a & b")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a",
+            "EMPTY",
+            "#PCDATA",
+            "(a, b)",
+            "(a | b)",
+            "(a, b)*",
+            "((a | b), c)+",
+            "(a?, (b | #PCDATA)*)",
+        ],
+    )
+    def test_parse_str_parse_fixpoint(self, source):
+        once = parse_content_model(source)
+        twice = parse_content_model(str(once))
+        assert once == twice

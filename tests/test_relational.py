@@ -1,0 +1,195 @@
+"""Relational substrate and Section-3 reduction tests."""
+
+import pytest
+
+from repro.checkers.bounded import bounded_consistency
+from repro.constraints.ast import ForeignKey, Key
+from repro.relational.constraints import (
+    FD,
+    ID,
+    RelForeignKey,
+    RelKey,
+    rel_satisfies,
+    rel_satisfies_all,
+)
+from repro.relational.model import Instance, RelationSchema, Schema
+from repro.relational.reductions import (
+    encode_fd_implication,
+    relational_implication_to_xml,
+)
+
+
+@pytest.fixture
+def rs():
+    return Schema(
+        (
+            RelationSchema("emp", ("eid", "dept", "boss")),
+            RelationSchema("dept", ("did", "head")),
+        )
+    )
+
+
+def _instance(rs, emp_rows=(), dept_rows=()):
+    inst = Instance(rs)
+    for row in emp_rows:
+        inst.insert("emp", row)
+    for row in dept_rows:
+        inst.insert("dept", row)
+    return inst
+
+
+class TestModel:
+    def test_duplicate_rows_collapse(self, rs):
+        inst = _instance(rs, emp_rows=[
+            {"eid": "1", "dept": "cs", "boss": "b"},
+            {"eid": "1", "dept": "cs", "boss": "b"},
+        ])
+        assert len(inst.tuples("emp")) == 1
+
+    def test_missing_attribute_rejected(self, rs):
+        with pytest.raises(ValueError, match="missing"):
+            _instance(rs, emp_rows=[{"eid": "1"}])
+
+    def test_projection(self, rs):
+        inst = _instance(rs, emp_rows=[
+            {"eid": "1", "dept": "cs", "boss": "b"},
+            {"eid": "2", "dept": "cs", "boss": "c"},
+        ])
+        assert inst.project("emp", ("dept",)) == {("cs",)}
+
+    def test_duplicate_schema_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema((RelationSchema("R", ("a",)), RelationSchema("R", ("b",))))
+
+
+class TestSatisfaction:
+    def test_fd(self, rs):
+        inst = _instance(rs, emp_rows=[
+            {"eid": "1", "dept": "cs", "boss": "b"},
+            {"eid": "1", "dept": "math", "boss": "b"},
+        ])
+        assert not rel_satisfies(inst, FD("emp", ("eid",), ("dept",)))
+        assert rel_satisfies(inst, FD("emp", ("eid",), ("boss",)))
+
+    def test_key_means_whole_tuple(self, rs):
+        inst = _instance(rs, emp_rows=[
+            {"eid": "1", "dept": "cs", "boss": "b"},
+            {"eid": "1", "dept": "math", "boss": "b"},
+        ])
+        assert not rel_satisfies(inst, RelKey("emp", ("eid",)))
+        assert rel_satisfies(inst, RelKey("emp", ("eid", "dept")))
+
+    def test_full_attribute_set_is_always_a_key(self, rs):
+        inst = _instance(rs, emp_rows=[
+            {"eid": "1", "dept": "cs", "boss": "b"},
+            {"eid": "2", "dept": "cs", "boss": "b"},
+        ])
+        assert rel_satisfies(inst, RelKey("emp", ("eid", "dept", "boss")))
+
+    def test_inclusion_dependency(self, rs):
+        inst = _instance(
+            rs,
+            emp_rows=[{"eid": "1", "dept": "cs", "boss": "b"}],
+            dept_rows=[{"did": "cs", "head": "h"}],
+        )
+        assert rel_satisfies(inst, ID("emp", ("dept",), "dept", ("did",)))
+        assert not rel_satisfies(inst, ID("dept", ("head",), "emp", ("boss",)))
+
+    def test_foreign_key_needs_target_key(self, rs):
+        inst = _instance(
+            rs,
+            emp_rows=[{"eid": "1", "dept": "cs", "boss": "b"}],
+            dept_rows=[{"did": "cs", "head": "h1"}, {"did": "cs", "head": "h2"}],
+        )
+        fk = RelForeignKey("emp", ("dept",), "dept", ("did",))
+        assert rel_satisfies(inst, fk.inclusion)
+        assert not rel_satisfies(inst, fk)
+
+    def test_satisfies_all(self, rs):
+        inst = _instance(rs, dept_rows=[{"did": "cs", "head": "h"}])
+        assert rel_satisfies_all(
+            inst, [RelKey("dept", ("did",)), ID("emp", ("dept",), "dept", ("did",))]
+        )
+
+
+class TestLemma32:
+    def test_fd_encoding_shape(self, rs):
+        enc = encode_fd_implication(rs, [], FD("emp", ("eid",), ("dept",)))
+        assert enc.phi.attrs == ("eid",)
+        new_rel = enc.schema.relation(enc.phi.relation)
+        # Rnew carries XYZ = Att(emp).
+        assert set(new_rel.attributes) == {"eid", "dept", "boss"}
+        # ell2, ell3 foreign keys plus ell4 key.
+        assert sum(isinstance(c, RelForeignKey) for c in enc.sigma) == 2
+        assert sum(isinstance(c, RelKey) for c in enc.sigma) == 1
+
+    def test_id_encoding_shape(self, rs):
+        enc = encode_fd_implication(
+            rs,
+            [ID("emp", ("dept",), "dept", ("did",))],
+            FD("emp", ("eid",), ("boss",)),
+        )
+        names = {rel.name for rel in enc.schema.relations}
+        assert any(name.startswith("dept_new") for name in names)
+        assert any(name.startswith("emp_new") for name in names)
+
+    def test_rejects_foreign_input(self, rs):
+        with pytest.raises(TypeError):
+            encode_fd_implication(rs, [RelKey("emp", ("eid",))],
+                                  FD("emp", ("eid",), ("dept",)))
+
+
+class TestTheorem31:
+    def _schema(self):
+        return Schema((RelationSchema("R", ("x", "y")),))
+
+    def test_dtd_shape(self):
+        red = relational_implication_to_xml(
+            self._schema(), [], RelKey("R", ("x",))
+        )
+        dtd = red.dtd
+        assert dtd.root == "r"
+        assert red.dy_type in dtd.element_types
+        assert dtd.attrs(red.dy_type) == frozenset({"x", "y"})
+        assert dtd.attrs(red.ex_type) == frozenset({"x"})
+        t_r = red.tuple_type["R"]
+        assert dtd.attrs(t_r) == frozenset({"x", "y"})
+
+    def test_sigma_contains_witness_gadget(self):
+        red = relational_implication_to_xml(
+            self._schema(), [], RelKey("R", ("x",))
+        )
+        keys = [c for c in red.sigma if isinstance(c, Key)]
+        fks = [c for c in red.sigma if isinstance(c, ForeignKey)]
+        assert any(k.element_type == red.dy_type for k in keys)
+        assert any(k.element_type == red.ex_type for k in keys)
+        assert len(fks) >= 2
+
+    def test_not_implied_gives_consistent_xml(self):
+        # Theta empty: R[x] -> R is NOT implied, so the XML spec must be
+        # consistent (a small witness exists).
+        red = relational_implication_to_xml(
+            self._schema(), [], RelKey("R", ("x",))
+        )
+        witness = bounded_consistency(red.dtd, red.sigma, max_nodes=10)
+        assert witness is not None
+        # The witness encodes two R-tuples agreeing on x, differing on y.
+        dys = witness.ext(red.dy_type)
+        assert len(dys) == 2
+        assert dys[0].attrs["x"] == dys[1].attrs["x"]
+        assert dys[0].attrs["y"] != dys[1].attrs["y"]
+
+    def test_implied_gives_inconsistent_xml(self):
+        # Theta contains R[x] -> R itself: the implication holds trivially,
+        # so the XML spec must be inconsistent.
+        red = relational_implication_to_xml(
+            self._schema(), [RelKey("R", ("x",))], RelKey("R", ("x",))
+        )
+        assert bounded_consistency(red.dtd, red.sigma, max_nodes=8) is None
+
+    def test_theta_keys_translated_to_tuple_types(self):
+        red = relational_implication_to_xml(
+            self._schema(), [RelKey("R", ("y",))], RelKey("R", ("x",))
+        )
+        t_r = red.tuple_type["R"]
+        assert Key(t_r, ("y",)) in red.sigma

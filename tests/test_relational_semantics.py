@@ -1,0 +1,100 @@
+"""Semantic tests for the Lemma 3.2 encoding.
+
+The structural shape of the encoding is covered in test_relational; here
+we exercise the *instance-level* directions of the proof on concrete
+databases: from a counterexample to the FD implication one can build a
+counterexample to the key implication (by populating the fresh ``Rnew``
+relations exactly as the proof prescribes), and conversely.
+"""
+
+from repro.relational.constraints import FD, RelKey, rel_satisfies, rel_satisfies_all
+from repro.relational.model import Instance, RelationSchema, Schema
+from repro.relational.reductions import encode_fd_implication
+
+
+def _counterexample_instance(schema: Schema) -> Instance:
+    """An instance of R(a, b, c) violating the FD a -> b."""
+    inst = Instance(schema)
+    inst.insert("R", {"a": "1", "b": "x", "c": "p"})
+    inst.insert("R", {"a": "1", "b": "y", "c": "q"})
+    return inst
+
+
+class TestLemma32Semantics:
+    def test_proof_direction_sigma_to_encoded(self):
+        """I |= not theta  ==>  the extended I' |= Sigma' and not ell1.
+
+        Following the proof of Lemma 3.2: the instance of Rnew is a subset
+        of pi_XYZ(I) with pi_XY preserved and the key Rnew[XY] enforced.
+        """
+        schema = Schema((RelationSchema("R", ("a", "b", "c")),))
+        theta = FD("R", ("a",), ("b",))
+        encoding = encode_fd_implication(schema, [], theta)
+        new_rel = encoding.schema.relation(encoding.phi.relation)
+
+        base = _counterexample_instance(schema)
+        assert not rel_satisfies(base, theta)
+
+        extended = Instance(encoding.schema)
+        for row in base.rows("R"):
+            extended.insert("R", row)
+        # Populate Rnew = pi_XYZ(I) (here XYZ = abc; XY-values are already
+        # distinct, so no tuples need dropping for the Rnew[XY] key).
+        for row in base.rows("R"):
+            extended.insert(
+                new_rel.name, {attr: row[attr] for attr in new_rel.attributes}
+            )
+
+        # Sigma' (= ell2, ell3, ell4 for the goal FD) holds...
+        assert rel_satisfies_all(extended, encoding.sigma)
+        # ...but ell1 = Rnew[a] -> Rnew fails: the implication is refuted.
+        assert not rel_satisfies(extended, encoding.phi)
+
+    def test_proof_direction_encoded_to_sigma(self):
+        """I' |= Sigma' and not ell1  ==>  dropping Rnew gives I |= not theta.
+
+        The key observation of the converse direction: ell2 and ell3 force
+        pi_XY(R) = pi_XY(Rnew) up to the key, so a violation of ell1
+        (two Rnew tuples agreeing on X, differing on Y) pulls back to R.
+        """
+        schema = Schema((RelationSchema("R", ("a", "b", "c")),))
+        theta = FD("R", ("a",), ("b",))
+        encoding = encode_fd_implication(schema, [], theta)
+        new_rel = encoding.schema.relation(encoding.phi.relation)
+
+        extended = Instance(encoding.schema)
+        rows = [
+            {"a": "1", "b": "x", "c": "p"},
+            {"a": "1", "b": "y", "c": "q"},
+        ]
+        for row in rows:
+            extended.insert("R", row)
+            extended.insert(
+                new_rel.name, {attr: row[attr] for attr in new_rel.attributes}
+            )
+        assert rel_satisfies_all(extended, encoding.sigma)
+        assert not rel_satisfies(extended, encoding.phi)
+
+        base = Instance(schema)
+        for row in rows:
+            base.insert("R", row)
+        assert not rel_satisfies(base, theta)
+
+    def test_implied_fd_has_no_encoded_counterexample_on_samples(self):
+        """theta = R: a -> a is trivially implied; no instance built the
+        proof's way can satisfy Sigma' while violating ell1."""
+        schema = Schema((RelationSchema("R", ("a", "b")),))
+        theta = FD("R", ("a",), ("a",))
+        encoding = encode_fd_implication(schema, [], theta)
+        new_rel = encoding.schema.relation(encoding.phi.relation)
+
+        extended = Instance(encoding.schema)
+        for value in ("1", "2"):
+            row = {"a": value, "b": "z"}
+            extended.insert("R", row)
+            extended.insert(
+                new_rel.name, {attr: row[attr] for attr in new_rel.attributes}
+            )
+        assert rel_satisfies_all(extended, encoding.sigma)
+        # ell1 = Rnew[a] -> Rnew holds: a determines the whole tuple here.
+        assert rel_satisfies(extended, encoding.phi)

@@ -1,0 +1,94 @@
+"""Workload generator sanity tests."""
+
+import pytest
+
+from repro.constraints.classes import validate_constraints
+from repro.dtd.analysis import has_valid_tree
+from repro.workloads.examples import (
+    figure1_tree,
+    school_constraints_d3,
+    school_document,
+    school_dtd_d3,
+)
+from repro.constraints.satisfaction import satisfies_all
+from repro.workloads.generators import (
+    chain_dtd,
+    fixed_dtd_constraint_family,
+    keys_only_family,
+    random_dtd,
+    random_unary_constraints,
+    star_schema_family,
+    teachers_family,
+)
+from repro.xmltree.validate import conforms
+
+
+class TestExamples:
+    def test_figure1_conforms(self, d1):
+        assert conforms(figure1_tree(), d1)
+
+    def test_school_document_valid_and_satisfying(self):
+        doc = school_document()
+        assert conforms(doc, school_dtd_d3())
+        assert satisfies_all(doc, school_constraints_d3())
+
+
+class TestStructuredFamilies:
+    @pytest.mark.parametrize("depth", [1, 3, 8])
+    def test_chain_scales_linearly(self, depth):
+        dtd, sigma = chain_dtd(depth)
+        assert has_valid_tree(dtd)
+        validate_constraints(dtd, sigma)
+        assert len(sigma) == depth + 1
+
+    @pytest.mark.parametrize("scale", [1, 4])
+    def test_keys_only_family_valid(self, scale):
+        dtd, sigma = keys_only_family(scale)
+        assert has_valid_tree(dtd)
+        validate_constraints(dtd, sigma)
+        assert len(sigma) == 2 * scale
+
+    def test_teachers_family_shapes(self):
+        for consistent in (True, False):
+            dtd, sigma = teachers_family(3, consistent=consistent)
+            assert has_valid_tree(dtd)
+            validate_constraints(dtd, sigma)
+
+    @pytest.mark.parametrize("dims", [1, 2, 5])
+    def test_star_schema_valid(self, dims):
+        for consistent in (True, False):
+            dtd, sigma = star_schema_family(dims, consistent=consistent)
+            assert has_valid_tree(dtd)
+            validate_constraints(dtd, sigma)
+
+    def test_fixed_dtd_family_has_constant_dtd(self):
+        dtd_small, _ = fixed_dtd_constraint_family(1)
+        dtd_large, sigma_large = fixed_dtd_constraint_family(30)
+        assert dtd_small.element_types == dtd_large.element_types
+        assert dtd_small.size() == dtd_large.size()
+        assert len(sigma_large) == 30
+
+
+class TestRandomGenerators:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_dtd_well_formed(self, seed):
+        dtd = random_dtd(seed)
+        # DTD.build already validates; additionally every type reachable.
+        from repro.dtd.analysis import reachable_types
+
+        assert reachable_types(dtd) == frozenset(dtd.element_types)
+
+    def test_random_dtd_deterministic(self):
+        assert str(random_dtd(3).content) == str(random_dtd(3).content)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_constraints_validate(self, seed):
+        dtd = random_dtd(seed)
+        sigma = random_unary_constraints(
+            seed, dtd, num_keys=2, num_fks=2, num_neg_keys=1, num_neg_inclusions=1
+        )
+        validate_constraints(dtd, sigma)
+
+    def test_random_constraints_empty_without_attrs(self):
+        dtd = random_dtd(0, attr_prob=0.0)
+        assert random_unary_constraints(0, dtd) == []

@@ -1,0 +1,80 @@
+"""Conformance checking tests (Definition 2.2)."""
+
+from repro.dtd.model import DTD
+from repro.workloads.examples import figure1_tree
+from repro.xmltree.builder import element, text
+from repro.xmltree.model import XMLTree
+from repro.xmltree.validate import TreeValidator, conforms
+
+
+class TestConforms:
+    def test_figure1_conforms_to_d1(self, d1):
+        assert conforms(figure1_tree(), d1)
+
+    def test_wrong_root_label(self, d1):
+        tree = XMLTree(element("teacher"))
+        report = conforms(tree, d1)
+        assert not report
+        assert any("root" in error for error in report.errors)
+
+    def test_undeclared_element_type(self):
+        d = DTD.build("r", {"r": "(a*)", "a": "EMPTY"})
+        report = conforms(XMLTree(element("r", element("ghost"))), d)
+        assert not report
+        assert any("ghost" in e for e in report.errors)
+
+    def test_children_word_checked(self, d1):
+        # teach must have exactly two subjects.
+        tree = XMLTree(
+            element(
+                "teachers",
+                element(
+                    "teacher",
+                    element("teach",
+                            element("subject", text("x"), taught_by="t")),
+                    element("research", text("r")),
+                    name="n",
+                ),
+            )
+        )
+        report = conforms(tree, d1)
+        assert not report
+        assert any("teach" in e for e in report.errors)
+
+    def test_missing_attribute(self, d1):
+        tree = figure1_tree()
+        del tree.ext("teacher")[0].attrs["name"]
+        report = conforms(tree, d1)
+        assert not report
+        assert any("name" in e for e in report.errors)
+
+    def test_extra_attribute(self, d1):
+        tree = figure1_tree()
+        tree.ext("research")[0].attrs["bogus"] = "x"
+        report = conforms(tree, d1)
+        assert not report
+        assert any("bogus" in e for e in report.errors)
+
+    def test_text_where_element_expected(self):
+        d = DTD.build("r", {"r": "(a)", "a": "EMPTY"})
+        report = conforms(XMLTree(element("r", text("oops"))), d)
+        assert not report
+
+    def test_empty_content_allows_no_children(self):
+        d = DTD.build("r", {"r": "EMPTY"})
+        assert conforms(XMLTree(element("r")), d)
+        assert not conforms(XMLTree(element("r", text("x"))), d)
+
+    def test_max_errors_caps_reporting(self):
+        d = DTD.build("r", {"r": "(a*)", "a": "EMPTY"})
+        bad_children = [element("ghost") for _ in range(50)]
+        report = TreeValidator(d).validate(
+            XMLTree(element("r", *bad_children)), max_errors=5
+        )
+        assert len(report.errors) == 5
+
+    def test_validator_reuse(self, d1):
+        validator = TreeValidator(d1)
+        assert validator.validate(figure1_tree())
+        assert validator.validate(figure1_tree())
+        assert validator.dtd is d1
