@@ -11,7 +11,7 @@ set-representation machinery.
 
 import pytest
 
-from repro.checkers.implication import implies
+from repro.checkers.implication import implies, implies_all
 from repro.constraints.ast import Key
 from repro.constraints.parser import parse_constraint, parse_constraints
 from repro.dtd.model import DTD
@@ -58,6 +58,19 @@ def test_inclusion_chain_implication(benchmark, no_witness_config):
     phi = parse_constraint("a.x <= d.x")
     result = benchmark(implies, dtd, sigma, phi, no_witness_config)
     assert result.implied
+
+
+@pytest.mark.parametrize("dims", [2, 4])
+def test_batch_implication_shares_encoding(benchmark, dims, no_witness_config):
+    """The whole-Sigma audit shape: every constraint tested against the
+    rest in one ``implies_all`` batch, sharing the per-DTD encoding."""
+    dtd, sigma = star_schema_family(dims, consistent=True)
+    phis = [
+        *(parse_constraint(f"dim{i}.id -> dim{i}") for i in range(dims)),
+        *(parse_constraint(f"fact.ref{i} <= dim{i}.id") for i in range(dims)),
+    ]
+    results = benchmark(implies_all, dtd, sigma, phis, no_witness_config)
+    assert all(r.implied for r in results)
 
 
 def test_refuted_implication_with_counterexample(benchmark):

@@ -7,18 +7,32 @@ prints a Figure-5-style table plus one line per qualitative experiment.
 Its output is the source of record for EXPERIMENTS.md.
 
 Run:  python benchmarks/report.py
+
+Solver perf regression tracking::
+
+    python benchmarks/report.py --write-baseline   # (re)write BENCH_solver.json
+    python benchmarks/report.py --compare          # fail on >20% regression
+
+The baseline file records wall time plus the solver's ``dfs_nodes`` and
+``leaves_solved`` counters per benchmark, so both time *and* search-effort
+regressions are visible.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import statistics
+import sys
 import time
 from collections.abc import Callable
+from pathlib import Path
 
 from repro.checkers.bounded import bounded_consistency
 from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
-from repro.checkers.implication import implies
+from repro.checkers.implication import implies, implies_all
 from repro.checkers.config import CheckerConfig
+from repro.dtd.model import DTD
 from repro.checkers.keys_only import implies_key_keys_only, keys_only_consistent
 from repro.constraints.ast import Key
 from repro.constraints.parser import parse_constraint, parse_constraints
@@ -231,8 +245,6 @@ def qualitative() -> None:
     print(f"F4  Thm 4.7: checker vs brute-force oracle agreement: {agreements}/8")
 
     sigma_neg = parse_constraints("t0.x <= t1.x\nt1.x <= t0.x\nt0.x !<= t1.x")
-    from repro.dtd.model import DTD
-
     wide = DTD.build(
         "r", {"r": "(t0*, t1*)", "t0": "EMPTY", "t1": "EMPTY"},
         attrs={"t0": ["x"], "t1": ["x"]},
@@ -243,10 +255,223 @@ def qualitative() -> None:
     )
 
 
-def main() -> None:
+# ---------------------------------------------------------------------------
+# Solver perf regression tracking (BENCH_solver.json)
+# ---------------------------------------------------------------------------
+
+_BASELINE_PATH = Path(__file__).parent / "BENCH_solver.json"
+
+#: Wall-clock of the same three workloads measured at the seed commit
+#: (09ce4bb, pre-incremental solver) on the reference container — kept so
+#: the recorded speedup of the assemble-once/bound-patch core stays
+#: visible in the baseline file.
+_SEED_MS = {
+    "figure5_implication": 27.33,
+    "figure5_unary": 39.06,
+    "theorem51_negations": 47.21,
+}
+
+#: Fail --compare when current wall time exceeds baseline by this factor.
+_REGRESSION_FACTOR = 1.20
+
+
+def _wide_dtd(num_types: int) -> DTD:
+    content = {"r": "(" + ", ".join(f"t{i}*" for i in range(num_types)) + ")"}
+    content.update({f"t{i}": "EMPTY" for i in range(num_types)})
+    return DTD.build(
+        "r", content, attrs={f"t{i}": ["x"] for i in range(num_types)}
+    )
+
+
+def _solver_workloads() -> dict[str, Callable[[], list]]:
+    """The three solver-spine workloads tracked by BENCH_solver.json.
+
+    Instances are built outside the timed closures (pytest-benchmark
+    style): only the checker calls are measured.  Each closure returns the
+    checker results so search counters can be aggregated.
+    """
+    impl_cases = []
+    for dims in (1, 2, 4):
+        dtd, sigma = star_schema_family(dims, consistent=True)
+        phis = [
+            parse_constraint("dim0.id -> dim0"),
+            parse_constraint("fact.ref0 <= dim0.id"),
+        ]
+        impl_cases.append((dtd, sigma, phis))
+
+    unary_cases = []
+    for dims in (1, 2, 4, 8):
+        unary_cases.append(star_schema_family(dims, consistent=True))
+        unary_cases.append(star_schema_family(dims, consistent=False))
+    for subjects in (2, 4, 8, 16):
+        unary_cases.append(teachers_family(subjects, consistent=False))
+
+    neg_cases = []
+    for scale in (2, 4, 6, 8):
+        neg_cases.append(
+            (
+                _wide_dtd(scale),
+                parse_constraints(
+                    "\n".join(f"t{i}.x !-> t{i}" for i in range(scale))
+                ),
+            )
+        )
+    for active in (2, 4, 6, 8):
+        neg_cases.append(
+            (
+                _wide_dtd(active),
+                parse_constraints(
+                    "\n".join(
+                        f"t{i}.x !<= t{(i + 1) % active}.x"
+                        for i in range(active)
+                    )
+                ),
+            )
+        )
+    for active in (2, 4, 6):
+        chain = [f"t{i}.x <= t{i + 1}.x" for i in range(active)]
+        neg_cases.append(
+            (
+                _wide_dtd(active + 1),
+                parse_constraints(
+                    "\n".join(chain + [f"t{active}.x !<= t0.x"])
+                ),
+            )
+        )
+
+    return {
+        "figure5_implication": lambda: [
+            result
+            for dtd, sigma, phis in impl_cases
+            for result in implies_all(dtd, sigma, phis, _FAST)
+        ],
+        "figure5_unary": lambda: [
+            check_consistency(dtd, sigma, _FAST) for dtd, sigma in unary_cases
+        ],
+        "theorem51_negations": lambda: [
+            check_consistency(dtd, sigma, _FAST) for dtd, sigma in neg_cases
+        ],
+    }
+
+
+def _time_min(fn: Callable[[], object], repeats: int = 9) -> float:
+    """Best-of-N wall-clock milliseconds — far more stable than a median
+    at the few-millisecond scale the incremental solver runs at."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, (time.perf_counter() - start) * 1000)
+    return best
+
+
+def solver_benchmarks() -> dict[str, dict[str, float | int]]:
+    """Measure the tracked workloads: wall time plus search counters."""
+    measurements: dict[str, dict[str, float | int]] = {}
+    for name, workload in _solver_workloads().items():
+        results = workload()  # warm-up (fills the encoding cache) + counters
+        dfs_nodes = sum(r.stats.get("dfs_nodes", 0) for r in results)
+        leaves = sum(r.stats.get("leaves", 0) for r in results)
+        entry: dict[str, float | int] = {
+            "ms": round(_time_min(workload), 3),
+            "dfs_nodes": dfs_nodes,
+            "leaves_solved": leaves,
+        }
+        seed_ms = _SEED_MS.get(name)
+        if seed_ms is not None:
+            entry["seed_ms"] = seed_ms
+            entry["speedup_vs_seed"] = round(seed_ms / entry["ms"], 2)
+        measurements[name] = entry
+    return measurements
+
+
+def write_baseline(path: Path = _BASELINE_PATH) -> None:
+    """Write BENCH_solver.json from a fresh measurement."""
+    payload = {
+        "note": (
+            "Solver-spine benchmark baseline; regenerate with "
+            "`python benchmarks/report.py --write-baseline`, check with "
+            "`--compare` (fails on >20% wall-time regression). seed_ms was "
+            "measured at the pre-incremental seed commit on the reference "
+            "container."
+        ),
+        "benchmarks": solver_benchmarks(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {path}")
+    for name, entry in payload["benchmarks"].items():
+        print(
+            f"  {name:<24} {entry['ms']:8.2f}ms  dfs_nodes={entry['dfs_nodes']}"
+            f"  leaves={entry['leaves_solved']}"
+            + (
+                f"  speedup_vs_seed={entry['speedup_vs_seed']}x"
+                if "speedup_vs_seed" in entry
+                else ""
+            )
+        )
+
+
+#: Slack on the deterministic search counters before --compare fails: the
+#: workloads are fixed, so any growth means solver behavior changed, but a
+#: few extra nodes from solver-version drift should not hard-fail the gate.
+_COUNTER_SLACK = 8
+
+
+def compare_with_baseline(path: Path = _BASELINE_PATH) -> int:
+    """Re-measure; fail (exit 1) on >20% wall-time regression or on
+    search-effort growth (``dfs_nodes``/``leaves_solved``) beyond slack."""
+    if not path.exists():
+        print(f"no baseline at {path}; run --write-baseline first", file=sys.stderr)
+        return 2
+    baseline = json.loads(path.read_text())["benchmarks"]
+    current = solver_benchmarks()
+    failed = False
+    for name, entry in current.items():
+        base = baseline.get(name)
+        if base is None:
+            print(f"  {name:<24} NEW {entry['ms']:8.2f}ms (not in baseline)")
+            continue
+        ratio = entry["ms"] / base["ms"]
+        problems = []
+        if ratio > _REGRESSION_FACTOR:
+            problems.append(f"time (>{int((_REGRESSION_FACTOR - 1) * 100)}%)")
+        for counter in ("dfs_nodes", "leaves_solved"):
+            if entry[counter] > base[counter] + _COUNTER_SLACK:
+                problems.append(
+                    f"{counter} {base[counter]} -> {entry[counter]}"
+                )
+        verdict = "ok" if not problems else "REGRESSION: " + ", ".join(problems)
+        failed = failed or bool(problems)
+        print(
+            f"  {name:<24} {base['ms']:8.2f}ms -> {entry['ms']:8.2f}ms "
+            f"({ratio:5.2f}x)  dfs={entry['dfs_nodes']} leaves={entry['leaves_solved']}  "
+            f"{verdict}"
+        )
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="measure the solver workloads and write BENCH_solver.json",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="measure and fail on >20%% wall-time regression vs the baseline",
+    )
+    args = parser.parse_args(argv)
+    if args.write_baseline:
+        write_baseline()
+        return 0
+    if args.compare:
+        return compare_with_baseline()
     figure5()
     qualitative()
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -45,6 +45,7 @@ from repro.checkers import (
     check_consistency_primary,
     dtd_has_valid_tree,
     implies,
+    implies_all,
     implies_primary,
 )
 from repro.constraints import (
@@ -117,6 +118,7 @@ __all__ = [
     "check_consistency_primary",
     "dtd_has_valid_tree",
     "implies",
+    "implies_all",
     "implies_primary",
     "bounded_consistency",
     # analysis

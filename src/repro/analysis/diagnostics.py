@@ -20,7 +20,7 @@ built from; multi-attribute foreign keys raise
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Iterable
 
 from repro.constraints.ast import Constraint
@@ -49,13 +49,7 @@ def minimal_inconsistent_subset(
     ['subject.taught_by -> subject', 'subject.taught_by => teacher.name']
     """
     config = config or DEFAULT_CONFIG
-    probe = CheckerConfig(
-        backend=config.backend,
-        want_witness=False,
-        max_setrep_attrs=config.max_setrep_attrs,
-        max_support_nodes=config.max_support_nodes,
-        lp_prune=config.lp_prune,
-    )
+    probe = replace(config, want_witness=False)
     current = list(constraints)
     if check_consistency(dtd, current, probe).consistent:
         raise InvalidConstraintError(
@@ -85,13 +79,7 @@ def redundant_constraints(
     be dropped, not both).
     """
     config = config or DEFAULT_CONFIG
-    probe = CheckerConfig(
-        backend=config.backend,
-        want_witness=False,
-        max_setrep_attrs=config.max_setrep_attrs,
-        max_support_nodes=config.max_support_nodes,
-        lp_prune=config.lp_prune,
-    )
+    probe = replace(config, want_witness=False)
     sigma = list(constraints)
     redundant: list[Constraint] = []
     for index, phi in enumerate(sigma):
@@ -144,13 +132,7 @@ def diagnose(
         return DiagnosticsReport(
             consistent=False, dtd_satisfiable=False
         )
-    probe = CheckerConfig(
-        backend=config.backend,
-        want_witness=False,
-        max_setrep_attrs=config.max_setrep_attrs,
-        max_support_nodes=config.max_support_nodes,
-        lp_prune=config.lp_prune,
-    )
+    probe = replace(config, want_witness=False)
     if check_consistency(dtd, sigma, probe).consistent:
         return DiagnosticsReport(
             consistent=True,

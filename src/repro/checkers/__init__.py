@@ -19,7 +19,7 @@ multi-attribute K,FK      **undecidable**; bounded semi-decision  Thm 3.1
 from repro.checkers.bounded import bounded_consistency
 from repro.checkers.config import CheckerConfig
 from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
-from repro.checkers.implication import implies
+from repro.checkers.implication import implies, implies_all
 from repro.checkers.keys_only import (
     implies_key_keys_only,
     keys_only_consistent,
@@ -38,6 +38,7 @@ __all__ = [
     "check_consistency",
     "dtd_has_valid_tree",
     "implies",
+    "implies_all",
     "keys_only_consistent",
     "implies_key_keys_only",
     "subsumes",

@@ -32,6 +32,11 @@ class CheckerConfig:
     lp_prune:
         Prune support branches whose LP relaxation is definitely
         infeasible (sound; large speedup on inconsistent instances).
+    incremental:
+        Use the assemble-once/bound-patch solver core (shared connectivity
+        cut pool, persistent solver state). ``False`` selects the
+        from-scratch reference path — one matrix rebuild per search node —
+        kept for differential testing and ablation.
     """
 
     backend: str = "scipy"
@@ -40,6 +45,7 @@ class CheckerConfig:
     max_setrep_attrs: int = 12
     max_support_nodes: int = 20000
     lp_prune: bool = True
+    incremental: bool = True
 
 
 #: Default configuration used when callers pass ``None``.

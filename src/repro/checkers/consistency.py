@@ -83,6 +83,7 @@ def _keys_only(
         backend=config.backend,
         max_support_nodes=config.max_support_nodes,
         lp_prune=config.lp_prune,
+        incremental=config.incremental,
     )
     if not result.feasible:  # pragma: no cover - has_valid_tree said yes
         raise SolverError("encoding disagrees with the emptiness check")
@@ -144,6 +145,7 @@ def check_consistency(
         backend=config.backend,
         max_support_nodes=config.max_support_nodes,
         lp_prune=config.lp_prune,
+        incremental=config.incremental,
     )
     stat_map: dict[str, int | bool] = {
         "dfs_nodes": stats.dfs_nodes,
@@ -151,6 +153,11 @@ def check_consistency(
         "cuts": stats.cuts_added,
         "lp_prunes": stats.lp_prunes,
         "shortcut": stats.shortcut_hit,
+        "assemblies": stats.assemblies,
+        "bound_patch_solves": stats.bound_patch_solves,
+        "cut_pool_hits": stats.cut_pool_hits,
+        "propagation_visits": stats.propagation_visits,
+        "lp_probe_decided": stats.lp_probe_decided,
     }
     method = f"ilp-encoding ({cls.value})"
     if not result.feasible:

@@ -9,6 +9,12 @@
   ``phi`` is implied iff both components are;
 * multi-attribute keys+FKs: undecidable (Corollary 3.4) —
   :class:`UndecidableProblemError`.
+
+Batch queries should go through :func:`implies_all`, which validates the
+specification once and shares the per-DTD ``Psi_DN`` encoding block (see
+:mod:`repro.encoding.combined`) across the whole batch — the shape of
+every redundancy audit and implication benchmark, which otherwise re-derive
+an identical encoding per query.
 """
 
 from __future__ import annotations
@@ -71,6 +77,7 @@ def _keys_only_counterexample(
         backend=config.backend,
         max_support_nodes=config.max_support_nodes,
         lp_prune=config.lp_prune,
+        incremental=config.incremental,
     )
     if not result.feasible:  # pragma: no cover - can_have_two said yes
         raise SolverError("encoding disagrees with can_have_two")
@@ -104,6 +111,16 @@ def implies(
     config = config or DEFAULT_CONFIG
     sigma = list(sigma)
     validate_constraints(dtd, [*sigma, phi])
+    return _implies_validated(dtd, sigma, phi, config)
+
+
+def _implies_validated(
+    dtd: DTD,
+    sigma: list[Constraint],
+    phi: Constraint,
+    config: CheckerConfig,
+) -> ImplicationResult:
+    """:func:`implies` after ``validate_constraints`` has already run."""
 
     # Keys-only fragment: linear time (Theorem 3.5(3)).
     if isinstance(phi, Key) and all(isinstance(psi, Key) for psi in sigma):
@@ -131,7 +148,7 @@ def implies(
                 "implication for multi-attribute foreign keys is undecidable "
                 "(Corollary 3.4)"
             )
-        part = implies(dtd, sigma, phi.inclusion, config)
+        part = _implies_validated(dtd, sigma, phi.inclusion, config)
         if not part.implied:
             return ImplicationResult(
                 False,
@@ -139,7 +156,7 @@ def implies(
                 method="foreign key = inclusion AND key",
                 message="inclusion component not implied",
             )
-        part = implies(dtd, sigma, phi.key, config)
+        part = _implies_validated(dtd, sigma, phi.key, config)
         if not part.implied:
             return ImplicationResult(
                 False,
@@ -172,3 +189,30 @@ def implies(
         message=f"Sigma together with {negated} is inconsistent over the DTD",
         stats=result.stats,
     )
+
+
+def implies_all(
+    dtd: DTD,
+    sigma: Iterable[Constraint],
+    phis: Iterable[Constraint],
+    config: CheckerConfig | None = None,
+) -> list[ImplicationResult]:
+    """Batch implication: one :class:`ImplicationResult` per ``phi``.
+
+    Semantically identical to calling :func:`implies` in a loop, but the
+    specification is validated once and every query shares the memoized
+    per-DTD encoding block, so only the constraint rows (``C_Sigma`` plus
+    the negated query) are re-encoded per ``phi``.
+
+    >>> from repro.dtd.model import DTD
+    >>> from repro.constraints.parser import parse_constraints
+    >>> d = DTD.build("db", {"db": "(item)", "item": "EMPTY"},
+    ...               attrs={"item": ["id"]})
+    >>> [r.implied for r in implies_all(d, [], parse_constraints("item.id -> item"))]
+    [True]
+    """
+    config = config or DEFAULT_CONFIG
+    sigma = list(sigma)
+    phis = list(phis)
+    validate_constraints(dtd, [*sigma, *phis])
+    return [_implies_validated(dtd, sigma, phi, config) for phi in phis]

@@ -48,6 +48,15 @@ def _load_constraints(path: str | None):
     return parse_constraints(Path(path).read_text())
 
 
+def _print_stats(stats: dict) -> None:
+    """Render the solver counters carried by a checker result."""
+    if not stats:
+        print("solver stats: (none; decided without the ILP solver)")
+        return
+    rendered = "  ".join(f"{key}={value}" for key, value in sorted(stats.items()))
+    print(f"solver stats: {rendered}")
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd, args.root)
     sigma = _load_constraints(args.constraints)
@@ -55,6 +64,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     print(f"consistent: {result.consistent}   [{result.method}]")
     if result.message:
         print(f"note: {result.message}")
+    if args.stats:
+        _print_stats(result.stats)
     if result.consistent and args.witness:
         assert result.witness is not None
         Path(args.witness).write_text(tree_to_string(result.witness) + "\n")
@@ -86,6 +97,8 @@ def _cmd_implies(args: argparse.Namespace) -> int:
     print(f"implied: {result.implied}   [{result.method}]")
     if result.message:
         print(f"note: {result.message}")
+    if args.stats:
+        _print_stats(result.stats)
     if not result.implied and result.counterexample is not None:
         if args.counterexample:
             Path(args.counterexample).write_text(
@@ -132,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("dtd")
     p_check.add_argument("constraints", nargs="?", default=None)
     p_check.add_argument("--witness", help="write a satisfying document here")
+    p_check.add_argument(
+        "--stats",
+        "--profile",
+        action="store_true",
+        dest="stats",
+        help="print solver statistics (dfs_nodes, leaves, cuts, lp_prunes, "
+        "assembly/cut-pool/propagation counters)",
+    )
     p_check.set_defaults(func=_cmd_check)
 
     p_validate = sub.add_parser("validate", help="validate a document")
@@ -146,6 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_implies.add_argument("phi", help="the constraint to test, in text syntax")
     p_implies.add_argument(
         "--counterexample", help="write a refuting document here"
+    )
+    p_implies.add_argument(
+        "--stats",
+        "--profile",
+        action="store_true",
+        dest="stats",
+        help="print solver statistics for the underlying consistency solve",
     )
     p_implies.set_defaults(func=_cmd_implies)
 

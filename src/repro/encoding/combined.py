@@ -13,10 +13,18 @@ single :class:`~repro.ilp.condsys.ConditionalSystem`:
 The resulting system is solvable iff an XML tree conforming to ``D`` and
 satisfying ``Sigma`` exists; a feasible solution is realizable as an actual
 witness tree by :mod:`repro.witness`.
+
+The ``Psi_DN`` block depends only on the DTD, so it is memoized per DTD
+value (:func:`encoding_cache_stats` reports hit rates): batch callers such
+as :func:`repro.checkers.implication.implies_all` re-encode only the
+constraint rows per query.  The cached system is never handed out directly
+— every :func:`build_encoding` call copies it before the constraint
+encoders append rows.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.constraints.ast import (
@@ -32,7 +40,7 @@ from repro.dtd.analysis import usable_types
 from repro.dtd.model import DTD
 from repro.dtd.simplify import SimpleDTD, simplify_dtd
 from repro.encoding.cardinality import encode_constraints
-from repro.encoding.dtd_system import encode_dtd, ext_var
+from repro.encoding.dtd_system import DTDSystem, encode_dtd, ext_var
 from repro.encoding.setrep import SetRepBlock, encode_set_representation
 from repro.errors import InvalidConstraintError
 from repro.ilp.condsys import ConditionalSystem
@@ -51,6 +59,70 @@ class ConsistencyEncoding:
     neg_inclusions: list[NegInclusion]
     setrep: SetRepBlock | None
     constraints: list[Constraint]
+
+
+@dataclass
+class _DTDBlock:
+    """The constraint-independent part of the encoding, cached per DTD."""
+
+    simple: SimpleDTD
+    dtd_system: DTDSystem
+    forced_false: frozenset[str]
+    ext_vars: dict[str, object]
+
+
+#: LRU cache of ``Psi_DN`` blocks, keyed by DTD *value* (two structurally
+#: equal DTDs share an entry). Bounded so long-running batch services do
+#: not accumulate encodings for every DTD they ever saw.
+_DTD_BLOCK_CACHE: "OrderedDict[object, _DTDBlock]" = OrderedDict()
+_DTD_BLOCK_CACHE_LIMIT = 128
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def encoding_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the per-DTD ``Psi_DN`` cache."""
+    return dict(_CACHE_STATS)
+
+
+def clear_encoding_cache() -> None:
+    """Drop all cached ``Psi_DN`` blocks and reset the counters."""
+    _DTD_BLOCK_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def _dtd_cache_key(dtd: DTD) -> object:
+    """A hashable value key for a DTD (regex ASTs are frozen/hashable)."""
+    return (
+        dtd.root,
+        dtd.element_types,
+        tuple(sorted(dtd.content.items())),
+        tuple(sorted(dtd.attrs_of.items())),
+    )
+
+
+def _dtd_block(dtd: DTD) -> _DTDBlock:
+    """The cached DTD-only encoding block (simplify + ``Psi_DN`` + usability)."""
+    key = _dtd_cache_key(dtd)
+    block = _DTD_BLOCK_CACHE.get(key)
+    if block is not None:
+        _CACHE_STATS["hits"] += 1
+        _DTD_BLOCK_CACHE.move_to_end(key)
+        return block
+    _CACHE_STATS["misses"] += 1
+    simple = simplify_dtd(dtd)
+    dtd_system = encode_dtd(simple)
+    usable = usable_types(simple.to_dtd())
+    block = _DTDBlock(
+        simple=simple,
+        dtd_system=dtd_system,
+        forced_false=frozenset(set(simple.types) - set(usable)),
+        ext_vars={symbol: ext_var(symbol) for symbol in simple.symbols()},
+    )
+    _DTD_BLOCK_CACHE[key] = block
+    if len(_DTD_BLOCK_CACHE) > _DTD_BLOCK_CACHE_LIMIT:
+        _DTD_BLOCK_CACHE.popitem(last=False)
+    return block
 
 
 def split_unary(
@@ -104,35 +176,33 @@ def build_encoding(
     expanded = expand_foreign_keys(constraints)
     keys, inclusions, neg_keys, neg_inclusions = split_unary(expanded)
 
-    simple = simplify_dtd(dtd)
-    dtd_system = encode_dtd(simple)
+    block = _dtd_block(dtd)
+    # The cached system is pristine Psi_DN; the constraint encoders append
+    # rows, so they get a (cheap, shallow) copy.
+    system = block.dtd_system.system.copy()
     cardinality = encode_constraints(
-        dtd, dtd_system.system, keys, inclusions, neg_keys, neg_inclusions
+        dtd, system, keys, inclusions, neg_keys, neg_inclusions
     )
     setrep: SetRepBlock | None = None
     if neg_inclusions:
         setrep = encode_set_representation(
-            dtd_system.system, inclusions, neg_inclusions, max_active=max_setrep_attrs
+            system, inclusions, neg_inclusions, max_active=max_setrep_attrs
         )
 
-    simple_as_dtd = simple.to_dtd()
-    usable = usable_types(simple_as_dtd)
-    forced_false = frozenset(set(simple.types) - set(usable))
-
     condsys = ConditionalSystem(
-        base=dtd_system.system,
-        ext_var={symbol: ext_var(symbol) for symbol in simple.symbols()},
-        root=simple.root,
-        element_types=simple.types,
-        edges=dtd_system.edges,
+        base=system,
+        ext_var=dict(block.ext_vars),
+        root=block.simple.root,
+        element_types=block.simple.types,
+        edges=block.dtd_system.edges,
         requires_if_present=cardinality.requires_if_present,
-        clauses=dtd_system.clauses + cardinality.clauses,
+        clauses=block.dtd_system.clauses + cardinality.clauses,
         forced_true=cardinality.forced_true,
-        forced_false=forced_false,
+        forced_false=block.forced_false,
     )
     return ConsistencyEncoding(
         dtd=dtd,
-        simple=simple,
+        simple=block.simple,
         condsys=condsys,
         keys=keys,
         inclusions=inclusions,

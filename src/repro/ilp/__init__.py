@@ -11,11 +11,16 @@ programming (Theorem 4.1). This package supplies:
   branch-and-bound, used to certify small instances and as a fallback;
 * :mod:`repro.ilp.bounds` — the Papadimitriou small-solution bound used by
   the paper's big-M argument;
+* :mod:`repro.ilp.assembled` — the assemble-once/bound-patch core: the
+  base system's sparse matrix is built a single time and every support
+  branch re-solves it by patching variable-bound arrays (DESIGN.md
+  section 4);
 * :mod:`repro.ilp.condsys` — conditional systems ``x > 0 -> y > 0`` with
   tree-connectivity side conditions, solved by support branching plus
   connectivity cuts (see DESIGN.md section 3).
 """
 
+from repro.ilp.assembled import AssembledSystem
 from repro.ilp.bounds import papadimitriou_bound
 from repro.ilp.condsys import (
     ConditionalSystem,
@@ -28,6 +33,7 @@ from repro.ilp.model import LinearSystem, Row, SolveResult
 from repro.ilp.scipy_backend import solve_milp
 
 __all__ = [
+    "AssembledSystem",
     "LinearSystem",
     "Row",
     "SolveResult",

@@ -1,0 +1,466 @@
+"""Assemble-once linear systems with patchable variable bounds.
+
+The support search of :mod:`repro.ilp.condsys` explores many variants of
+*one* base system ``Psi(D, Sigma)``: every per-node delta — ``support:tau``
+(``ext >= 1``), ``absent:tau`` (``ext == 0``) and the ``attr-total`` rows —
+is a *variable-bound* change, never a new matrix row.  Rebuilding a fresh
+matrix per node (the pre-incremental design) therefore wasted almost all of
+its time re-densifying identical coefficients and re-validating them through
+``scipy.optimize``'s per-call machinery.
+
+:class:`AssembledSystem` assembles the base matrix exactly once (sparse CSR,
+so there is no dense size cap) and serves every subsequent solve by patching
+the variable-bound arrays:
+
+* with the vendored HiGHS binding (``scipy.optimize._highspy``) available,
+  two persistent solver instances (one integer, one LP relaxation) hold the
+  model; each solve is a ``changeColsBounds`` + ``run`` round-trip, and
+  connectivity cuts learned during the search are appended with ``addRow``
+  and switched on/off per solve through their row bounds;
+* otherwise a portable fallback drives the public ``scipy.optimize.milp``
+  entry point with the cached sparse matrix — still assemble-once, just with
+  scipy's per-call validation cost.
+
+Exactness is preserved by the same discipline as the one-shot backend: every
+floating-point solution is rounded and re-checked exactly against the
+integer rows (base, cuts, and patched bounds); a failed check degrades to
+``"error"`` so callers fall back to the rational simplex, never to a wrong
+answer.  LP answers are only trusted when definitely infeasible, or when the
+rounded vertex passes the exact check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ilp.model import EQ, GE, LE, LinearSystem, Row, SolveResult, VarId
+
+try:  # pragma: no cover - exercised indirectly by every solver test
+    from scipy.optimize._highspy import _core as _highs
+except ImportError:  # pragma: no cover - environment without vendored HiGHS
+    _highs = None
+
+#: Bound patch: ``(lower, upper)``; ``None`` leaves that side untouched.
+BoundPatch = tuple[int | None, int | None]
+
+
+def assemble_arrays(system: LinearSystem):
+    """Sparse CSR triplets and bound arrays for a :class:`LinearSystem`.
+
+    Returns ``(indptr, indices, data, row_lower, row_upper, var_lower,
+    var_upper)``.  Duplicate variable mentions within a row are merged, like
+    the dense assembly's ``+=`` did.
+    """
+    num_rows = system.num_rows
+    indptr = np.zeros(num_rows + 1, dtype=np.int32)
+    indices: list[int] = []
+    data: list[float] = []
+    row_lower = np.full(num_rows, -np.inf)
+    row_upper = np.full(num_rows, np.inf)
+    for i, row in enumerate(system.rows):
+        merged: dict[int, int] = {}
+        for var, coeff in row.coeffs:
+            j = system.index_of(var)
+            merged[j] = merged.get(j, 0) + coeff
+        for j in sorted(merged):
+            indices.append(j)
+            data.append(float(merged[j]))
+        indptr[i + 1] = len(indices)
+        if row.sense == LE:
+            row_upper[i] = row.rhs
+        elif row.sense == GE:
+            row_lower[i] = row.rhs
+        elif row.sense == EQ:
+            row_lower[i] = row.rhs
+            row_upper[i] = row.rhs
+        else:  # pragma: no cover - defensive
+            raise SolverError(f"unknown row sense {row.sense!r}")
+    var_lower = np.zeros(system.num_vars)
+    var_upper = np.full(system.num_vars, np.inf)
+    for var in system.variables:
+        bound = system.upper(var)
+        if bound is not None:
+            var_upper[system.index_of(var)] = float(bound)
+    return (
+        indptr,
+        np.array(indices, dtype=np.int32),
+        np.array(data, dtype=np.float64),
+        row_lower,
+        row_upper,
+        var_lower,
+        var_upper,
+    )
+
+
+class _HighsInstance:
+    """One persistent HiGHS model: pass once, then patch bounds and re-run."""
+
+    def __init__(self, assembled: "AssembledSystem", integer: bool):
+        self._n = assembled.num_vars
+        h = _highs._Highs()
+        for name, value in (
+            ("output_flag", False),
+            ("log_to_console", False),
+            ("threads", 1),
+        ):
+            try:
+                h.setOptionValue(name, value)
+            except Exception:  # pragma: no cover - option-name drift
+                pass
+        lp = _highs.HighsLp()
+        lp.num_col_ = assembled.num_vars
+        lp.num_row_ = assembled.num_base_rows
+        lp.col_cost_ = np.ones(assembled.num_vars)
+        lp.col_lower_ = self._finite(assembled.base_var_lower)
+        lp.col_upper_ = self._finite(assembled.base_var_upper)
+        lp.row_lower_ = self._finite(assembled.base_row_lower)
+        lp.row_upper_ = self._finite(assembled.base_row_upper)
+        matrix = _highs.HighsSparseMatrix()
+        matrix.format_ = _highs.MatrixFormat.kRowwise
+        matrix.num_col_ = assembled.num_vars
+        matrix.num_row_ = assembled.num_base_rows
+        matrix.start_ = assembled.indptr
+        matrix.index_ = assembled.indices
+        matrix.value_ = assembled.data
+        lp.a_matrix_ = matrix
+        if integer:
+            lp.integrality_ = np.array(
+                [_highs.HighsVarType.kInteger] * assembled.num_vars
+            )
+        if h.passModel(lp) == _highs.HighsStatus.kError:
+            raise SolverError("HiGHS rejected the assembled model")
+        self._h = h
+        self._all_cols = np.arange(assembled.num_vars, dtype=np.int32)
+        self._num_rows = assembled.num_base_rows
+
+    @staticmethod
+    def _finite(array: np.ndarray) -> np.ndarray:
+        """Replace +/-inf with HiGHS's own infinity sentinel."""
+        out = np.asarray(array, dtype=np.float64).copy()
+        out[out == np.inf] = _highs.kHighsInf
+        out[out == -np.inf] = -_highs.kHighsInf
+        return out
+
+    def add_row(self, coeffs: Mapping[int, float], lower: float) -> None:
+        """Append a ``>= lower`` row (a connectivity cut)."""
+        cols = np.array(sorted(coeffs), dtype=np.int32)
+        vals = np.array([float(coeffs[j]) for j in sorted(coeffs)])
+        status = self._h.addRow(lower, _highs.kHighsInf, len(cols), cols, vals)
+        if status == _highs.HighsStatus.kError:  # pragma: no cover - defensive
+            raise SolverError("HiGHS rejected an appended cut row")
+        self._num_rows += 1
+
+    def set_cut_row_bounds(self, row: int, lower: float) -> None:
+        """(De)activate an appended row by moving its lower bound."""
+        self._h.changeRowBounds(
+            row, lower if lower != -np.inf else -_highs.kHighsInf, _highs.kHighsInf
+        )
+
+    def solve(
+        self, var_lower: np.ndarray, var_upper: np.ndarray
+    ) -> tuple[str, np.ndarray | None]:
+        """Re-solve under patched variable bounds.
+
+        Returns ``("optimal", x)``, ``("infeasible", None)`` or
+        ``("unknown", None)`` — anything numerically doubtful is "unknown".
+        """
+        h = self._h
+        h.changeColsBounds(
+            self._n, self._all_cols, self._finite(var_lower), self._finite(var_upper)
+        )
+        if h.run() == _highs.HighsStatus.kError:
+            return "unknown", None
+        status = h.getModelStatus()
+        if status == _highs.HighsModelStatus.kOptimal:
+            return "optimal", np.asarray(h.getSolution().col_value)
+        if status == _highs.HighsModelStatus.kInfeasible:
+            return "infeasible", None
+        return "unknown", None
+
+
+class AssembledSystem:
+    """A base system assembled once, solved many times under bound patches.
+
+    The matrix never changes except by *appending* cut rows; each solve
+    supplies per-variable bound patches and the set of active cut indices.
+    Cut rows stay in the model permanently and are deactivated by relaxing
+    their lower bound to ``-inf``, so activation is O(pool) bound flips,
+    never a re-assembly.
+    """
+
+    def __init__(self, system: LinearSystem):
+        self._system = system
+        (
+            self.indptr,
+            self.indices,
+            self.data,
+            self.base_row_lower,
+            self.base_row_upper,
+            self.base_var_lower,
+            self.base_var_upper,
+        ) = assemble_arrays(system)
+        self.assemblies = 1
+        self._cut_rows: list[Row] = []
+        self._cut_coeffs: list[dict[int, float]] = []
+        self._int_engine: _HighsInstance | None = None
+        self._lp_engine: _HighsInstance | None = None
+        self._engine_cut_state: dict[int, list[bool]] = {}
+        self._scipy_matrix = None  # lazy csr for the fallback engine
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._system.num_vars
+
+    @property
+    def num_base_rows(self) -> int:
+        return len(self.base_row_lower)
+
+    @property
+    def num_cuts(self) -> int:
+        return len(self._cut_rows)
+
+    @property
+    def system(self) -> LinearSystem:
+        """The underlying base system (shared, not copied)."""
+        return self._system
+
+    # -- cut pool ------------------------------------------------------------
+
+    def add_cut(self, coeffs: Mapping[VarId, int], rhs: int, label: str = "") -> int:
+        """Append a ``sum(coeffs) >= rhs`` row; returns its pool index."""
+        row = Row(tuple(coeffs.items()), GE, int(rhs), label)
+        by_index: dict[int, float] = {}
+        for var, coeff in coeffs.items():
+            j = self._system.index_of(var)
+            by_index[j] = by_index.get(j, 0.0) + float(coeff)
+        self._cut_rows.append(row)
+        self._cut_coeffs.append(by_index)
+        for engine_id, engine in (
+            (0, self._int_engine),
+            (1, self._lp_engine),
+        ):
+            if engine is not None:
+                engine.add_row(by_index, float(rhs))
+                self._engine_cut_state[engine_id].append(True)
+        self._scipy_matrix = None
+        return len(self._cut_rows) - 1
+
+    def cut_row(self, index: int) -> Row:
+        return self._cut_rows[index]
+
+    # -- solving -------------------------------------------------------------
+
+    def _patched_bounds(
+        self, patches: Mapping[VarId, BoundPatch]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        lower = self.base_var_lower.copy()
+        upper = self.base_var_upper.copy()
+        index_of = self._system.index_of
+        for var, (lo, hi) in patches.items():
+            j = index_of(var)
+            if lo is not None and lo > lower[j]:
+                lower[j] = float(lo)
+            if hi is not None and hi < upper[j]:
+                upper[j] = float(hi)
+        return lower, upper
+
+    def _engine(self, integer: bool) -> _HighsInstance:
+        if integer:
+            if self._int_engine is None:
+                self._int_engine = _HighsInstance(self, integer=True)
+                self._engine_cut_state[0] = [True] * self.num_cuts
+                for i, coeffs in enumerate(self._cut_coeffs):
+                    self._int_engine.add_row(coeffs, float(self._cut_rows[i].rhs))
+            return self._int_engine
+        if self._lp_engine is None:
+            self._lp_engine = _HighsInstance(self, integer=False)
+            self._engine_cut_state[1] = [True] * self.num_cuts
+            for i, coeffs in enumerate(self._cut_coeffs):
+                self._lp_engine.add_row(coeffs, float(self._cut_rows[i].rhs))
+        return self._lp_engine
+
+    def _apply_cut_activation(self, integer: bool, active: frozenset[int] | set[int]) -> None:
+        engine = self._engine(integer)
+        state = self._engine_cut_state[0 if integer else 1]
+        for i in range(self.num_cuts):
+            want = i in active
+            if state[i] != want:
+                engine.set_cut_row_bounds(
+                    self.num_base_rows + i,
+                    float(self._cut_rows[i].rhs) if want else -np.inf,
+                )
+                state[i] = want
+
+    def _solve_raw(
+        self,
+        patches: Mapping[VarId, BoundPatch],
+        active: set[int],
+        integer: bool,
+    ) -> tuple[str, np.ndarray | None]:
+        lower, upper = self._patched_bounds(patches)
+        if np.any(lower > upper):
+            return "infeasible", None
+        if _highs is not None:
+            self._apply_cut_activation(integer, active)
+            return self._engine(integer).solve(lower, upper)
+        return self._scipy_solve(lower, upper, active, integer)
+
+    def _scipy_solve(
+        self,
+        var_lower: np.ndarray,
+        var_upper: np.ndarray,
+        active: set[int],
+        integer: bool,
+    ) -> tuple[str, np.ndarray | None]:  # pragma: no cover - fallback engine
+        from scipy.optimize import Bounds, LinearConstraint, milp
+        from scipy.sparse import csr_array, vstack
+
+        if self._scipy_matrix is None:
+            base = csr_array(
+                (self.data, self.indices, self.indptr),
+                shape=(self.num_base_rows, self.num_vars),
+            )
+            if self._cut_coeffs:
+                cut_rows = []
+                for coeffs in self._cut_coeffs:
+                    dense = np.zeros(self.num_vars)
+                    for j, c in coeffs.items():
+                        dense[j] = c
+                    cut_rows.append(dense)
+                base = csr_array(vstack([base, csr_array(np.array(cut_rows))]))
+            self._scipy_matrix = base
+        row_lower = np.concatenate(
+            [
+                self.base_row_lower,
+                np.array(
+                    [
+                        float(self._cut_rows[i].rhs) if i in active else -np.inf
+                        for i in range(self.num_cuts)
+                    ]
+                ),
+            ]
+        )
+        row_upper = np.concatenate([self.base_row_upper, np.full(self.num_cuts, np.inf)])
+        constraints = (
+            LinearConstraint(self._scipy_matrix, row_lower, row_upper)
+            if self._scipy_matrix.shape[0]
+            else ()
+        )
+        integrality = np.ones(self.num_vars) if integer else np.zeros(self.num_vars)
+        result = milp(
+            c=np.ones(self.num_vars),
+            constraints=constraints,
+            integrality=integrality,
+            bounds=Bounds(var_lower, var_upper),
+        )
+        if result.status == 2:
+            return "infeasible", None
+        if result.x is None:
+            return "unknown", None
+        return "optimal", result.x
+
+    def _values_from(self, x: np.ndarray) -> dict[VarId, int]:
+        return {
+            var: int(round(x[self._system.index_of(var)]))
+            for var in self._system.variables
+        }
+
+    def check_values(
+        self,
+        values: Mapping[VarId, int],
+        patches: Mapping[VarId, BoundPatch],
+        active: set[int],
+    ) -> list[str]:
+        """Exact violations of base rows, patched bounds and active cuts."""
+        problems = [row.pretty() for row in self._system.check(values)]
+        for var, (lo, hi) in patches.items():
+            value = values.get(var, 0)
+            if lo is not None and value < lo:
+                problems.append(f"{var} >= {lo} [patch]")
+            if hi is not None and value > hi:
+                problems.append(f"{var} <= {hi} [patch]")
+        for i in active:
+            row = self._cut_rows[i]
+            if not row.evaluate(values):
+                problems.append(row.pretty())
+        return problems
+
+    def solve_int(
+        self,
+        patches: Mapping[VarId, BoundPatch],
+        active: set[int] | None = None,
+    ) -> SolveResult:
+        """Integer solve under bound patches; exact-checked like solve_milp.
+
+        Status ``"error"`` means the float solution failed the exact check
+        or the solver gave a doubtful status — callers fall back to the
+        rational simplex on a materialized system.
+        """
+        active = active or set()
+        if self.num_vars == 0:
+            for row in self._system.rows:
+                if not row.evaluate({}):
+                    return SolveResult("infeasible", message="constant row violated")
+            return SolveResult("feasible", {})
+        status, x = self._solve_raw(patches, active, integer=True)
+        if status == "infeasible":
+            return SolveResult("infeasible", message="patched system infeasible")
+        if status != "optimal" or x is None:
+            return SolveResult("error", message="incremental solve inconclusive")
+        values = self._values_from(x)
+        violated = self.check_values(values, patches, active)
+        if violated:
+            return SolveResult(
+                "error",
+                message="rounded incremental solution violates: "
+                + "; ".join(violated[:3]),
+            )
+        return SolveResult("feasible", values)
+
+    def lp_probe(
+        self,
+        patches: Mapping[VarId, BoundPatch],
+        active: set[int] | None = None,
+        want_values: bool = True,
+    ) -> tuple[str, dict[VarId, int] | None]:
+        """LP relaxation under bound patches.
+
+        Returns ``("infeasible", None)`` only when definitely infeasible
+        (sound for pruning), ``("feasible", candidate)`` with the rounded
+        vertex — *not yet verified* — or ``("unknown", None)``.  Pruning
+        callers that only need the status pass ``want_values=False`` to
+        skip building the candidate dict.
+        """
+        active = active or set()
+        if self.num_vars == 0:
+            bad = any(not row.evaluate({}) for row in self._system.rows)
+            return ("infeasible", None) if bad else ("feasible", {})
+        status, x = self._solve_raw(patches, active, integer=False)
+        if status == "infeasible":
+            return "infeasible", None
+        if status == "optimal" and x is not None:
+            return "feasible", self._values_from(x) if want_values else None
+        return "unknown", None
+
+    def materialize(
+        self,
+        patches: Mapping[VarId, BoundPatch],
+        active: set[int] | None = None,
+    ) -> LinearSystem:
+        """An equivalent standalone :class:`LinearSystem` (for the exact
+        backend and for fallbacks when a float solve is inconclusive)."""
+        leaf = self._system.copy()
+        for var, (lo, hi) in patches.items():
+            if lo is not None and lo > 0:
+                leaf.add_ge({var: 1}, lo, label="patch-lower")
+            if hi is not None:
+                leaf.set_upper(var, hi)
+        for i in sorted(active or ()):
+            row = self._cut_rows[i]
+            leaf.add_ge(dict(row.coeffs), row.rhs, label=row.label)
+        return leaf

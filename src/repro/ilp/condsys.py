@@ -21,6 +21,19 @@ The search propagates *support clauses* (Horn-style implications derived
 from the DTD rules and the inclusion constraints) and prunes with LP
 relaxations; every answer is exact because pruning only uses definite LP
 infeasibility and every leaf solution is verified integer-exactly.
+
+Incremental core (DESIGN.md section 4): every per-node delta is a
+*variable-bound* change, so the base system is assembled exactly once
+(:class:`repro.ilp.assembled.AssembledSystem`) and each DFS node or LP
+prune patches bound arrays instead of rebuilding matrices.  Connectivity
+cuts go into a pool shared across leaves: a cut learned for an unreachable
+set ``U`` is valid for *any* solution in which some member of ``U`` is
+present (the root-to-member path must enter ``U`` from outside), so each
+pool entry carries ``U`` as its guard and is activated exactly when the
+current support decisions intersect it.  A single LP probe of the root
+relaxation decides most instances outright: definite infeasibility refutes
+the whole search, and an integral vertex that passes the exact row check,
+the conditionals and the connectivity check is already a realizable answer.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping
 
 from repro.errors import ComplexityLimitError, SolverError
+from repro.ilp.assembled import AssembledSystem, BoundPatch
 from repro.ilp.exact import solve_exact
 from repro.ilp.model import LinearSystem, SolveResult, VarId
 from repro.ilp.scipy_backend import lp_infeasible, solve_milp
@@ -95,12 +109,26 @@ class CondSolveStats:
     cuts_added: int = 0
     lp_prunes: int = 0
     shortcut_hit: bool = False
+    #: Full matrix assemblies performed (1 on the incremental path).
+    assemblies: int = 0
+    #: Solves served by patching the assembled system's bound arrays.
+    bound_patch_solves: int = 0
+    #: Leaf solves at which a cut learned by an *earlier* leaf was active.
+    cut_pool_hits: int = 0
+    #: Clause examinations during unit propagation (worklist work).
+    propagation_visits: int = 0
+    #: The root LP probe decided the instance by itself.
+    lp_probe_decided: bool = False
 
 
 def _leaf_rows(
     cs: ConditionalSystem, assignment: Mapping[str, bool]
 ) -> LinearSystem:
-    """The plain ILP once every element type's support is decided."""
+    """The plain ILP once every element type's support is decided.
+
+    This is the from-scratch (``incremental=False``) construction, kept as
+    the reference the bound-patching path is differentially tested against.
+    """
     leaf = cs.base.copy()
     for tau, present in assignment.items():
         ext = cs.ext_var[tau]
@@ -131,6 +159,38 @@ def _partial_rows(
     return partial
 
 
+def _bound_patches(
+    cs: ConditionalSystem, assignment: Mapping[str, bool | None]
+) -> dict[VarId, BoundPatch]:
+    """The decided part of an assignment as variable-bound patches.
+
+    ``support:tau`` becomes ``lower(ext) = 1``, ``absent:tau`` becomes
+    ``upper(ext) = 0`` and each ``attr-total`` conditional becomes
+    ``lower(var) = 1`` — no new rows, ever.
+    """
+    patches: dict[VarId, BoundPatch] = {}
+
+    def tighten(var: VarId, lo: int | None, hi: int | None) -> None:
+        old_lo, old_hi = patches.get(var, (None, None))
+        if lo is not None and (old_lo is None or lo > old_lo):
+            old_lo = lo
+        if hi is not None and (old_hi is None or hi < old_hi):
+            old_hi = hi
+        patches[var] = (old_lo, old_hi)
+
+    for tau, decided in assignment.items():
+        if decided is None:
+            continue
+        ext = cs.ext_var[tau]
+        if decided:
+            tighten(ext, 1, None)
+            for var in cs.requires_if_present.get(tau, ()):
+                tighten(var, 1, None)
+        else:
+            tighten(ext, None, 0)
+    return patches
+
+
 def _unreachable_positive(
     cs: ConditionalSystem, values: Mapping[VarId, int]
 ) -> frozenset[str]:
@@ -156,42 +216,127 @@ def _unreachable_positive(
     return frozenset(positive - reached)
 
 
-def _solve_leaf(
-    cs: ConditionalSystem,
-    leaf: LinearSystem,
-    solve: Callable[[LinearSystem], SolveResult],
+def _connectivity_cut(
+    cs: ConditionalSystem, unreachable: frozenset[str]
+) -> dict[VarId, int]:
+    """``sum(occ edges entering U from outside) >= 1`` coefficient map."""
+    cut: dict[VarId, int] = {}
+    for occ_var, parent, child in cs.edges:
+        if child in unreachable and parent not in unreachable:
+            cut[occ_var] = cut.get(occ_var, 0) + 1
+    return cut
+
+
+def _satisfies_conditionals(
+    cs: ConditionalSystem, values: Mapping[VarId, int]
+) -> bool:
+    """Do the values satisfy every ``present -> required`` conditional?"""
+    for tau in cs.element_types:
+        if values.get(cs.ext_var[tau], 0) > 0:
+            for var in cs.requires_if_present.get(tau, ()):
+                if values.get(var, 0) < 1:
+                    return False
+    return True
+
+
+class _CutPool:
+    """Connectivity cuts shared across leaves, with presence guards.
+
+    A cut learned for unreachable set ``U`` asserts ``sum(occ entering U
+    from outside) >= 1`` — valid for every tree-realizable solution in
+    which *some* element type of ``U`` is present (the root-to-node path
+    must cross into ``U``), and trivially violated when all of ``U`` is
+    absent (totality zeroes every entering edge).  Each entry therefore
+    carries its guard and is only activated for nodes whose decided-present
+    set intersects it.
+    """
+
+    def __init__(self, assembled: AssembledSystem):
+        self._assembled = assembled
+        self._guards: list[frozenset[str]] = []
+        self._origin: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._guards)
+
+    def add(
+        self, coeffs: Mapping[VarId, int], guard: frozenset[str], origin_leaf: int,
+        label: str = "",
+    ) -> None:
+        self._assembled.add_cut(coeffs, 1, label=label)
+        self._guards.append(guard)
+        self._origin.append(origin_leaf)
+
+    def active_for(self, present: set[str]) -> set[int]:
+        return {
+            i for i, guard in enumerate(self._guards) if guard & present
+        }
+
+    def shared_hits(self, active: set[int], current_leaf: int) -> int:
+        """How many active cuts were learned by a different leaf?"""
+        return sum(1 for i in active if self._origin[i] != current_leaf)
+
+
+class _ClauseIndex:
+    """Premise/alternative -> clause index, for worklist propagation."""
+
+    def __init__(self, clauses: tuple[SupportClause, ...]):
+        self.clauses = clauses
+        by_symbol: dict[str, list[int]] = {}
+        for index, clause in enumerate(clauses):
+            by_symbol.setdefault(clause.premise, []).append(index)
+            for alternative in clause.alternatives:
+                by_symbol.setdefault(alternative, []).append(index)
+        self.by_symbol = {
+            symbol: tuple(indices) for symbol, indices in by_symbol.items()
+        }
+
+
+def _propagate_indexed(
+    index: _ClauseIndex,
+    assignment: dict[str, bool | None],
+    seeds: list[str],
     stats: CondSolveStats,
-    max_cut_rounds: int,
-) -> SolveResult:
-    """Solve a leaf ILP, iterating connectivity cuts to a fixpoint."""
-    for _ in range(max_cut_rounds):
-        stats.leaves_solved += 1
-        result = solve(leaf)
-        if not result.feasible:
-            return result
-        unreachable = _unreachable_positive(cs, result.values)
-        if not unreachable:
-            return result
-        cut: dict[VarId, int] = {}
-        for occ_var, parent, child in cs.edges:
-            if child in unreachable and parent not in unreachable:
-                cut[occ_var] = cut.get(occ_var, 0) + 1
-        if not cut:
-            # No occurrence site can ever feed U from outside: with these
-            # supports fixed positive, no tree exists.
-            return SolveResult(
-                "infeasible",
-                message=f"positive types {sorted(unreachable)} cannot be connected",
-            )
-        stats.cuts_added += 1
-        leaf.add_ge(cut, 1, label=f"connect:{','.join(sorted(unreachable)[:4])}")
-    raise SolverError("connectivity cut loop did not converge")
+) -> bool:
+    """Worklist unit propagation from the seed symbols; False on conflict.
+
+    Only clauses watching a changed symbol are re-examined, replacing the
+    all-clauses rescan-until-fixpoint of the original implementation.
+    Sound for the same reason: a clause's state only changes when one of
+    its symbols (premise or alternative) changes value.
+    """
+    queue = list(seeds)
+    clauses = index.clauses
+    by_symbol = index.by_symbol
+    while queue:
+        symbol = queue.pop()
+        for clause_id in by_symbol.get(symbol, ()):
+            clause = clauses[clause_id]
+            stats.propagation_visits += 1
+            if assignment.get(clause.premise) is not True:
+                continue
+            if any(assignment.get(a) is True for a in clause.alternatives):
+                continue
+            open_alts = [
+                a for a in clause.alternatives if assignment.get(a) is None
+            ]
+            if not open_alts:
+                return False
+            if len(open_alts) == 1:
+                assignment[open_alts[0]] = True
+                queue.append(open_alts[0])
+    return True
 
 
 def _propagate(
     cs: ConditionalSystem, assignment: dict[str, bool | None]
 ) -> bool:
-    """Unit-propagate support clauses; False on conflict."""
+    """Unit-propagate support clauses; False on conflict.
+
+    Reference implementation (rescan to fixpoint), kept for the
+    ``incremental=False`` path and as the differential oracle for
+    :func:`_propagate_indexed`.
+    """
     changed = True
     while changed:
         changed = False
@@ -209,6 +354,96 @@ def _propagate(
                 assignment[open_alts[0]] = True
                 changed = True
     return True
+
+
+def _solve_leaf(
+    cs: ConditionalSystem,
+    leaf: LinearSystem,
+    solve: Callable[[LinearSystem], SolveResult],
+    stats: CondSolveStats,
+    max_cut_rounds: int,
+) -> SolveResult:
+    """Solve a from-scratch leaf ILP, iterating connectivity cuts locally.
+
+    Used by the ``incremental=False`` reference path; cuts found here are
+    discarded when the leaf is abandoned.
+    """
+    for _ in range(max_cut_rounds):
+        stats.leaves_solved += 1
+        stats.assemblies += 1
+        result = solve(leaf)
+        if not result.feasible:
+            return result
+        unreachable = _unreachable_positive(cs, result.values)
+        if not unreachable:
+            return result
+        cut = _connectivity_cut(cs, unreachable)
+        if not cut:
+            # No occurrence site can ever feed U from outside: with these
+            # supports fixed positive, no tree exists.
+            return SolveResult(
+                "infeasible",
+                message=f"positive types {sorted(unreachable)} cannot be connected",
+            )
+        stats.cuts_added += 1
+        leaf.add_ge(cut, 1, label=f"connect:{','.join(sorted(unreachable)[:4])}")
+    raise SolverError("connectivity cut loop did not converge")
+
+
+def _solve_leaf_assembled(
+    cs: ConditionalSystem,
+    assembled: AssembledSystem,
+    pool: _CutPool,
+    assignment: Mapping[str, bool],
+    backend: str,
+    stats: CondSolveStats,
+    max_cut_rounds: int,
+    leaf_id: int,
+) -> SolveResult:
+    """Solve a leaf by patching bounds on the assembled system.
+
+    Connectivity cuts discovered here go into the shared pool (guarded by
+    their unreachable set) so later leaves inherit them for free.
+    """
+    patches = _bound_patches(cs, assignment)
+    present = {tau for tau, decided in assignment.items() if decided}
+    # The foreign active set is fixed for the whole leaf (cuts added during
+    # the rounds carry this leaf's id), so count the pool hit once.
+    if pool.shared_hits(pool.active_for(present), leaf_id):
+        stats.cut_pool_hits += 1
+    for _ in range(max_cut_rounds):
+        stats.leaves_solved += 1
+        active = pool.active_for(present)
+        if backend == "exact":
+            result = solve_exact(assembled.materialize(patches, active))
+        else:
+            stats.bound_patch_solves += 1
+            result = assembled.solve_int(patches, active)
+            if result.status == "error":
+                # Floating-point trouble: certify with the exact solver.
+                result = solve_exact(assembled.materialize(patches, active))
+        if not result.feasible:
+            return result
+        unreachable = _unreachable_positive(cs, result.values)
+        if not unreachable:
+            return result
+        cut = _connectivity_cut(cs, unreachable)
+        if not cut:
+            return SolveResult(
+                "infeasible",
+                message=f"positive types {sorted(unreachable)} cannot be connected",
+            )
+        stats.cuts_added += 1
+        guard = unreachable & set(cs.element_types)
+        if not guard:  # pragma: no cover - totality makes this impossible
+            raise SolverError("connectivity cut with no element-type guard")
+        pool.add(
+            cut,
+            frozenset(guard),
+            leaf_id,
+            label=f"connect:{','.join(sorted(unreachable)[:4])}",
+        )
+    raise SolverError("connectivity cut loop did not converge")
 
 
 def _make_solver(backend: str) -> Callable[[LinearSystem], SolveResult]:
@@ -234,15 +469,21 @@ def solve_conditional_system(
     max_support_nodes: int = 20000,
     max_cut_rounds: int = 200,
     lp_prune: bool = True,
+    incremental: bool = True,
 ) -> tuple[SolveResult, CondSolveStats]:
     """Decide the conditional system; return a realizable solution if any.
 
     The returned solution (when feasible) satisfies the base rows, all
     conditionals, and the connectivity side condition — i.e. it is
     realizable as an XML tree by :mod:`repro.witness`.
+
+    ``incremental=False`` selects the from-scratch reference path (one
+    matrix assembly per solve, no cut sharing); it exists for differential
+    testing and ablation, and must always agree with the default.
     """
+    if backend not in ("scipy", "exact"):
+        raise SolverError(f"unknown backend {backend!r}")
     stats = CondSolveStats()
-    solve = _make_solver(backend)
 
     assignment: dict[str, bool | None] = {tau: None for tau in cs.element_types}
     for tau in cs.forced_true:
@@ -258,6 +499,163 @@ def solve_conditional_system(
             )
         assignment[tau] = False
     assignment[cs.root] = True
+
+    if incremental:
+        return _solve_incremental(
+            cs, assignment, backend, max_support_nodes, max_cut_rounds,
+            lp_prune, stats,
+        )
+    return _solve_rebuild(
+        cs, assignment, backend, max_support_nodes, max_cut_rounds,
+        lp_prune, stats,
+    )
+
+
+def _branching_order(cs: ConditionalSystem) -> list[str]:
+    """Constrained types first (their supports interact with Sigma), then
+    DTD order — via a precomputed position map, not repeated .index()."""
+    involved = set(cs.requires_if_present) | {
+        clause.premise for clause in cs.clauses
+    }
+    position = {tau: i for i, tau in enumerate(cs.element_types)}
+    return sorted(
+        cs.element_types,
+        key=lambda tau: (tau not in involved, position[tau]),
+    )
+
+
+def _solve_incremental(
+    cs: ConditionalSystem,
+    assignment: dict[str, bool | None],
+    backend: str,
+    max_support_nodes: int,
+    max_cut_rounds: int,
+    lp_prune: bool,
+    stats: CondSolveStats,
+) -> tuple[SolveResult, CondSolveStats]:
+    """Assemble-once/bound-patch support search (DESIGN.md section 4)."""
+    clause_index = _ClauseIndex(cs.clauses)
+    seeds = [tau for tau, value in assignment.items() if value is not None]
+    if not _propagate_indexed(clause_index, assignment, seeds, stats):
+        return SolveResult("infeasible", message="support propagation conflict"), stats
+
+    assembled = AssembledSystem(cs.base)
+    stats.assemblies = assembled.assemblies
+    pool = _CutPool(assembled)
+    leaf_counter = 0
+
+    # Single LP probe of the root relaxation: definite infeasibility
+    # refutes every support completion at once, and an integral vertex
+    # that passes the exact checks is already a realizable answer.
+    root_probed = False
+    if lp_prune and backend == "scipy":
+        root_patches = _bound_patches(cs, assignment)
+        status, candidate = assembled.lp_probe(root_patches, set())
+        stats.bound_patch_solves += 1
+        root_probed = status != "unknown"
+        if status == "infeasible":
+            stats.lp_probe_decided = True
+            return (
+                SolveResult("infeasible", message="root LP relaxation infeasible"),
+                stats,
+            )
+        if (
+            status == "feasible"
+            and candidate is not None
+            and not assembled.check_values(candidate, root_patches, set())
+            and _satisfies_conditionals(cs, candidate)
+            and not _unreachable_positive(cs, candidate)
+        ):
+            stats.shortcut_hit = True
+            stats.lp_probe_decided = True
+            return SolveResult("feasible", candidate), stats
+
+    # Shortcut: the maximal support (everything not forced out present) is
+    # often feasible and found in one leaf solve.
+    maximal = dict(assignment)
+    for tau in cs.element_types:
+        if maximal[tau] is None:
+            maximal[tau] = True
+    if _propagate_indexed(
+        clause_index, maximal, list(cs.element_types), stats
+    ) and all(v is not None for v in maximal.values()):
+        leaf_counter += 1
+        result = _solve_leaf_assembled(
+            cs, assembled, pool, maximal, backend, stats,  # type: ignore[arg-type]
+            max_cut_rounds, leaf_counter,
+        )
+        if result.feasible:
+            stats.shortcut_hit = True
+            return result, stats
+
+    order = _branching_order(cs)
+
+    def undecided(current: Mapping[str, bool | None]) -> str | None:
+        for tau in order:
+            if current[tau] is None:
+                return tau
+        return None
+
+    # Stack entries carry the symbol decided last, seeding propagation.
+    stack: list[tuple[dict[str, bool | None], str | None]] = [(assignment, None)]
+    first_node = True
+    while stack:
+        current, decided = stack.pop()
+        stats.dfs_nodes += 1
+        if stats.dfs_nodes > max_support_nodes:
+            raise ComplexityLimitError(
+                f"support search exceeded {max_support_nodes} nodes"
+            )
+        seeds = (
+            [decided]
+            if decided is not None
+            else [tau for tau, value in current.items() if value is not None]
+        )
+        if not _propagate_indexed(clause_index, current, seeds, stats):
+            continue
+        if lp_prune and not (first_node and root_probed and len(pool) == 0):
+            patches = _bound_patches(cs, current)
+            decided_true = {
+                tau for tau, value in current.items() if value is True
+            }
+            active = pool.active_for(decided_true)
+            status, _ = assembled.lp_probe(patches, active, want_values=False)
+            stats.bound_patch_solves += 1
+            if status == "infeasible":
+                stats.lp_prunes += 1
+                first_node = False
+                continue
+        first_node = False
+        choice = undecided(current)
+        if choice is None:
+            leaf_counter += 1
+            result = _solve_leaf_assembled(
+                cs, assembled, pool, current, backend, stats,  # type: ignore[arg-type]
+                max_cut_rounds, leaf_counter,
+            )
+            if result.feasible:
+                return result, stats
+            continue
+        with_false = dict(current)
+        with_false[choice] = False
+        with_true = dict(current)
+        with_true[choice] = True
+        stack.append((with_false, choice))
+        stack.append((with_true, choice))
+    return SolveResult("infeasible", message="support search exhausted"), stats
+
+
+def _solve_rebuild(
+    cs: ConditionalSystem,
+    assignment: dict[str, bool | None],
+    backend: str,
+    max_support_nodes: int,
+    max_cut_rounds: int,
+    lp_prune: bool,
+    stats: CondSolveStats,
+) -> tuple[SolveResult, CondSolveStats]:
+    """From-scratch reference path: rebuild a LinearSystem per node."""
+    solve = _make_solver(backend)
 
     if not _propagate(cs, assignment):
         return SolveResult("infeasible", message="support propagation conflict"), stats
@@ -276,15 +674,7 @@ def solve_conditional_system(
             stats.shortcut_hit = True
             return result, stats
 
-    # Branching order: constrained types first (their supports interact with
-    # Sigma), then DTD order.
-    involved = set(cs.requires_if_present) | {
-        clause.premise for clause in cs.clauses
-    }
-    order = sorted(
-        cs.element_types,
-        key=lambda tau: (tau not in involved, cs.element_types.index(tau)),
-    )
+    order = _branching_order(cs)
 
     def undecided(current: Mapping[str, bool | None]) -> str | None:
         for tau in order:
@@ -302,9 +692,11 @@ def solve_conditional_system(
             )
         if not _propagate(cs, current):
             continue
-        if lp_prune and lp_infeasible(_partial_rows(cs, current)):
-            stats.lp_prunes += 1
-            continue
+        if lp_prune:
+            stats.assemblies += 1
+            if lp_infeasible(_partial_rows(cs, current)):
+                stats.lp_prunes += 1
+                continue
         choice = undecided(current)
         if choice is None:
             result = _solve_leaf(

@@ -16,7 +16,7 @@ raises :class:`SolverError` rather than returning a wrong answer.
 from __future__ import annotations
 
 from fractions import Fraction
-from math import ceil, floor
+from math import ceil, floor, gcd
 
 from repro.errors import SolverError
 from repro.ilp.bounds import papadimitriou_bound
@@ -71,14 +71,20 @@ class _Simplex:
 
         def pivot(row: int, col: int) -> None:
             pivot_value = tableau[row][col]
-            tableau[row] = [value / pivot_value for value in tableau[row]]
+            if pivot_value != 1:
+                tableau[row] = [value / pivot_value for value in tableau[row]]
+            pivot_row = tableau[row]
+            # Tableau rows are sparse in practice; touching only the pivot
+            # row's nonzero columns avoids multiplying walls of zeros.
+            nonzero_cols = [j for j, value in enumerate(pivot_row) if value != 0]
             for other in range(m):
-                if other != row and tableau[other][col] != 0:
-                    factor = tableau[other][col]
-                    tableau[other] = [
-                        value - factor * pivot_row_value
-                        for value, pivot_row_value in zip(tableau[other], tableau[row])
-                    ]
+                if other == row:
+                    continue
+                factor = tableau[other][col]
+                if factor != 0:
+                    other_row = tableau[other]
+                    for j in nonzero_cols:
+                        other_row[j] -= factor * pivot_row[j]
             basis[row] = col
 
         def run_phase(cost: list[Fraction], allowed: int) -> Fraction:
@@ -194,8 +200,6 @@ def solve_exact(system: LinearSystem, node_limit: int = 5000) -> SolveResult:
 
     # GCD preprocessing: an equality whose coefficients share a divisor that
     # does not divide the right-hand side is unsatisfiable over integers.
-    from math import gcd
-
     for row in system.rows:
         if row.sense == EQ and row.coeffs:
             divisor = 0

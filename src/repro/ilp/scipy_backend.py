@@ -10,6 +10,11 @@ to the exact backend).
 LP relaxations (used for pruning in the support search) are exposed through
 :func:`lp_infeasible`; only a definite "infeasible" answer is ever used to
 prune, so numerical trouble degrades performance, not correctness.
+
+Assembly is sparse (CSR via :func:`repro.ilp.assembled.assemble_arrays`),
+so there is no dense-size refusal any more; for the hot support-search
+path, prefer :class:`repro.ilp.assembled.AssembledSystem`, which assembles
+once and re-solves under variable-bound patches.
 """
 
 from __future__ import annotations
@@ -18,44 +23,21 @@ from collections.abc import Mapping
 
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+from scipy.sparse import csr_array
 
 from repro.errors import SolverError
-from repro.ilp.model import EQ, GE, LE, LinearSystem, SolveResult, VarId
-
-#: Cap on variables+rows beyond which we refuse to densify matrices.
-_DENSE_LIMIT = 4_000_000
+from repro.ilp.assembled import assemble_arrays
+from repro.ilp.model import LinearSystem, SolveResult, VarId
 
 
 def _assemble(system: LinearSystem):
-    """Build the constraint matrix, row bounds and variable bounds."""
-    num_vars = system.num_vars
-    num_rows = system.num_rows
-    if num_vars * max(num_rows, 1) > _DENSE_LIMIT:
-        raise SolverError(
-            f"system too large for the dense scipy backend "
-            f"({num_vars} vars x {num_rows} rows)"
-        )
-    matrix = np.zeros((num_rows, num_vars))
-    lower = np.full(num_rows, -np.inf)
-    upper = np.full(num_rows, np.inf)
-    for i, row in enumerate(system.rows):
-        for var, coeff in row.coeffs:
-            matrix[i, system.index_of(var)] += coeff
-        if row.sense == LE:
-            upper[i] = row.rhs
-        elif row.sense == GE:
-            lower[i] = row.rhs
-        elif row.sense == EQ:
-            lower[i] = row.rhs
-            upper[i] = row.rhs
-        else:  # pragma: no cover - defensive
-            raise SolverError(f"unknown row sense {row.sense!r}")
-    var_lower = np.zeros(num_vars)
-    var_upper = np.full(num_vars, np.inf)
-    for var in system.variables:
-        bound = system.upper(var)
-        if bound is not None:
-            var_upper[system.index_of(var)] = bound
+    """Build the sparse constraint matrix, row bounds and variable bounds."""
+    indptr, indices, data, lower, upper, var_lower, var_upper = assemble_arrays(
+        system
+    )
+    matrix = csr_array(
+        (data, indices, indptr), shape=(system.num_rows, system.num_vars)
+    )
     return matrix, lower, upper, var_lower, var_upper
 
 
@@ -119,7 +101,7 @@ def lp_infeasible(system: LinearSystem) -> bool:
         return any(not row.evaluate({}) for row in system.rows)
     try:
         matrix, lower, upper, var_lower, var_upper = _assemble(system)
-    except SolverError:
+    except SolverError:  # pragma: no cover - sparse assembly cannot overflow
         return False
     # linprog wants split equality/inequality form; use milp-style bounds by
     # doubling rows: lower <= Ax <= upper  ==>  Ax <= upper, -Ax <= -lower.
@@ -133,8 +115,14 @@ def lp_infeasible(system: LinearSystem) -> bool:
     if finite_lower.any():
         a_ub_parts.append(-matrix[finite_lower])
         b_ub_parts.append(-lower[finite_lower])
-    a_ub = np.vstack(a_ub_parts) if a_ub_parts else None
-    b_ub = np.concatenate(b_ub_parts) if b_ub_parts else None
+    if a_ub_parts:
+        from scipy.sparse import vstack
+
+        a_ub = csr_array(vstack(a_ub_parts))
+        b_ub = np.concatenate(b_ub_parts)
+    else:
+        a_ub = None
+        b_ub = None
     result = linprog(
         c=np.zeros(system.num_vars),
         A_ub=a_ub,

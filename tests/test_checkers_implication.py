@@ -3,7 +3,7 @@
 import pytest
 
 from repro.checkers.consistency import check_consistency
-from repro.checkers.implication import implies
+from repro.checkers.implication import implies, implies_all
 from repro.checkers.primary import implies_primary
 from repro.constraints.ast import Key
 from repro.constraints.parser import parse_constraint, parse_constraints
@@ -145,6 +145,47 @@ class TestLemma33Equivalence:
             reduction.phi2,
         )
         assert lhs == (not implication.implied)
+
+
+class TestImpliesAll:
+    def test_batch_matches_individual_calls(self):
+        from repro.workloads.generators import star_schema_family
+
+        dtd, sigma = star_schema_family(2, consistent=True)
+        phis = parse_constraints(
+            "dim0.id -> dim0\n"
+            "fact.ref0 <= dim0.id\n"
+            "dim0.id <= fact.ref0\n"
+            "dim1.id -> dim1"
+        )
+        batch = implies_all(dtd, sigma, phis)
+        singles = [implies(dtd, sigma, phi) for phi in phis]
+        assert [r.implied for r in batch] == [r.implied for r in singles]
+        assert [r.implied for r in batch] == [True, True, False, True]
+
+    def test_batch_counterexamples_are_real(self):
+        from repro.workloads.generators import star_schema_family
+
+        dtd, sigma = star_schema_family(1, consistent=True)
+        phi = parse_constraint("dim0.id <= fact.ref0")
+        (result,) = implies_all(dtd, sigma, [phi])
+        assert not result.implied
+        tree = result.counterexample
+        assert tree is not None
+        assert conforms(tree, dtd)
+        assert satisfies_all(tree, sigma)
+        assert not satisfies(tree, phi)
+
+    def test_batch_validates_whole_specification(self):
+        dtd = DTD.build(
+            "r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["x"]}
+        )
+        with pytest.raises(InvalidConstraintError):
+            implies_all(dtd, [], [parse_constraint("b.y -> b")])
+
+    def test_empty_batch(self):
+        dtd = DTD.build("r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["x"]})
+        assert implies_all(dtd, [], []) == []
 
 
 class TestUndecidableFragments:

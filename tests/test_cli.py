@@ -73,6 +73,22 @@ class TestCheck:
         assert main(["check", str(bad)]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_stats_flag_prints_solver_counters(self, d1_file, sigma1_file, capsys):
+        assert main(["check", d1_file, sigma1_file, "--stats"]) == 1
+        out = capsys.readouterr().out
+        assert "solver stats:" in out
+        assert "dfs_nodes=" in out
+        assert "bound_patch_solves=" in out
+
+    def test_profile_alias(self, d1_file, sigma1_file, capsys):
+        assert main(["check", d1_file, sigma1_file, "--profile"]) == 1
+        assert "solver stats:" in capsys.readouterr().out
+
+    def test_keys_only_check_reports_no_solver_stats(self, d1_file, keys_file, capsys):
+        # The keys-only fragment may answer without the ILP solver.
+        assert main(["check", d1_file, keys_file, "--stats"]) == 0
+        assert "solver stats:" in capsys.readouterr().out
+
 
 class TestValidate:
     def test_valid_document(self, d1_file, keys_file, tmp_path, capsys):
@@ -123,6 +139,16 @@ class TestImplies:
         out = capsys.readouterr().out
         assert "implied: False" in out
         assert "counterexample" in out
+
+    def test_stats_flag_on_implies(self, d1_file, sigma1_file, capsys):
+        code = main(
+            [
+                "implies", d1_file, sigma1_file,
+                "subject.taught_by <= teacher.name", "--stats",
+            ]
+        )
+        assert code == 0
+        assert "solver stats:" in capsys.readouterr().out
 
     def test_counterexample_to_file(self, d1_file, keys_file, tmp_path, capsys):
         target = tmp_path / "cx.xml"
