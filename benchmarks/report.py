@@ -306,6 +306,28 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
     for subjects in (2, 4, 8, 16):
         unary_cases.append(teachers_family(subjects, consistent=False))
 
+    # Certified-pipeline cases (exact backend, no float assistance): the
+    # closed-chain contradictions re-solve one system under many bound
+    # patches, which is precisely what the warm-started simplex speeds up.
+    exact_config = CheckerConfig(
+        want_witness=False, backend="exact", lp_prune=False
+    )
+    exact_cases = []
+    for active in (2, 3, 4):
+        chain = [f"t{i}.x <= t{(i + 1) % active}.x" for i in range(active)]
+        exact_cases.append(
+            (
+                _wide_dtd(active),
+                parse_constraints("\n".join(chain + ["t0.x !<= t1.x"])),
+            )
+        )
+    exact_cases.append(
+        (
+            _wide_dtd(2),
+            parse_constraints("t0.x !-> t0\nt1.x !-> t1"),
+        )
+    )
+
     neg_cases = []
     for scale in (2, 4, 6, 8):
         neg_cases.append(
@@ -351,6 +373,10 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
         "theorem51_negations": lambda: [
             check_consistency(dtd, sigma, _FAST) for dtd, sigma in neg_cases
         ],
+        "exact_warmstart": lambda: [
+            check_consistency(dtd, sigma, exact_config)
+            for dtd, sigma in exact_cases
+        ],
     }
 
 
@@ -376,6 +402,10 @@ def solver_benchmarks() -> dict[str, dict[str, float | int]]:
             "ms": round(_time_min(workload), 3),
             "dfs_nodes": dfs_nodes,
             "leaves_solved": leaves,
+            "exact_nodes": sum(r.stats.get("exact_nodes", 0) for r in results),
+            "exact_pivots": sum(
+                r.stats.get("exact_pivots", 0) for r in results
+            ),
         }
         seed_ms = _SEED_MS.get(name)
         if seed_ms is not None:
@@ -435,10 +465,17 @@ def compare_with_baseline(path: Path = _BASELINE_PATH) -> int:
         problems = []
         if ratio > _REGRESSION_FACTOR:
             problems.append(f"time (>{int((_REGRESSION_FACTOR - 1) * 100)}%)")
-        for counter in ("dfs_nodes", "leaves_solved"):
-            if entry[counter] > base[counter] + _COUNTER_SLACK:
+        for counter, slack in (
+            ("dfs_nodes", _COUNTER_SLACK),
+            ("leaves_solved", _COUNTER_SLACK),
+            ("exact_nodes", _COUNTER_SLACK),
+            # Pivot counts are larger in magnitude; allow matching slack.
+            ("exact_pivots", _COUNTER_SLACK * 8),
+        ):
+            baseline_count = base.get(counter, 0)
+            if entry.get(counter, 0) > baseline_count + slack:
                 problems.append(
-                    f"{counter} {base[counter]} -> {entry[counter]}"
+                    f"{counter} {baseline_count} -> {entry.get(counter, 0)}"
                 )
         verdict = "ok" if not problems else "REGRESSION: " + ", ".join(problems)
         failed = failed or bool(problems)

@@ -37,6 +37,12 @@ class CheckerConfig:
         cut pool, persistent solver state). ``False`` selects the
         from-scratch reference path — one matrix rebuild per search node —
         kept for differential testing and ablation.
+    exact_warm:
+        Warm-start the certified rational simplex: branch-and-bound
+        children reuse their parent's factorized basis via dual-simplex
+        bound patches, and consecutive leaf solves share one persistent
+        basis. ``False`` refactorizes cold at every node — the reference
+        path the differential fuzz harness checks against.
     """
 
     backend: str = "scipy"
@@ -46,6 +52,7 @@ class CheckerConfig:
     max_support_nodes: int = 20000
     lp_prune: bool = True
     incremental: bool = True
+    exact_warm: bool = True
 
 
 #: Default configuration used when callers pass ``None``.

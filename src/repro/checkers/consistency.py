@@ -84,6 +84,7 @@ def _keys_only(
         max_support_nodes=config.max_support_nodes,
         lp_prune=config.lp_prune,
         incremental=config.incremental,
+        exact_warm=config.exact_warm,
     )
     if not result.feasible:  # pragma: no cover - has_valid_tree said yes
         raise SolverError("encoding disagrees with the emptiness check")
@@ -146,6 +147,7 @@ def check_consistency(
         max_support_nodes=config.max_support_nodes,
         lp_prune=config.lp_prune,
         incremental=config.incremental,
+        exact_warm=config.exact_warm,
     )
     stat_map: dict[str, int | bool] = {
         "dfs_nodes": stats.dfs_nodes,
@@ -158,6 +160,9 @@ def check_consistency(
         "cut_pool_hits": stats.cut_pool_hits,
         "propagation_visits": stats.propagation_visits,
         "lp_probe_decided": stats.lp_probe_decided,
+        "exact_nodes": stats.exact_nodes,
+        "exact_pivots": stats.exact_pivots,
+        "exact_warm_solves": stats.exact_warm_solves,
     }
     method = f"ilp-encoding ({cls.value})"
     if not result.feasible:

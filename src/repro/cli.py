@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.analysis.diagnostics import diagnose
 from repro.analysis.extent_bounds import extent_bounds
+from repro.checkers.config import CheckerConfig
 from repro.checkers.consistency import check_consistency
 from repro.checkers.implication import implies as check_implies
 from repro.constraints.parser import parse_constraint, parse_constraints
@@ -57,10 +58,18 @@ def _print_stats(stats: dict) -> None:
     print(f"solver stats: {rendered}")
 
 
+def _solver_config(args: argparse.Namespace) -> CheckerConfig:
+    """The checker configuration selected by the solver flags."""
+    return CheckerConfig(
+        backend=getattr(args, "backend", "scipy"),
+        exact_warm=not getattr(args, "cold", False),
+    )
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd, args.root)
     sigma = _load_constraints(args.constraints)
-    result = check_consistency(dtd, sigma)
+    result = check_consistency(dtd, sigma, _solver_config(args))
     print(f"consistent: {result.consistent}   [{result.method}]")
     if result.message:
         print(f"note: {result.message}")
@@ -93,7 +102,7 @@ def _cmd_implies(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd, args.root)
     sigma = _load_constraints(args.constraints)
     phi = parse_constraint(args.phi)
-    result = check_implies(dtd, sigma, phi)
+    result = check_implies(dtd, sigma, phi, _solver_config(args))
     print(f"implied: {result.implied}   [{result.method}]")
     if result.message:
         print(f"note: {result.message}")
@@ -141,6 +150,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_solver_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--backend",
+            choices=["scipy", "exact"],
+            default="scipy",
+            help="ILP backend: HiGHS floats with exact re-verification "
+            "(default) or the certified rational simplex",
+        )
+        command.add_argument(
+            "--cold",
+            action="store_true",
+            help="disable warm starts in the certified simplex (cold "
+            "per-node refactorization; the differential-testing ablation)",
+        )
+
     p_check = sub.add_parser("check", help="consistency of (DTD, constraints)")
     p_check.add_argument("dtd")
     p_check.add_argument("constraints", nargs="?", default=None)
@@ -151,8 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="stats",
         help="print solver statistics (dfs_nodes, leaves, cuts, lp_prunes, "
-        "assembly/cut-pool/propagation counters)",
+        "assembly/cut-pool/propagation and exact node/pivot counters)",
     )
+    add_solver_flags(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_validate = sub.add_parser("validate", help="validate a document")
@@ -175,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="stats",
         help="print solver statistics for the underlying consistency solve",
     )
+    add_solver_flags(p_implies)
     p_implies.set_defaults(func=_cmd_implies)
 
     p_diagnose = sub.add_parser("diagnose", help="specification health report")

@@ -7,8 +7,10 @@ programming (Theorem 4.1). This package supplies:
   constraints over named variables;
 * :mod:`repro.ilp.scipy_backend` — the default solver (HiGHS via
   ``scipy.optimize.milp``) with post-hoc exact verification of solutions;
-* :mod:`repro.ilp.exact` — a self-contained exact rational simplex with
-  branch-and-bound, used to certify small instances and as a fallback;
+* :mod:`repro.ilp.exact` — a certified rational revised dual simplex with
+  warm-started branch-and-bound (parent-basis reuse, bound-patch API
+  mirroring the assembled core), used to certify instances and as the
+  fallback when a float solve is in doubt;
 * :mod:`repro.ilp.bounds` — the Papadimitriou small-solution bound used by
   the paper's big-M argument;
 * :mod:`repro.ilp.assembled` — the assemble-once/bound-patch core: the
@@ -28,12 +30,16 @@ from repro.ilp.condsys import (
     SupportClause,
     solve_conditional_system,
 )
-from repro.ilp.exact import solve_exact
-from repro.ilp.model import LinearSystem, Row, SolveResult
-from repro.ilp.scipy_backend import solve_milp
+from repro.ilp.exact import ExactAssembledSystem, ExactStats, solve_exact
+from repro.ilp.model import BoundPatch, LinearSystem, Row, SolveResult
+from repro.ilp.scipy_backend import solve_milp, solve_milp_certified
 
 __all__ = [
     "AssembledSystem",
+    "BoundPatch",
+    "ExactAssembledSystem",
+    "ExactStats",
+    "solve_milp_certified",
     "LinearSystem",
     "Row",
     "SolveResult",

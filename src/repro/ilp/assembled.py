@@ -36,15 +36,21 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.errors import SolverError
-from repro.ilp.model import EQ, GE, LE, LinearSystem, Row, SolveResult, VarId
+from repro.ilp.model import (
+    EQ,
+    GE,
+    LE,
+    BoundPatch,
+    LinearSystem,
+    Row,
+    SolveResult,
+    VarId,
+)
 
 try:  # pragma: no cover - exercised indirectly by every solver test
     from scipy.optimize._highspy import _core as _highs
 except ImportError:  # pragma: no cover - environment without vendored HiGHS
     _highs = None
-
-#: Bound patch: ``(lower, upper)``; ``None`` leaves that side untouched.
-BoundPatch = tuple[int | None, int | None]
 
 
 def assemble_arrays(system: LinearSystem):

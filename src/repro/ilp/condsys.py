@@ -34,6 +34,13 @@ current support decisions intersect it.  A single LP probe of the root
 relaxation decides most instances outright: definite infeasibility refutes
 the whole search, and an integral vertex that passes the exact row check,
 the conditionals and the connectivity check is already a realizable answer.
+
+The certified backend shares the same shape (DESIGN.md section 5): a
+lazily-built :class:`repro.ilp.exact.ExactAssembledSystem` twin takes the
+identical ``(patches, active)`` pair per leaf and re-solves by dual-simplex
+bound patches on a warm basis, with pool cuts mirrored so indices align;
+``exact_warm=False`` falls back to cold solves of materialized leaves for
+differential testing.
 """
 
 from __future__ import annotations
@@ -42,10 +49,10 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping
 
 from repro.errors import ComplexityLimitError, SolverError
-from repro.ilp.assembled import AssembledSystem, BoundPatch
-from repro.ilp.exact import solve_exact
-from repro.ilp.model import LinearSystem, SolveResult, VarId
-from repro.ilp.scipy_backend import lp_infeasible, solve_milp
+from repro.ilp.assembled import AssembledSystem
+from repro.ilp.exact import ExactAssembledSystem, ExactStats, solve_exact
+from repro.ilp.model import BoundPatch, LinearSystem, SolveResult, VarId
+from repro.ilp.scipy_backend import lp_infeasible, solve_milp_certified
 
 
 @dataclass(frozen=True)
@@ -119,6 +126,12 @@ class CondSolveStats:
     propagation_visits: int = 0
     #: The root LP probe decided the instance by itself.
     lp_probe_decided: bool = False
+    #: Branch-and-bound nodes expanded by the certified exact backend.
+    exact_nodes: int = 0
+    #: Dual-simplex pivots performed by the certified exact backend.
+    exact_pivots: int = 0
+    #: Exact LP re-solves served warm from a carried-over basis.
+    exact_warm_solves: int = 0
 
 
 def _leaf_rows(
@@ -239,6 +252,53 @@ def _satisfies_conditionals(
     return True
 
 
+class _ExactTwin:
+    """Lazily-built certified twin of an :class:`AssembledSystem`.
+
+    The warm exact backend (:class:`ExactAssembledSystem`) shares the base
+    system and the cut-pool indices with the float engine, so a leaf can be
+    handed the *same* patch lists either way.  Construction is deferred to
+    the first exact solve (most scipy-backed searches never need it); cuts
+    learned before that are replayed at build time and cuts learned after
+    are mirrored by :meth:`notify_cut`, keeping pool indices aligned.
+    """
+
+    def __init__(self, assembled: AssembledSystem):
+        self._assembled = assembled
+        self._exact: ExactAssembledSystem | None = None
+
+    @property
+    def built(self) -> bool:
+        return self._exact is not None
+
+    def get(self) -> ExactAssembledSystem:
+        if self._exact is None:
+            self._exact = ExactAssembledSystem(self._assembled.system)
+            for i in range(self._assembled.num_cuts):
+                row = self._assembled.cut_row(i)
+                self._exact.add_cut(dict(row.coeffs), row.rhs, label=row.label)
+        return self._exact
+
+    def notify_cut(self, coeffs: Mapping[VarId, int], rhs: int, label: str) -> None:
+        if self._exact is not None:
+            self._exact.add_cut(coeffs, rhs, label=label)
+
+    def solve(
+        self,
+        patches: Mapping[VarId, BoundPatch],
+        active: set[int],
+        stats: CondSolveStats,
+    ) -> SolveResult:
+        """Warm certified solve, with work counters folded into ``stats``."""
+        exact = self.get()
+        before = (exact.stats.nodes, exact.stats.pivots, exact.stats.warm_solves)
+        result = exact.solve_int(patches, active)
+        stats.exact_nodes += exact.stats.nodes - before[0]
+        stats.exact_pivots += exact.stats.pivots - before[1]
+        stats.exact_warm_solves += exact.stats.warm_solves - before[2]
+        return result
+
+
 class _CutPool:
     """Connectivity cuts shared across leaves, with presence guards.
 
@@ -248,11 +308,13 @@ class _CutPool:
     must cross into ``U``), and trivially violated when all of ``U`` is
     absent (totality zeroes every entering edge).  Each entry therefore
     carries its guard and is only activated for nodes whose decided-present
-    set intersects it.
+    set intersects it.  Entries are mirrored into the certified exact twin
+    (when built) so both backends agree on cut indices.
     """
 
-    def __init__(self, assembled: AssembledSystem):
+    def __init__(self, assembled: AssembledSystem, exact_twin: "_ExactTwin | None" = None):
         self._assembled = assembled
+        self._exact_twin = exact_twin
         self._guards: list[frozenset[str]] = []
         self._origin: list[int] = []
 
@@ -264,6 +326,8 @@ class _CutPool:
         label: str = "",
     ) -> None:
         self._assembled.add_cut(coeffs, 1, label=label)
+        if self._exact_twin is not None:
+            self._exact_twin.notify_cut(coeffs, 1, label)
         self._guards.append(guard)
         self._origin.append(origin_leaf)
 
@@ -390,6 +454,22 @@ def _solve_leaf(
     raise SolverError("connectivity cut loop did not converge")
 
 
+def _solve_leaf_exact_cold(
+    assembled: AssembledSystem,
+    patches: Mapping[VarId, BoundPatch],
+    active: set[int],
+    stats: CondSolveStats,
+) -> SolveResult:
+    """Cold certified solve on a materialized leaf (reference path)."""
+    exact_stats = ExactStats()
+    result = solve_exact(
+        assembled.materialize(patches, active), warm=False, stats=exact_stats
+    )
+    stats.exact_nodes += exact_stats.nodes
+    stats.exact_pivots += exact_stats.pivots
+    return result
+
+
 def _solve_leaf_assembled(
     cs: ConditionalSystem,
     assembled: AssembledSystem,
@@ -399,11 +479,17 @@ def _solve_leaf_assembled(
     stats: CondSolveStats,
     max_cut_rounds: int,
     leaf_id: int,
+    exact_twin: _ExactTwin,
+    exact_warm: bool,
 ) -> SolveResult:
     """Solve a leaf by patching bounds on the assembled system.
 
     Connectivity cuts discovered here go into the shared pool (guarded by
-    their unreachable set) so later leaves inherit them for free.
+    their unreachable set) so later leaves inherit them for free.  Both
+    backends take the same ``(patches, active)`` pair: the float engine
+    patches its bound arrays, the certified engine dual-simplex-patches a
+    warm basis (``exact_warm=False`` falls back to a cold solve of the
+    materialized leaf, the reference the fuzz harness checks against).
     """
     patches = _bound_patches(cs, assignment)
     present = {tau for tau, decided in assignment.items() if decided}
@@ -411,17 +497,23 @@ def _solve_leaf_assembled(
     # the rounds carry this leaf's id), so count the pool hit once.
     if pool.shared_hits(pool.active_for(present), leaf_id):
         stats.cut_pool_hits += 1
+
+    def certify(active: set[int]) -> SolveResult:
+        if exact_warm:
+            return exact_twin.solve(patches, active, stats)
+        return _solve_leaf_exact_cold(assembled, patches, active, stats)
+
     for _ in range(max_cut_rounds):
         stats.leaves_solved += 1
         active = pool.active_for(present)
         if backend == "exact":
-            result = solve_exact(assembled.materialize(patches, active))
+            result = certify(active)
         else:
             stats.bound_patch_solves += 1
             result = assembled.solve_int(patches, active)
             if result.status == "error":
                 # Floating-point trouble: certify with the exact solver.
-                result = solve_exact(assembled.materialize(patches, active))
+                result = certify(active)
         if not result.feasible:
             return result
         unreachable = _unreachable_positive(cs, result.values)
@@ -446,18 +538,29 @@ def _solve_leaf_assembled(
     raise SolverError("connectivity cut loop did not converge")
 
 
-def _make_solver(backend: str) -> Callable[[LinearSystem], SolveResult]:
-    """A robust solve function: scipy with exact fallback, or exact only."""
-    if backend == "exact":
-        return lambda system: solve_exact(system)
-    if backend != "scipy":
+def _make_solver(
+    backend: str, exact_warm: bool, stats: CondSolveStats
+) -> Callable[[LinearSystem], SolveResult]:
+    """A robust solve function: scipy with exact fallback, or exact only.
+
+    ``exact_warm`` selects basis reuse *within* each certified solve (the
+    rebuild path constructs a fresh system per leaf, so there is no state
+    to carry across calls); work counters land in ``stats``.
+    """
+    if backend not in ("exact", "scipy"):
         raise SolverError(f"unknown backend {backend!r}")
 
     def solve(system: LinearSystem) -> SolveResult:
-        result = solve_milp(system)
-        if result.status == "error":
-            # Floating-point trouble: certify with the exact solver.
-            return solve_exact(system)
+        exact_stats = ExactStats()
+        if backend == "exact":
+            result = solve_exact(system, warm=exact_warm, stats=exact_stats)
+        else:
+            result = solve_milp_certified(
+                system, exact_warm=exact_warm, exact_stats=exact_stats
+            )
+        stats.exact_nodes += exact_stats.nodes
+        stats.exact_pivots += exact_stats.pivots
+        stats.exact_warm_solves += exact_stats.warm_solves
         return result
 
     return solve
@@ -470,6 +573,7 @@ def solve_conditional_system(
     max_cut_rounds: int = 200,
     lp_prune: bool = True,
     incremental: bool = True,
+    exact_warm: bool = True,
 ) -> tuple[SolveResult, CondSolveStats]:
     """Decide the conditional system; return a realizable solution if any.
 
@@ -478,8 +582,10 @@ def solve_conditional_system(
     realizable as an XML tree by :mod:`repro.witness`.
 
     ``incremental=False`` selects the from-scratch reference path (one
-    matrix assembly per solve, no cut sharing); it exists for differential
-    testing and ablation, and must always agree with the default.
+    matrix assembly per solve, no cut sharing); ``exact_warm=False``
+    selects the cold per-node refactorization path of the certified
+    backend.  Both exist for differential testing and ablation, and must
+    always agree with the defaults.
     """
     if backend not in ("scipy", "exact"):
         raise SolverError(f"unknown backend {backend!r}")
@@ -503,11 +609,11 @@ def solve_conditional_system(
     if incremental:
         return _solve_incremental(
             cs, assignment, backend, max_support_nodes, max_cut_rounds,
-            lp_prune, stats,
+            lp_prune, stats, exact_warm,
         )
     return _solve_rebuild(
         cs, assignment, backend, max_support_nodes, max_cut_rounds,
-        lp_prune, stats,
+        lp_prune, stats, exact_warm,
     )
 
 
@@ -532,6 +638,7 @@ def _solve_incremental(
     max_cut_rounds: int,
     lp_prune: bool,
     stats: CondSolveStats,
+    exact_warm: bool,
 ) -> tuple[SolveResult, CondSolveStats]:
     """Assemble-once/bound-patch support search (DESIGN.md section 4)."""
     clause_index = _ClauseIndex(cs.clauses)
@@ -541,7 +648,8 @@ def _solve_incremental(
 
     assembled = AssembledSystem(cs.base)
     stats.assemblies = assembled.assemblies
-    pool = _CutPool(assembled)
+    exact_twin = _ExactTwin(assembled)
+    pool = _CutPool(assembled, exact_twin)
     leaf_counter = 0
 
     # Single LP probe of the root relaxation: definite infeasibility
@@ -582,7 +690,7 @@ def _solve_incremental(
         leaf_counter += 1
         result = _solve_leaf_assembled(
             cs, assembled, pool, maximal, backend, stats,  # type: ignore[arg-type]
-            max_cut_rounds, leaf_counter,
+            max_cut_rounds, leaf_counter, exact_twin, exact_warm,
         )
         if result.feasible:
             stats.shortcut_hit = True
@@ -631,7 +739,7 @@ def _solve_incremental(
             leaf_counter += 1
             result = _solve_leaf_assembled(
                 cs, assembled, pool, current, backend, stats,  # type: ignore[arg-type]
-                max_cut_rounds, leaf_counter,
+                max_cut_rounds, leaf_counter, exact_twin, exact_warm,
             )
             if result.feasible:
                 return result, stats
@@ -653,9 +761,10 @@ def _solve_rebuild(
     max_cut_rounds: int,
     lp_prune: bool,
     stats: CondSolveStats,
+    exact_warm: bool,
 ) -> tuple[SolveResult, CondSolveStats]:
     """From-scratch reference path: rebuild a LinearSystem per node."""
-    solve = _make_solver(backend)
+    solve = _make_solver(backend, exact_warm, stats)
 
     if not _propagate(cs, assignment):
         return SolveResult("infeasible", message="support propagation conflict"), stats

@@ -17,6 +17,12 @@ VarId = Hashable
 #: Row senses.
 LE, GE, EQ = "<=", ">=", "=="
 
+#: Variable-bound patch ``(lower, upper)``; ``None`` leaves that side
+#: untouched.  The shared currency of the incremental backends: both
+#: :class:`repro.ilp.assembled.AssembledSystem` and
+#: :class:`repro.ilp.exact.ExactAssembledSystem` take the same patch maps.
+BoundPatch = tuple[int | None, int | None]
+
 
 @dataclass(frozen=True)
 class Row:

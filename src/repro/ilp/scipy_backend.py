@@ -90,6 +90,32 @@ def solve_milp(
     return SolveResult("feasible", values)
 
 
+def solve_milp_certified(
+    system: LinearSystem,
+    exact_warm: bool = True,
+    exact_stats=None,
+) -> SolveResult:
+    """:func:`solve_milp` with the certified re-verification fallback.
+
+    When HiGHS's rounded solution fails the exact integer check (or the
+    solver reports a doubtful status), the instance is re-solved by the
+    rational simplex of :mod:`repro.ilp.exact` — warm-started branch and
+    bound by default, or the cold reference path with ``exact_warm=False``.
+    ``exact_stats`` (an :class:`repro.ilp.exact.ExactStats`) collects the
+    fallback's node/pivot counters when provided.  Unlike
+    :func:`solve_milp`, no objective override or binary restriction is
+    accepted: the certified fallback only solves the default min-sum
+    feasibility form, and advertising more would silently change meaning
+    on the fallback path.
+    """
+    result = solve_milp(system)
+    if result.status != "error":
+        return result
+    from repro.ilp.exact import solve_exact
+
+    return solve_exact(system, warm=exact_warm, stats=exact_stats)
+
+
 def lp_infeasible(system: LinearSystem) -> bool:
     """Is the LP *relaxation* definitely infeasible?
 

@@ -89,6 +89,21 @@ class TestCheck:
         assert main(["check", d1_file, keys_file, "--stats"]) == 0
         assert "solver stats:" in capsys.readouterr().out
 
+    def test_exact_backend_flag(self, d1_file, sigma1_file, capsys):
+        assert main(
+            ["check", d1_file, sigma1_file, "--backend", "exact", "--stats"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "consistent: False" in out
+        assert "exact_pivots=" in out
+
+    def test_exact_cold_ablation_agrees(self, d1_file, sigma1_file, capsys):
+        warm = main(["check", d1_file, sigma1_file, "--backend", "exact"])
+        cold = main(
+            ["check", d1_file, sigma1_file, "--backend", "exact", "--cold"]
+        )
+        assert warm == cold == 1
+
 
 class TestValidate:
     def test_valid_document(self, d1_file, keys_file, tmp_path, capsys):

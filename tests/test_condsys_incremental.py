@@ -22,6 +22,8 @@ from repro.ilp.condsys import (
     ConditionalSystem,
     SupportClause,
     _ClauseIndex,
+    _CutPool,
+    _ExactTwin,
     _propagate,
     _propagate_indexed,
     CondSolveStats,
@@ -188,6 +190,111 @@ class TestCutFixpoint:
         result, _ = solve_conditional_system(condsys)
         assert result.feasible
         assert result.values[("ext", "a")] == 0
+
+
+class TestCutPool:
+    """Direct coverage of guarded activation and sharing accounting
+    (previously only exercised indirectly through whole searches)."""
+
+    def _pool(self):
+        system = LinearSystem()
+        system.add_le({"u": 1, "v": 1, "w": 1}, 10)
+        assembled = AssembledSystem(system)
+        return assembled, _CutPool(assembled)
+
+    def test_guarded_activation_intersects_present_set(self):
+        _, pool = self._pool()
+        pool.add({"u": 1}, frozenset({"a", "b"}), origin_leaf=1)
+        pool.add({"v": 1}, frozenset({"c"}), origin_leaf=1)
+        pool.add({"w": 1}, frozenset({"b", "c"}), origin_leaf=2)
+        assert pool.active_for({"a"}) == {0}
+        assert pool.active_for({"b"}) == {0, 2}
+        assert pool.active_for({"c"}) == {1, 2}
+        assert pool.active_for({"a", "c"}) == {0, 1, 2}
+        assert pool.active_for({"z"}) == set()
+        assert pool.active_for(set()) == set()
+
+    def test_shared_hits_counts_only_foreign_cuts(self):
+        _, pool = self._pool()
+        pool.add({"u": 1}, frozenset({"a"}), origin_leaf=1)
+        pool.add({"v": 1}, frozenset({"a"}), origin_leaf=2)
+        pool.add({"w": 1}, frozenset({"a"}), origin_leaf=2)
+        active = pool.active_for({"a"})
+        assert pool.shared_hits(active, current_leaf=1) == 2
+        assert pool.shared_hits(active, current_leaf=2) == 1
+        assert pool.shared_hits(active, current_leaf=3) == 3
+        assert pool.shared_hits(set(), current_leaf=1) == 0
+
+    def test_pool_len_tracks_entries(self):
+        _, pool = self._pool()
+        assert len(pool) == 0
+        pool.add({"u": 1}, frozenset({"a"}), origin_leaf=1)
+        assert len(pool) == 1
+
+    def test_cuts_append_rows_to_assembled_system(self):
+        system = LinearSystem()
+        system.add_le({"u": 1}, 10)
+        assembled = AssembledSystem(system)
+        pool = _CutPool(assembled)
+        pool.add({"u": 1}, frozenset({"a"}), origin_leaf=1, label="connect:a")
+        assert assembled.num_cuts == 1
+        assert assembled.cut_row(0).label == "connect:a"
+        # Activation semantics flow through to solves.
+        assert assembled.solve_int({}, {0}).values["u"] == 1
+        assert assembled.solve_int({}, set()).values["u"] == 0
+
+    def test_cuts_mirror_into_exact_twin_once_built(self):
+        system = LinearSystem()
+        system.add_le({"u": 1}, 10)
+        assembled = AssembledSystem(system)
+        twin = _ExactTwin(assembled)
+        pool = _CutPool(assembled, twin)
+        pool.add({"u": 1}, frozenset({"a"}), origin_leaf=1)
+        assert not twin.built  # lazily constructed
+        exact = twin.get()
+        assert exact.num_cuts == 1  # pre-build cut replayed
+        pool.add({"u": 1}, frozenset({"b"}), origin_leaf=2)
+        assert exact.num_cuts == 2  # post-build cut mirrored
+        # Same activation semantics as the float engine.
+        assert exact.solve_int({}, {0}).values["u"] == 1
+        assert exact.solve_int({}, {0, 1}).values["u"] == 1
+        assert exact.solve_int({}, set()).values["u"] == 0
+
+    def test_guard_sharing_observed_in_search_stats(self):
+        """End-to-end: a cut learned by one leaf is active at a later
+        leaf with an intersecting present set (cut_pool_hits > 0)."""
+        base = LinearSystem()
+        base.add_eq({("ext", "r"): 1}, 1)
+        # Two self-feeding types; only `a` has a root edge, capped at 0,
+        # so a-present leaves are infeasible after the cut fires, and the
+        # search must descend past them re-using the pooled cut.
+        for tau in ("a", "b"):
+            base.add_eq(
+                {
+                    ("ext", tau): 1,
+                    ("occ", 1, tau, tau): -1,
+                    ("occ", 1, tau, "r"): -1,
+                },
+                0,
+            )
+        base.add_le({("occ", 1, "a", "r"): 1}, 0)
+        base.add_ge({("ext", "a"): 1, ("ext", "b"): 1}, 1)
+        condsys = ConditionalSystem(
+            base=base,
+            ext_var={"r": ("ext", "r"), "a": ("ext", "a"), "b": ("ext", "b")},
+            root="r",
+            element_types=("r", "a", "b"),
+            edges=(
+                (("occ", 1, "a", "a"), "a", "a"),
+                (("occ", 1, "a", "r"), "r", "a"),
+                (("occ", 1, "b", "b"), "b", "b"),
+                (("occ", 1, "b", "r"), "r", "b"),
+            ),
+        )
+        result, stats = solve_conditional_system(condsys, lp_prune=False)
+        assert result.feasible
+        assert result.values[("ext", "b")] >= 1
+        assert stats.cuts_added >= 1
 
 
 class TestPropagation:

@@ -1,0 +1,254 @@
+"""Property and unit tests for the warm-started certified simplex.
+
+The contract under test (DESIGN.md section 5): after *any* sequence of
+bound patches, cut appends and cut toggles, a warm re-solve of the
+persistent basis must report exactly the same feasibility status as a
+cold solve of the same patched system, every feasible answer must
+satisfy it exactly, and the node/pivot budget must fail
+deterministically instead of spinning.  (Returned *optima* may differ:
+branch and bound returns the first integral DFS solution, and the two
+modes can branch from alternate optimal LP vertices.)
+
+Property tests use Hypothesis when it is available and fall back to a
+seeded ``random`` sweep otherwise, so the file is useful on minimal
+containers too.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.ilp.exact import (
+    ExactAssembledSystem,
+    ExactStats,
+    solve_exact,
+)
+from repro.ilp.model import LinearSystem
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is in the test image
+    HAVE_HYPOTHESIS = False
+
+
+def _random_system(rng: random.Random) -> LinearSystem:
+    """A small random integer system with explicit boxes (cheap oracles)."""
+    num_vars = rng.randint(1, 4)
+    num_rows = rng.randint(1, 4)
+    names = [f"v{i}" for i in range(num_vars)]
+    system = LinearSystem()
+    for _ in range(num_rows):
+        coeffs = {name: rng.randint(-3, 3) for name in names}
+        rhs = rng.randint(-6, 6)
+        sense = rng.choice(["le", "ge", "eq"])
+        getattr(system, f"add_{sense}")(coeffs, rhs)
+    for name in names:
+        system.ensure_var(name)
+        system.set_upper(name, 8)
+    return system
+
+
+def _random_patches(rng: random.Random, system: LinearSystem) -> dict:
+    patches = {}
+    for var in system.variables:
+        if rng.random() < 0.5:
+            continue
+        low = rng.randint(0, 4) if rng.random() < 0.6 else None
+        high = rng.randint(2, 8) if rng.random() < 0.6 else None
+        patches[var] = (low, high)
+    return patches
+
+
+def _assert_warm_matches_cold(system, patch_sequence, cut_plan=()):
+    """Drive one warm system through the sequence; cross-check each step.
+
+    The contract is the oracle's: identical feasibility *status*, and
+    every feasible answer exactly satisfies the patched system.  Optimum
+    equality is deliberately NOT asserted — branch and bound returns the
+    first integral DFS solution, and warm/cold bases can land on
+    alternate optimal LP vertices, branch differently, and return
+    different (both valid) integer solutions.
+
+    ``cut_plan`` maps step index -> (coeffs, rhs) cut to append just
+    before that step, exercising basis extension under warmth.
+    """
+    warm = ExactAssembledSystem(system)
+    cold = ExactAssembledSystem(system)
+    cuts: list[int] = []
+    cut_rows: dict[int, tuple[dict, int]] = {}
+    cut_plan = dict(cut_plan)
+    for step, patches in enumerate(patch_sequence):
+        if step in cut_plan:
+            coeffs, rhs = cut_plan[step]
+            index = warm.add_cut(coeffs, rhs)
+            cuts.append(index)
+            cut_rows[index] = (coeffs, rhs)
+            cold.add_cut(coeffs, rhs)
+        # Toggle a pseudo-random subset of the pool per step.
+        active = {c for c in cuts if (step + c) % 2 == 0}
+        warm_result = warm.solve_int(patches, active)
+        cold_result = cold.solve_int(patches, active, warm=False)
+        assert warm_result.status == cold_result.status, (
+            f"step {step}: warm={warm_result.status} cold={cold_result.status} "
+            f"patches={patches} active={active}"
+        )
+        for result in (warm_result, cold_result):
+            if not result.feasible:
+                continue
+            # Every answer must satisfy the patched system exactly.
+            assert not system.check(result.values)
+            for var, (low, high) in patches.items():
+                value = result.values.get(var, 0)
+                assert low is None or value >= low
+                assert high is None or value <= high
+            for index in active:
+                coeffs, rhs = cut_rows[index]
+                total = sum(
+                    c * result.values.get(var, 0) for var, c in coeffs.items()
+                )
+                assert total >= rhs, f"step {step}: active cut {index} violated"
+
+
+class TestWarmColdEquivalence:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_patch_sequences_seeded(self, seed):
+        """Seeded fallback sweep (runs even without Hypothesis)."""
+        rng = random.Random(seed * 9176 + 3)
+        system = _random_system(rng)
+        sequence = [_random_patches(rng, system) for _ in range(4)]
+        cut_var = system.variables[0]
+        _assert_warm_matches_cold(
+            system, sequence, cut_plan={2: ({cut_var: 1}, rng.randint(1, 3))}
+        )
+
+    def test_branching_heavy_system_agrees(self):
+        """A parity-flavoured system that forces real branch and bound."""
+        system = LinearSystem()
+        system.add_eq({"x": 2, "y": 3, "z": -1}, 7)
+        system.add_ge({"x": 1, "y": 1}, 3)
+        system.set_upper("x", 6)
+        system.set_upper("y", 6)
+        system.set_upper("z", 6)
+        warm = solve_exact(system, warm=True)
+        cold = solve_exact(system, warm=False)
+        assert warm.status == cold.status == "feasible"
+        assert not system.check(warm.values)
+        assert not system.check(cold.values)
+
+    def test_warm_solves_counted(self):
+        """Consecutive patched solves actually reuse the basis."""
+        system = LinearSystem()
+        system.add_ge({"x": 1, "y": 2}, 5)
+        assembled = ExactAssembledSystem(system)
+        assembled.solve_int({})
+        assembled.solve_int({"x": (2, None)})
+        assembled.solve_int({"x": (None, 1)})
+        assert assembled.stats.warm_solves >= 2
+        assert assembled.stats.cold_restarts == 1
+
+    def test_cut_append_extends_warm_basis(self):
+        """Adding a cut must not force a refactorization."""
+        system = LinearSystem()
+        system.add_le({"x": 1}, 9)
+        assembled = ExactAssembledSystem(system)
+        assert assembled.solve_int({}).values["x"] == 0
+        restarts = assembled.stats.cold_restarts
+        cut = assembled.add_cut({"x": 1}, 4)
+        result = assembled.solve_int({}, {cut})
+        assert result.feasible and result.values["x"] == 4
+        assert assembled.stats.cold_restarts == restarts
+
+    def test_deactivated_cut_constrains_nothing(self):
+        system = LinearSystem()
+        system.add_le({"x": 1}, 9)
+        assembled = ExactAssembledSystem(system)
+        cut = assembled.add_cut({"x": 1}, 4)
+        assert assembled.solve_int({}, {cut}).values["x"] == 4
+        assert assembled.solve_int({}, set()).values["x"] == 0
+        assert assembled.solve_int({}, {cut}).values["x"] == 4
+
+    def test_unfixing_a_pinned_variable_restores_optimality(self):
+        """Regression: a column pinned ``lower == upper`` carries no dual
+        sign condition, so its reduced cost may be arbitrary; when a later
+        patch unfixes it the warm solve must not stop at a suboptimal
+        point (found by the Hypothesis sweep, seed 99)."""
+        system = LinearSystem()
+        system.add_ge({"x": 1, "y": 1}, 2)
+        system.set_upper("x", 8)
+        system.set_upper("y", 8)
+        assembled = ExactAssembledSystem(system)
+        pinned = assembled.solve_int({"x": (8, 8)})
+        assert pinned.values == {"x": 8, "y": 0}
+        released = assembled.solve_int({})
+        assert sum(released.values.values()) == 2
+
+    def test_contradictory_patch_is_infeasible(self):
+        system = LinearSystem()
+        system.add_ge({"x": 1}, 0)
+        assembled = ExactAssembledSystem(system)
+        assert assembled.solve_int({"x": (3, 1)}).infeasible
+        # And the engine survives to serve the next (feasible) patch.
+        assert assembled.solve_int({"x": (2, None)}).values["x"] == 2
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_patch_sequences_hypothesis(data):
+        """Hypothesis-driven variant of the seeded sweep (shrinks nicely)."""
+        rng = random.Random(data.draw(st.integers(0, 2**20), label="seed"))
+        system = _random_system(rng)
+        steps = data.draw(st.integers(1, 4), label="steps")
+        sequence = [_random_patches(rng, system) for _ in range(steps)]
+        _assert_warm_matches_cold(system, sequence)
+
+
+class TestBudgets:
+    def _branchy_system(self) -> LinearSystem:
+        # The root LP is fractional (gcd preprocessing cannot cut it), so
+        # branching is required.
+        system = LinearSystem()
+        system.add_eq({"x": 2, "y": 3}, 1)
+        return system
+
+    def test_node_budget_raises_deterministically(self):
+        with pytest.raises(SolverError, match="nodes"):
+            solve_exact(self._branchy_system(), node_limit=1)
+
+    def test_pivot_budget_raises_deterministically(self):
+        """The warm path counts dual-simplex pivots, not just nodes, so a
+        pathological patch sequence cannot spin inside one node."""
+        system = LinearSystem()
+        system.add_ge({"x": 1, "y": 1}, 4)
+        system.add_ge({"x": 1, "y": -1}, 1)
+        system.add_le({"x": 1, "y": 2}, 9)
+        with pytest.raises(SolverError, match="pivots"):
+            solve_exact(system, pivot_limit=0)
+
+    def test_pivot_budget_on_patched_resolves(self):
+        system = LinearSystem()
+        system.add_ge({"x": 1, "y": 1}, 4)
+        assembled = ExactAssembledSystem(system)
+        assert assembled.solve_int({}).feasible
+        with pytest.raises(SolverError, match="pivots"):
+            assembled.solve_int({"x": (None, 1), "y": (None, 1)}, pivot_limit=0)
+
+    def test_budget_error_does_not_corrupt_later_solves(self):
+        system = LinearSystem()
+        system.add_ge({"x": 1, "y": 1}, 4)
+        assembled = ExactAssembledSystem(system)
+        with pytest.raises(SolverError):
+            assembled.solve_int({}, pivot_limit=0)
+        result = assembled.solve_int({})
+        assert result.feasible and sum(result.values.values()) == 4
+
+    def test_stats_flow_through_solve_exact(self):
+        stats = ExactStats()
+        solve_exact(self._branchy_system(), stats=stats)
+        assert stats.nodes >= 2  # the root is fractional, so it branched
+        assert stats.pivots >= 1
