@@ -4,7 +4,7 @@ Paper claim (Corollaries 4.11 and 5.5): for a FIXED DTD, consistency and
 implication of unary constraints are decidable in PTIME — the number of
 variables in Psi(D, Sigma) is bounded by the DTD, and bounded-dimension
 integer programming is polynomial (Lenstra). Our solver substitutes
-branch-and-bound for Lenstra's algorithm (see EXPERIMENTS.md); the
+branch-and-bound for Lenstra's algorithm (see DESIGN.md); the
 benchmark holds the DTD constant and sweeps |Sigma|, expecting polynomial
 (near-linear) growth in the measured times.
 """

@@ -2,7 +2,7 @@
 
 Paper claim: consistency and implication for C_K are decidable in LINEAR
 TIME (Theorem 3.5). The benchmarks sweep instance size; the reported
-times should grow roughly linearly with the scale parameter (EXPERIMENTS.md
+times should grow roughly linearly with the scale parameter (report.py
 records the measured series).
 """
 

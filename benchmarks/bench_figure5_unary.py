@@ -5,7 +5,7 @@ Paper claim: consistency for C^unary_K,FK is NP-complete (Theorems 4.1 and
 both consistent and inconsistent families. NP-completeness predicts no
 polynomial worst case, but the encoding is polynomial-size and typical
 instances solve fast — exactly the behaviour the table's "NP-complete"
-cell allows, recorded in EXPERIMENTS.md.
+cell allows (see `python benchmarks/report.py`).
 """
 
 import pytest

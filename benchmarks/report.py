@@ -4,7 +4,7 @@
 This standalone harness (not collected by pytest) runs every reproduced
 experiment once, measures wall-clock times across the scale sweeps, and
 prints a Figure-5-style table plus one line per qualitative experiment.
-Its output is the source of record for EXPERIMENTS.md.
+Its output is the reproduction record for the paper's figures.
 
 Run:  python benchmarks/report.py
 
@@ -28,6 +28,7 @@ import time
 from collections.abc import Callable
 from pathlib import Path
 
+from repro.analysis.diagnostics import diagnose
 from repro.checkers.bounded import bounded_consistency
 from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
 from repro.checkers.implication import implies, implies_all
@@ -361,6 +362,72 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
             )
         )
 
+    # Diagnostics cases (ISSUE 3): subset-probing workloads served by row
+    # toggles on one assembled system — an audit with vacuous keys plus
+    # independent negated keys, an inclusion chain with its transitive
+    # shortcut, and a MUS hunt buried under filler keys (the families of
+    # benchmarks/bench_diagnostics.py at report-friendly sizes).
+    diag_cases = []
+    for scale in (6, 8):
+        parts = [f"t{i}*" for i in range(scale)] + [f"s{i}" for i in range(scale)]
+        content = {"r": "(" + ", ".join(parts) + ")"}
+        content.update({f"t{i}": "EMPTY" for i in range(scale)})
+        content.update({f"s{i}": "EMPTY" for i in range(scale)})
+        attrs = {f"t{i}": ["x"] for i in range(scale)}
+        attrs.update({f"s{i}": ["x"] for i in range(scale)})
+        diag_cases.append(
+            (
+                DTD.build("r", content, attrs=attrs),
+                parse_constraints(
+                    "\n".join(
+                        [f"s{i}.x -> s{i}" for i in range(scale)]
+                        + [f"t{i}.x !-> t{i}" for i in range(scale)]
+                    )
+                ),
+            )
+        )
+    chain = [f"t{i}.x <= t{i + 1}.x" for i in range(5)] + ["t0.x <= t5.x"]
+    diag_cases.append((_wide_dtd(6), parse_constraints("\n".join(chain))))
+    mus_content = {
+        "orders": "(order+, auditor, "
+        + ", ".join(f"x{i}*" for i in range(8))
+        + ")",
+        "order": "(approval, approval)",
+        "approval": "EMPTY",
+        "auditor": "EMPTY",
+    }
+    mus_content.update({f"x{i}": "EMPTY" for i in range(8)})
+    mus_attrs = {"order": ["oid"], "approval": ["stamp"], "auditor": ["aid"]}
+    mus_attrs.update({f"x{i}": ["k"] for i in range(8)})
+    diag_cases.append(
+        (
+            DTD.build("orders", mus_content, attrs=mus_attrs),
+            parse_constraints(
+                "\n".join(
+                    [
+                        "order.oid -> order",
+                        "approval.stamp -> approval",
+                        "approval.stamp => auditor.aid",
+                        "auditor.aid -> auditor",
+                    ]
+                    + [f"x{i}.k -> x{i}" for i in range(8)]
+                )
+            ),
+        )
+    )
+
+    class _DiagResult:
+        """Adapter: expose DiagnosticsStats under the checker-stats keys."""
+
+        def __init__(self, report):
+            assert report.stats.assemblies <= 1, "toggled path regressed"
+            self.stats = {
+                "dfs_nodes": report.stats.dfs_nodes,
+                "leaves": report.stats.leaves_solved,
+                "exact_nodes": report.stats.exact_nodes,
+                "exact_pivots": report.stats.exact_pivots,
+            }
+
     return {
         "figure5_implication": lambda: [
             result
@@ -376,6 +443,9 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
         "exact_warmstart": lambda: [
             check_consistency(dtd, sigma, exact_config)
             for dtd, sigma in exact_cases
+        ],
+        "diagnostics": lambda: [
+            _DiagResult(diagnose(dtd, sigma, _FAST)) for dtd, sigma in diag_cases
         ],
     }
 
@@ -421,9 +491,10 @@ def write_baseline(path: Path = _BASELINE_PATH) -> None:
         "note": (
             "Solver-spine benchmark baseline; regenerate with "
             "`python benchmarks/report.py --write-baseline`, check with "
-            "`--compare` (fails on >20% wall-time regression). seed_ms was "
-            "measured at the pre-incremental seed commit on the reference "
-            "container."
+            "`--compare` (fails on >20% wall-time regression). Absolute ms "
+            "are machine-relative: regenerate on the machine that runs "
+            "--compare before comparing across hosts. seed_ms was measured "
+            "at the pre-incremental seed commit on the reference container."
         ),
         "benchmarks": solver_benchmarks(),
     }

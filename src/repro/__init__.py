@@ -24,8 +24,8 @@ Quickstart::
     result = check_consistency(d1, sigma1)
     assert not result.consistent        # the paper's Section-1 example
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-per-figure reproduction record.
+See ``README.md`` for the tour, ``DESIGN.md`` for the system inventory,
+and ``benchmarks/report.py`` for the per-figure reproduction record.
 """
 
 from repro.analysis import (

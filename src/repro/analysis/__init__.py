@@ -15,6 +15,7 @@ the decision procedures:
 
 from repro.analysis.diagnostics import (
     DiagnosticsReport,
+    DiagnosticsStats,
     diagnose,
     minimal_inconsistent_subset,
     redundant_constraints,
@@ -27,5 +28,6 @@ __all__ = [
     "minimal_inconsistent_subset",
     "redundant_constraints",
     "DiagnosticsReport",
+    "DiagnosticsStats",
     "diagnose",
 ]

@@ -7,15 +7,39 @@ XML specifications (Section 6). Two concrete tools toward that:
 * :func:`minimal_inconsistent_subset` — a deletion-minimal subset of
   Sigma that is already inconsistent with the DTD (a MUS): the smallest
   story to tell the schema author. Found by the standard deletion filter:
-  O(|Sigma|) consistency calls.
+  O(|Sigma|) consistency probes.
 * :func:`redundant_constraints` — constraints implied by the rest of the
   specification (over the DTD): safe to drop, or a hint that the author
-  expected them to add strength they do not add. One implication call per
-  constraint.
+  expected them to add strength they do not add. One implication probe per
+  expanded constraint.
 
-Both operate on the decidable unary classes, like the procedures they are
-built from; multi-attribute foreign keys raise
-:class:`UndecidableProblemError` upstream.
+Both are **subset-probing** workloads: every probe decides consistency of
+the *same* specification with some constraints removed (and, for
+implication, one negation added).  The default engine therefore assembles
+``Psi(D, Sigma ∪ ¬Sigma)`` exactly once, with every constraint's rows
+registered as toggleable (DESIGN.md section 6), and serves each probe by
+row-bound flips on the persistent solver state — one base assembly per
+call instead of one per subset.  ``toggled=False`` selects the
+re-encode-per-subset reference path, kept as the differential oracle
+(:mod:`tests.test_diagnostics_differential`) and the benchmark baseline
+(``benchmarks/bench_diagnostics.py``).
+
+Both operate on the decidable unary classes; specifications outside them
+(multi-attribute constraints) automatically fall back to the rebuild path,
+which dispatches through the checkers' own fragment logic.
+
+>>> from repro.dtd.model import DTD
+>>> from repro.constraints.parser import parse_constraints
+>>> d = DTD.build("r", {"r": "(a*, b*, c*)", "a": "EMPTY", "b": "EMPTY",
+...                     "c": "EMPTY"}, attrs={t: ["x"] for t in "abc"})
+>>> sigma = parse_constraints("a.x <= b.x\\nb.x <= c.x\\na.x <= c.x")
+>>> report = diagnose(d, sigma)
+>>> (report.consistent, [str(phi) for phi in report.redundant])
+(True, ['a.x <= c.x'])
+>>> report.stats.assemblies                   # one assembly, many probes
+1
+>>> report.stats.probes >= 4
+True
 """
 
 from __future__ import annotations
@@ -24,17 +48,227 @@ from dataclasses import dataclass, field, replace
 from collections.abc import Iterable
 
 from repro.constraints.ast import Constraint
+from repro.constraints.classes import expand_foreign_keys
 from repro.checkers.config import DEFAULT_CONFIG, CheckerConfig
 from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
-from repro.checkers.implication import implies
+from repro.checkers.implication import _negate, implies
 from repro.dtd.model import DTD
-from repro.errors import InvalidConstraintError
+from repro.encoding.combined import build_encoding
+from repro.errors import ComplexityLimitError, InvalidConstraintError
+from repro.ilp.condsys import CondSolveStats, SolveWorkspace, solve_conditional_system
+
+
+@dataclass
+class DiagnosticsStats:
+    """Work counters for one diagnostics call.
+
+    ``assemblies`` counts full base-matrix assemblies — exactly 1 on the
+    toggled path no matter how many subsets are probed (the acceptance
+    invariant of DESIGN.md section 6); the rebuild path pays one per
+    consistency/implication call.  ``probes`` counts subset solves.
+    """
+
+    method: str = "toggled"
+    assemblies: int = 0
+    probes: int = 0
+    dfs_nodes: int = 0
+    leaves_solved: int = 0
+    bound_patch_solves: int = 0
+    cuts_added: int = 0
+    cut_pool_hits: int = 0
+    lp_prunes: int = 0
+    lp_probe_decided: int = 0
+    exact_nodes: int = 0
+    exact_pivots: int = 0
+
+    def merge_solve(self, solve: CondSolveStats) -> None:
+        """Fold one :class:`CondSolveStats` into the running totals."""
+        self.probes += 1
+        self.assemblies += solve.assemblies
+        self.dfs_nodes += solve.dfs_nodes
+        self.leaves_solved += solve.leaves_solved
+        self.bound_patch_solves += solve.bound_patch_solves
+        self.cuts_added += solve.cuts_added
+        self.cut_pool_hits += solve.cut_pool_hits
+        self.lp_prunes += solve.lp_prunes
+        self.lp_probe_decided += int(solve.lp_probe_decided)
+        self.exact_nodes += solve.exact_nodes
+        self.exact_pivots += solve.exact_pivots
+
+    def merge_checker(self, stats: dict | None) -> None:
+        """Fold a checker result's stats dict (rebuild path) in."""
+        self.probes += 1
+        if not stats:
+            return
+        self.assemblies += stats.get("assemblies", 0)
+        self.dfs_nodes += stats.get("dfs_nodes", 0)
+        self.leaves_solved += stats.get("leaves", 0)
+        self.bound_patch_solves += stats.get("bound_patch_solves", 0)
+        self.cuts_added += stats.get("cuts", 0)
+        self.cut_pool_hits += stats.get("cut_pool_hits", 0)
+        self.lp_prunes += stats.get("lp_prunes", 0)
+        self.lp_probe_decided += int(stats.get("lp_probe_decided", False))
+        self.exact_nodes += stats.get("exact_nodes", 0)
+        self.exact_pivots += stats.get("exact_pivots", 0)
+
+    def as_dict(self) -> dict[str, int | str]:
+        """Flat rendering for ``--stats`` output and benchmarks."""
+        return {
+            "method": self.method,
+            "assemblies": self.assemblies,
+            "probes": self.probes,
+            "dfs_nodes": self.dfs_nodes,
+            "leaves_solved": self.leaves_solved,
+            "bound_patch_solves": self.bound_patch_solves,
+            "cuts_added": self.cuts_added,
+            "cut_pool_hits": self.cut_pool_hits,
+            "lp_prunes": self.lp_prunes,
+            "lp_probe_decided": self.lp_probe_decided,
+            "exact_nodes": self.exact_nodes,
+            "exact_pivots": self.exact_pivots,
+        }
+
+
+def _use_toggles(
+    toggled: bool, sigma: list[Constraint], config: CheckerConfig
+) -> bool:
+    """Route to the toggled engine?  Requires unary constraints (the only
+    encodable fragment) and the incremental solver core — a workspace is
+    persistent bound-patched state, so ``config.incremental=False`` (the
+    from-scratch ablation) selects the rebuild path, whose checker calls
+    honor the flag."""
+    return (
+        toggled
+        and config.incremental
+        and all(phi.is_unary() for phi in sigma)
+    )
+
+
+class _ToggleProbe:
+    """One assembled ``Psi(D, Sigma ∪ ¬Sigma)``, probed under row toggles.
+
+    Built once per diagnostics call: the union system carries rows for
+    every constraint of ``sigma`` (foreign keys through their expanded
+    inclusion + key parts) and — when ``with_negations`` — for the
+    negation of every part, each registered as a toggle group.  A probe
+    activates a subset of those groups and re-solves through a shared
+    :class:`~repro.ilp.condsys.SolveWorkspace`; support clauses and forced
+    supports contributed by deactivated constraints are filtered out of
+    the :class:`ConditionalSystem` view, since they are only sound while
+    their constraint is active.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        sigma: list[Constraint],
+        config: CheckerConfig,
+        with_negations: bool,
+        stats: DiagnosticsStats,
+    ):
+        self._config = config
+        self.stats = stats
+        self.parts: dict[Constraint, tuple[Constraint, ...]] = {
+            phi: tuple(expand_foreign_keys([phi])) for phi in sigma
+        }
+        self.negations: dict[Constraint, tuple[Constraint, ...]] = {}
+        union: list[Constraint] = []
+        seen: set[Constraint] = set()
+
+        def push(phi: Constraint) -> None:
+            if phi not in seen:
+                seen.add(phi)
+                union.append(phi)
+
+        for phi in sigma:
+            for part in self.parts[phi]:
+                push(part)
+        if with_negations:
+            for phi in sigma:
+                negs = tuple(_negate(part) for part in self.parts[phi])
+                self.negations[phi] = negs
+                for neg in negs:
+                    push(neg)
+        self.encoding = build_encoding(
+            dtd, union, max_setrep_attrs=config.max_setrep_attrs
+        )
+        self._toggleable_clauses = frozenset(
+            clause_id
+            for toggle in self.encoding.toggles.values()
+            for clause_id in toggle.clause_ids
+        )
+        self.workspace = SolveWorkspace(self.encoding.condsys.base)
+
+    def active_parts(self, constraints: Iterable[Constraint]) -> frozenset[Constraint]:
+        """The expanded toggle groups of a subset of the original Sigma."""
+        return frozenset(
+            part for phi in constraints for part in self.parts[phi]
+        )
+
+    def consistent(self, active: frozenset[Constraint]) -> bool:
+        """One subset probe: is the DTD plus the active constraints SAT?"""
+        condsys = self.encoding.condsys
+        toggles = [self.encoding.toggles[phi] for phi in active]
+        active_rows = frozenset(
+            row for toggle in toggles for row in toggle.rows
+        )
+        active_clauses = {
+            clause_id for toggle in toggles for clause_id in toggle.clause_ids
+        }
+        forced: frozenset[str] = frozenset().union(
+            *(toggle.forced_true for toggle in toggles)
+        ) if toggles else frozenset()
+        result, solve_stats = solve_conditional_system(
+            replace(condsys, forced_true=forced),
+            backend=self._config.backend,
+            max_support_nodes=self._config.max_support_nodes,
+            lp_prune=self._config.lp_prune,
+            exact_warm=self._config.exact_warm,
+            active_rows=active_rows,
+            workspace=self.workspace,
+            inactive_clauses=frozenset(self._toggleable_clauses - active_clauses),
+        )
+        self.stats.merge_solve(solve_stats)
+        return result.feasible
+
+
+def _mus_filter(probe: _ToggleProbe, sigma: list[Constraint]) -> list[Constraint]:
+    """The deletion filter, driven by subset probes (full set known UNSAT)."""
+    current = list(sigma)
+    index = 0
+    while index < len(current):
+        candidate = current[:index] + current[index + 1:]
+        if probe.consistent(probe.active_parts(candidate)):
+            index += 1  # constraint is necessary for the conflict
+        else:
+            current = candidate  # still inconsistent without it: drop
+    return current
+
+
+def _redundancy_filter(
+    probe: _ToggleProbe, sigma: list[Constraint]
+) -> list[Constraint]:
+    """Implication audit via probes: ``phi`` is implied by the rest iff
+    every component's negation is inconsistent with the rest's rows."""
+    redundant: list[Constraint] = []
+    for index, phi in enumerate(sigma):
+        rest = sigma[:index] + sigma[index + 1:]
+        rest_parts = probe.active_parts(rest)
+        if all(
+            not probe.consistent(rest_parts | {negated})
+            for negated in probe.negations[phi]
+        ):
+            redundant.append(phi)
+    return redundant
 
 
 def minimal_inconsistent_subset(
     dtd: DTD,
     constraints: Iterable[Constraint],
     config: CheckerConfig | None = None,
+    *,
+    toggled: bool = True,
+    stats: DiagnosticsStats | None = None,
 ) -> list[Constraint]:
     """A deletion-minimal inconsistent subset of ``Sigma`` (a MUS).
 
@@ -43,15 +277,53 @@ def minimal_inconsistent_subset(
     when the DTD alone has no valid tree — then no constraints are to
     blame at all.
 
+    ``toggled=False`` selects the rebuild-per-subset reference path (one
+    full checker call per probe); the default probes constraint subsets by
+    row toggles on a single assembled system.  ``stats``, when supplied,
+    is filled with the call's work counters.
+
     >>> from repro.workloads.examples import teachers_dtd_d1, sigma1_constraints
-    >>> mus = minimal_inconsistent_subset(teachers_dtd_d1(), sigma1_constraints())
+    >>> stats = DiagnosticsStats()
+    >>> mus = minimal_inconsistent_subset(
+    ...     teachers_dtd_d1(), sigma1_constraints(), stats=stats)
     >>> sorted(str(phi) for phi in mus)
     ['subject.taught_by -> subject', 'subject.taught_by => teacher.name']
+    >>> stats.assemblies            # probes patch one persistent system
+    1
     """
     config = config or DEFAULT_CONFIG
-    probe = replace(config, want_witness=False)
+    stats = stats if stats is not None else DiagnosticsStats()
     current = list(constraints)
-    if check_consistency(dtd, current, probe).consistent:
+    if _use_toggles(toggled, current, config):
+        try:
+            probe = _ToggleProbe(
+                dtd, current, config, with_negations=False, stats=stats
+            )
+        except ComplexityLimitError:
+            probe = None  # union setrep block over cap: rebuild instead
+        if probe is not None:
+            if probe.consistent(probe.active_parts(current)):
+                raise InvalidConstraintError(
+                    "the specification is consistent; there is no inconsistent subset"
+                )
+            if not dtd_has_valid_tree(dtd):
+                return []
+            return _mus_filter(probe, current)
+    return _minimal_inconsistent_subset_rebuild(dtd, current, config, stats)
+
+
+def _minimal_inconsistent_subset_rebuild(
+    dtd: DTD,
+    current: list[Constraint],
+    config: CheckerConfig,
+    stats: DiagnosticsStats,
+) -> list[Constraint]:
+    """Reference path: one full consistency check per probed subset."""
+    stats.method = "rebuild"
+    probe = replace(config, want_witness=False)
+    result = check_consistency(dtd, current, probe)
+    stats.merge_checker(result.stats)
+    if result.consistent:
         raise InvalidConstraintError(
             "the specification is consistent; there is no inconsistent subset"
         )
@@ -60,7 +332,9 @@ def minimal_inconsistent_subset(
     index = 0
     while index < len(current):
         candidate = current[:index] + current[index + 1:]
-        if check_consistency(dtd, candidate, probe).consistent:
+        result = check_consistency(dtd, candidate, probe)
+        stats.merge_checker(result.stats)
+        if result.consistent:
             index += 1  # constraint is necessary for the conflict
         else:
             current = candidate  # still inconsistent without it: drop
@@ -71,20 +345,48 @@ def redundant_constraints(
     dtd: DTD,
     constraints: Iterable[Constraint],
     config: CheckerConfig | None = None,
+    *,
+    toggled: bool = True,
+    stats: DiagnosticsStats | None = None,
 ) -> list[Constraint]:
     """Constraints implied by the remaining ones over the DTD.
 
     Note the subtlety: redundancy here is *relative to the whole rest*, so
     two mutually-implied constraints can both be reported (either one may
-    be dropped, not both).
+    be dropped, not both).  The toggled default decides each implication
+    by activating the rest's rows plus the query's negated rows on the one
+    assembled union system; ``toggled=False`` re-encodes per query.
     """
     config = config or DEFAULT_CONFIG
-    probe = replace(config, want_witness=False)
+    stats = stats if stats is not None else DiagnosticsStats()
     sigma = list(constraints)
+    if _use_toggles(toggled, sigma, config):
+        try:
+            probe = _ToggleProbe(
+                dtd, sigma, config, with_negations=True, stats=stats
+            )
+        except ComplexityLimitError:
+            probe = None  # union setrep block over cap: rebuild instead
+        if probe is not None:
+            return _redundancy_filter(probe, sigma)
+    return _redundant_constraints_rebuild(dtd, sigma, config, stats)
+
+
+def _redundant_constraints_rebuild(
+    dtd: DTD,
+    sigma: list[Constraint],
+    config: CheckerConfig,
+    stats: DiagnosticsStats,
+) -> list[Constraint]:
+    """Reference path: one full implication call per constraint."""
+    stats.method = "rebuild"
+    probe = replace(config, want_witness=False)
     redundant: list[Constraint] = []
     for index, phi in enumerate(sigma):
         rest = sigma[:index] + sigma[index + 1:]
-        if implies(dtd, rest, phi, probe).implied:
+        result = implies(dtd, rest, phi, probe)
+        stats.merge_checker(result.stats)
+        if result.implied:
             redundant.append(phi)
     return redundant
 
@@ -97,6 +399,7 @@ class DiagnosticsReport:
     mus: list[Constraint] = field(default_factory=list)
     redundant: list[Constraint] = field(default_factory=list)
     dtd_satisfiable: bool = True
+    stats: DiagnosticsStats = field(default_factory=DiagnosticsStats)
 
     def summary(self) -> str:
         """Human-readable multi-line rendering."""
@@ -120,25 +423,65 @@ def diagnose(
     dtd: DTD,
     constraints: Iterable[Constraint],
     config: CheckerConfig | None = None,
+    *,
+    toggled: bool = True,
 ) -> DiagnosticsReport:
     """Full specification health check.
 
     For consistent specifications, reports redundancies; for inconsistent
-    ones, a minimal conflicting subset.
+    ones, a minimal conflicting subset.  The whole report — the initial
+    consistency verdict plus every MUS/redundancy probe — is served from
+    one assembled system (``report.stats.assemblies == 1`` on the toggled
+    path); ``toggled=False`` is the re-encode-per-subset reference.
     """
     config = config or DEFAULT_CONFIG
     sigma = list(constraints)
+    stats = DiagnosticsStats()
     if not dtd_has_valid_tree(dtd):
         return DiagnosticsReport(
-            consistent=False, dtd_satisfiable=False
+            consistent=False, dtd_satisfiable=False, stats=stats
         )
+    if _use_toggles(toggled, sigma, config):
+        try:
+            probe = _ToggleProbe(
+                dtd, sigma, config, with_negations=True, stats=stats
+            )
+        except ComplexityLimitError:
+            probe = None  # union setrep block over cap: rebuild instead
+        if probe is not None:
+            if probe.consistent(probe.active_parts(sigma)):
+                return DiagnosticsReport(
+                    consistent=True,
+                    redundant=_redundancy_filter(probe, sigma),
+                    stats=stats,
+                )
+            return DiagnosticsReport(
+                consistent=False, mus=_mus_filter(probe, sigma), stats=stats
+            )
+    return _diagnose_rebuild(dtd, sigma, config, stats)
+
+
+def _diagnose_rebuild(
+    dtd: DTD,
+    sigma: list[Constraint],
+    config: CheckerConfig,
+    stats: DiagnosticsStats,
+) -> DiagnosticsReport:
+    """Reference path: full checker calls per subset."""
+    stats.method = "rebuild"
     probe = replace(config, want_witness=False)
-    if check_consistency(dtd, sigma, probe).consistent:
+    result = check_consistency(dtd, sigma, probe)
+    stats.merge_checker(result.stats)
+    if result.consistent:
         return DiagnosticsReport(
             consistent=True,
-            redundant=redundant_constraints(dtd, sigma, config),
+            redundant=_redundant_constraints_rebuild(dtd, sigma, config, stats),
+            stats=stats,
         )
     return DiagnosticsReport(
         consistent=False,
-        mus=minimal_inconsistent_subset(dtd, sigma, config),
+        mus=_minimal_inconsistent_subset_rebuild(
+            dtd, list(sigma), config, stats
+        ),
+        stats=stats,
     )

@@ -9,7 +9,8 @@ Subcommands (also available as ``python -m repro``):
 * ``implies DTD CONSTRAINTS PHI`` — is the constraint ``PHI`` implied?
   With ``--counterexample FILE`` writes a refuting document;
 * ``diagnose DTD CONSTRAINTS`` — minimal inconsistent subset or
-  redundancy report;
+  redundancy report, probed by row toggles on one assembled system
+  (``--stats`` prints the work counters, ``--rebuild`` the ablation);
 * ``bounds DTD [CONSTRAINTS] --type TAU`` — feasible range of
   ``|ext(TAU)|``.
 
@@ -123,8 +124,10 @@ def _cmd_implies(args: argparse.Namespace) -> int:
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd, args.root)
     sigma = _load_constraints(args.constraints)
-    report = diagnose(dtd, sigma)
+    report = diagnose(dtd, sigma, _solver_config(args), toggled=not args.rebuild)
     print(report.summary())
+    if args.stats:
+        _print_stats(report.stats.as_dict())
     return 0 if report.consistent else 1
 
 
@@ -206,6 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_diagnose = sub.add_parser("diagnose", help="specification health report")
     p_diagnose.add_argument("dtd")
     p_diagnose.add_argument("constraints")
+    p_diagnose.add_argument(
+        "--stats",
+        "--profile",
+        action="store_true",
+        dest="stats",
+        help="print diagnostics work counters (assemblies, subset probes, "
+        "patched re-solves, cut-pool and exact node/pivot counters)",
+    )
+    p_diagnose.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="force the re-encode-per-subset reference path instead of "
+        "toggling rows on one assembled system (the differential ablation)",
+    )
+    add_solver_flags(p_diagnose)
     p_diagnose.set_defaults(func=_cmd_diagnose)
 
     p_bounds = sub.add_parser("bounds", help="feasible |ext(tau)| range")

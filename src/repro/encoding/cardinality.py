@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.constraints.ast import (
+    Constraint,
     InclusionConstraint,
     Key,
     NegInclusion,
@@ -47,11 +48,24 @@ def attr_var(tau: str, attr: str) -> VarId:
 
 @dataclass
 class CardinalityEncoding:
-    """The ``C_Sigma`` rows plus conditional/support bookkeeping."""
+    """The ``C_Sigma`` rows plus conditional/support bookkeeping.
+
+    ``rows_of``, ``clauses_of`` and ``forced_of`` record, per constraint,
+    the stable row indices it contributed to the system, the indices of
+    its support clauses within :attr:`clauses`, and the element types it
+    forces present — the toggle registry diagnostics uses to (de)activate
+    individual constraints on the assembled system without re-encoding
+    (DESIGN.md section 6).  The attribute-bound rows and the totality
+    conditionals are *not* registered: they depend only on the DTD and
+    stay active under every constraint subset.
+    """
 
     requires_if_present: dict[str, tuple[VarId, ...]] = field(default_factory=dict)
     clauses: tuple[SupportClause, ...] = ()
     forced_true: frozenset[str] = frozenset()
+    rows_of: dict[Constraint, tuple[int, ...]] = field(default_factory=dict)
+    clauses_of: dict[Constraint, tuple[int, ...]] = field(default_factory=dict)
+    forced_of: dict[Constraint, frozenset[str]] = field(default_factory=dict)
 
 
 def encode_constraints(
@@ -84,19 +98,26 @@ def encode_constraints(
 
     clauses: list[SupportClause] = []
     forced_true: set[str] = set()
+    rows_of: dict[Constraint, tuple[int, ...]] = {}
+    clauses_of: dict[Constraint, tuple[int, ...]] = {}
+    forced_of: dict[Constraint, frozenset[str]] = {}
 
     for key in keys:
         tau, attr = key.element_type, key.attrs[0]
-        system.add_eq(
+        row = system.add_eq(
             {attr_var(tau, attr): 1, ext_var(tau): -1}, 0, label=f"key:{tau}.{attr}"
         )
+        rows_of[key] = (row,)
 
     for inc in inclusions:
         child = attr_var(inc.child_type, inc.child_attrs[0])
         parent = attr_var(inc.parent_type, inc.parent_attrs[0])
+        rows: tuple[int, ...] = ()
         if child != parent:
-            system.add_le({child: 1, parent: -1}, 0, label=f"ic:{inc}")
+            rows = (system.add_le({child: 1, parent: -1}, 0, label=f"ic:{inc}"),)
+        rows_of[inc] = rows
         if inc.child_type != inc.parent_type:
+            clauses_of[inc] = (len(clauses),)
             clauses.append(
                 SupportClause(inc.child_type, frozenset([inc.parent_type]))
             )
@@ -105,18 +126,24 @@ def encode_constraints(
         tau, attr = neg.element_type, neg.attr
         # |ext(tau.l)| < |ext(tau)|, i.e. <= ext - 1; with attribute
         # totality this forces |ext(tau)| >= 2: a genuine duplicate exists.
-        system.add_le(
+        row = system.add_le(
             {attr_var(tau, attr): 1, ext_var(tau): -1}, -1, label=f"negkey:{neg}"
         )
+        rows_of[neg] = (row,)
         forced_true.add(tau)
+        forced_of[neg] = frozenset({tau})
 
     for neg in neg_inclusions:
         # The counting part lives in the set-representation block; here we
         # only record that a witness tau1 element must exist.
         forced_true.add(neg.child_type)
+        forced_of[neg] = frozenset({neg.child_type})
 
     return CardinalityEncoding(
         requires_if_present={tau: tuple(vars_) for tau, vars_ in requires.items()},
         clauses=tuple(clauses),
         forced_true=frozenset(forced_true),
+        rows_of=rows_of,
+        clauses_of=clauses_of,
+        forced_of=forced_of,
     )

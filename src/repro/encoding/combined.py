@@ -25,7 +25,7 @@ encoders append rows.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.constraints.ast import (
     Constraint,
@@ -46,6 +46,24 @@ from repro.errors import InvalidConstraintError
 from repro.ilp.condsys import ConditionalSystem
 
 
+@dataclass(frozen=True)
+class ConstraintToggle:
+    """One constraint's toggleable contribution to ``Psi(D, Sigma)``.
+
+    ``rows`` are stable base-row indices (``C_Sigma`` and set-representation
+    rows); ``clause_ids`` index into ``condsys.clauses``; ``forced_true``
+    are the element types the constraint forces present.  Deactivating a
+    constraint means dropping all three from the probe: rows by bound
+    toggles on the assembled system, clauses and forced supports by
+    filtering the :class:`~repro.ilp.condsys.ConditionalSystem` view (they
+    are only sound while their constraint is active).
+    """
+
+    rows: tuple[int, ...] = ()
+    clause_ids: tuple[int, ...] = ()
+    forced_true: frozenset[str] = frozenset()
+
+
 @dataclass
 class ConsistencyEncoding:
     """Everything the solver and the witness synthesizer need."""
@@ -59,6 +77,9 @@ class ConsistencyEncoding:
     neg_inclusions: list[NegInclusion]
     setrep: SetRepBlock | None
     constraints: list[Constraint]
+    #: Toggle registry, keyed by *expanded* unary constraint (foreign keys
+    #: appear through their inclusion + key components).
+    toggles: dict[Constraint, ConstraintToggle] = field(default_factory=dict)
 
 
 @dataclass
@@ -189,6 +210,23 @@ def build_encoding(
             system, inclusions, neg_inclusions, max_active=max_setrep_attrs
         )
 
+    # The toggle registry: every expanded constraint's rows, support
+    # clauses (offset past the DTD-derived clauses, which are always
+    # active) and forced supports, under stable identifiers.
+    dtd_clause_count = len(block.dtd_system.clauses)
+    toggles: dict[Constraint, ConstraintToggle] = {}
+    for phi in [*keys, *inclusions, *neg_keys, *neg_inclusions]:
+        rows = cardinality.rows_of.get(phi, ())
+        if setrep is not None:
+            rows = rows + setrep.rows_of.get(phi, ())
+        toggles[phi] = ConstraintToggle(
+            rows=rows,
+            clause_ids=tuple(
+                dtd_clause_count + i for i in cardinality.clauses_of.get(phi, ())
+            ),
+            forced_true=cardinality.forced_of.get(phi, frozenset()),
+        )
+
     condsys = ConditionalSystem(
         base=system,
         ext_var=dict(block.ext_vars),
@@ -199,6 +237,14 @@ def build_encoding(
         clauses=block.dtd_system.clauses + cardinality.clauses,
         forced_true=cardinality.forced_true,
         forced_false=block.forced_false,
+        toggleable_rows=frozenset(
+            row for toggle in toggles.values() for row in toggle.rows
+        ),
+        toggleable_clauses=frozenset(
+            clause_id
+            for toggle in toggles.values()
+            for clause_id in toggle.clause_ids
+        ),
     )
     return ConsistencyEncoding(
         dtd=dtd,
@@ -210,4 +256,5 @@ def build_encoding(
         neg_inclusions=neg_inclusions,
         setrep=setrep,
         constraints=list(constraints),
+        toggles=toggles,
     )

@@ -32,10 +32,10 @@ Theorem 5.1, and a decision procedure :func:`has_set_representation`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 
-from repro.constraints.ast import InclusionConstraint, NegInclusion
+from repro.constraints.ast import Constraint, InclusionConstraint, NegInclusion
 from repro.encoding.cardinality import attr_var
 from repro.errors import ComplexityLimitError
 from repro.ilp.model import LinearSystem, VarId
@@ -51,10 +51,14 @@ class SetRepBlock:
     """Bookkeeping for a built ``z_theta`` block.
 
     ``pairs`` lists the active attribute pairs in index order; bit ``i`` of
-    a mask corresponds to ``pairs[i]``.
+    a mask corresponds to ``pairs[i]``.  ``rows_of`` records the stable row
+    indices each (negated) inclusion contributed — its part of the toggle
+    registry (the ``setrep-card`` rows depend only on the pair set and are
+    never toggleable).
     """
 
     pairs: tuple[tuple[str, str], ...]
+    rows_of: dict[Constraint, tuple[int, ...]] = field(default_factory=dict)
 
     @property
     def num_masks(self) -> int:
@@ -135,7 +139,8 @@ def encode_set_representation(
             continue
         coeffs = {z_var(mask): 1 for mask in block.masks_with_without(i, j)}
         if coeffs:
-            system.add_eq(coeffs, 0, label=f"setrep-ic:{inc}")
+            row = system.add_eq(coeffs, 0, label=f"setrep-ic:{inc}")
+            block.rows_of[inc] = block.rows_of.get(inc, ()) + (row,)
 
     # v_ij >= 1 for negated inclusions i ⊄ j.
     for neg in neg_inclusions:
@@ -143,10 +148,12 @@ def encode_set_representation(
         j = block.index_of(neg.parent_type, neg.parent_attr)
         if i == j:
             # tau.l ⊄ tau.l is unsatisfiable: force 0 >= 1.
-            system.add_ge({}, 1, label=f"setrep-negic-self:{neg}")
+            row = system.add_ge({}, 1, label=f"setrep-negic-self:{neg}")
+            block.rows_of[neg] = block.rows_of.get(neg, ()) + (row,)
             continue
         coeffs = {z_var(mask): 1 for mask in block.masks_with_without(i, j)}
-        system.add_ge(coeffs, 1, label=f"setrep-negic:{neg}")
+        row = system.add_ge(coeffs, 1, label=f"setrep-negic:{neg}")
+        block.rows_of[neg] = block.rows_of.get(neg, ()) + (row,)
 
     return block
 

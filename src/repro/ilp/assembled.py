@@ -21,6 +21,26 @@ the variable-bound arrays:
   entry point with the cached sparse matrix — still assemble-once, just with
   scipy's per-call validation cost.
 
+**Toggleable rows** (DESIGN.md section 6) extend the same discipline to the
+*base* rows: a solve may name ``inactive_rows`` — base-row indices whose
+bounds are relaxed to ``(-inf, inf)`` for that solve, exactly the mechanism
+that switches pooled connectivity cuts on and off.  The encoders register
+each ``C_Sigma`` row (and each negated-constraint row) under its stable row
+index, so diagnostics can probe any constraint subset by bound flips on the
+one assembled system instead of re-encoding it per subset.
+
+>>> from repro.ilp.model import LinearSystem
+>>> sys = LinearSystem()
+>>> sys.add_ge({"x": 1}, 1, label="always")
+0
+>>> blocking = sys.add_le({"x": 1}, 0, label="toggleable")   # forces x <= 0
+>>> assembled = AssembledSystem(sys)
+>>> assembled.solve_int({}).status                  # both rows: 1 <= x <= 0
+'infeasible'
+>>> result = assembled.solve_int({}, inactive_rows=frozenset({blocking}))
+>>> (result.status, result.values["x"], assembled.assemblies)
+('feasible', 1, 1)
+
 Exactness is preserved by the same discipline as the one-shot backend: every
 floating-point solution is rounded and re-checked exactly against the
 integer rows (base, cuts, and patched bounds); a failed check degrades to
@@ -159,10 +179,16 @@ class _HighsInstance:
             raise SolverError("HiGHS rejected an appended cut row")
         self._num_rows += 1
 
-    def set_cut_row_bounds(self, row: int, lower: float) -> None:
-        """(De)activate an appended row by moving its lower bound."""
+    def set_row_bounds(self, row: int, lower: float, upper: float) -> None:
+        """(De)activate a row in place by moving its bounds.
+
+        Deactivation relaxes both sides to infinity; reactivation restores
+        the assembled bounds — never a matrix change.
+        """
         self._h.changeRowBounds(
-            row, lower if lower != -np.inf else -_highs.kHighsInf, _highs.kHighsInf
+            row,
+            lower if lower != -np.inf else -_highs.kHighsInf,
+            upper if upper != np.inf else _highs.kHighsInf,
         )
 
     def solve(
@@ -214,7 +240,11 @@ class AssembledSystem:
         self._int_engine: _HighsInstance | None = None
         self._lp_engine: _HighsInstance | None = None
         self._engine_cut_state: dict[int, list[bool]] = {}
+        #: Base rows currently deactivated, per engine (0=int, 1=lp).
+        self._engine_inactive_rows: dict[int, set[int]] = {0: set(), 1: set()}
         self._scipy_matrix = None  # lazy csr for the fallback engine
+        self._base_csr = None  # lazy csr of the base rows (vector checks)
+        self._max_abs_coeff = float(np.max(np.abs(self.data))) if self.data.size else 1.0
 
     # -- shape ---------------------------------------------------------------
 
@@ -280,12 +310,14 @@ class AssembledSystem:
             if self._int_engine is None:
                 self._int_engine = _HighsInstance(self, integer=True)
                 self._engine_cut_state[0] = [True] * self.num_cuts
+                self._engine_inactive_rows[0] = set()
                 for i, coeffs in enumerate(self._cut_coeffs):
                     self._int_engine.add_row(coeffs, float(self._cut_rows[i].rhs))
             return self._int_engine
         if self._lp_engine is None:
             self._lp_engine = _HighsInstance(self, integer=False)
             self._engine_cut_state[1] = [True] * self.num_cuts
+            self._engine_inactive_rows[1] = set()
             for i, coeffs in enumerate(self._cut_coeffs):
                 self._lp_engine.add_row(coeffs, float(self._cut_rows[i].rhs))
         return self._lp_engine
@@ -296,25 +328,53 @@ class AssembledSystem:
         for i in range(self.num_cuts):
             want = i in active
             if state[i] != want:
-                engine.set_cut_row_bounds(
+                engine.set_row_bounds(
                     self.num_base_rows + i,
                     float(self._cut_rows[i].rhs) if want else -np.inf,
+                    np.inf,
                 )
                 state[i] = want
+
+    def _apply_row_activation(
+        self, integer: bool, inactive: frozenset[int] | set[int]
+    ) -> None:
+        """Sync the engine's base-row bounds with the requested toggle set.
+
+        Deactivated rows get ``(-inf, inf)`` bounds (constrain nothing);
+        reactivated rows get their assembled bounds back.  Only the
+        difference against the engine's current state is patched, so a
+        sequence of solves over similar subsets costs O(changes) flips.
+        """
+        engine = self._engine(integer)
+        state = self._engine_inactive_rows[0 if integer else 1]
+        for i in state - set(inactive):
+            engine.set_row_bounds(
+                i, float(self.base_row_lower[i]), float(self.base_row_upper[i])
+            )
+        for i in set(inactive) - state:
+            engine.set_row_bounds(i, -np.inf, np.inf)
+        self._engine_inactive_rows[0 if integer else 1] = set(inactive)
 
     def _solve_raw(
         self,
         patches: Mapping[VarId, BoundPatch],
         active: set[int],
         integer: bool,
-    ) -> tuple[str, np.ndarray | None]:
-        lower, upper = self._patched_bounds(patches)
+        inactive_rows: frozenset[int],
+    ) -> tuple[str, np.ndarray | None, tuple[np.ndarray, np.ndarray]]:
+        bounds = self._patched_bounds(patches)
+        lower, upper = bounds
         if np.any(lower > upper):
-            return "infeasible", None
+            return "infeasible", None, bounds
         if _highs is not None:
             self._apply_cut_activation(integer, active)
-            return self._engine(integer).solve(lower, upper)
-        return self._scipy_solve(lower, upper, active, integer)
+            self._apply_row_activation(integer, inactive_rows)
+            status, x = self._engine(integer).solve(lower, upper)
+        else:
+            status, x = self._scipy_solve(
+                lower, upper, active, integer, inactive_rows
+            )
+        return status, x, bounds
 
     def _scipy_solve(
         self,
@@ -322,6 +382,7 @@ class AssembledSystem:
         var_upper: np.ndarray,
         active: set[int],
         integer: bool,
+        inactive_rows: frozenset[int] = frozenset(),
     ) -> tuple[str, np.ndarray | None]:  # pragma: no cover - fallback engine
         from scipy.optimize import Bounds, LinearConstraint, milp
         from scipy.sparse import csr_array, vstack
@@ -340,9 +401,14 @@ class AssembledSystem:
                     cut_rows.append(dense)
                 base = csr_array(vstack([base, csr_array(np.array(cut_rows))]))
             self._scipy_matrix = base
+        base_lower = self.base_row_lower.copy()
+        base_upper = self.base_row_upper.copy()
+        for i in inactive_rows:
+            base_lower[i] = -np.inf
+            base_upper[i] = np.inf
         row_lower = np.concatenate(
             [
-                self.base_row_lower,
+                base_lower,
                 np.array(
                     [
                         float(self._cut_rows[i].rhs) if i in active else -np.inf
@@ -351,7 +417,7 @@ class AssembledSystem:
                 ),
             ]
         )
-        row_upper = np.concatenate([self.base_row_upper, np.full(self.num_cuts, np.inf)])
+        row_upper = np.concatenate([base_upper, np.full(self.num_cuts, np.inf)])
         constraints = (
             LinearConstraint(self._scipy_matrix, row_lower, row_upper)
             if self._scipy_matrix.shape[0]
@@ -371,19 +437,68 @@ class AssembledSystem:
         return "optimal", result.x
 
     def _values_from(self, x: np.ndarray) -> dict[VarId, int]:
-        return {
-            var: int(round(x[self._system.index_of(var)]))
-            for var in self._system.variables
-        }
+        # Variables are registered in column order, so a single rint +
+        # tolist + zip replaces a per-variable index_of/round loop.
+        ints = np.rint(np.asarray(x)).astype(np.int64).tolist()
+        return dict(zip(self._system.variables, ints))
+
+    def _vector_check(
+        self,
+        x: np.ndarray,
+        patches: Mapping[VarId, BoundPatch],
+        active: set[int],
+        inactive_rows: frozenset[int],
+        bounds: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> bool | None:
+        """Exact feasibility of a rounded integer point, vectorized.
+
+        All coefficients and the rounded values are integers, and integer
+        arithmetic in float64 is exact below 2**53, so the CSR residual
+        *is* the exact row activity whenever the magnitude guard holds.
+        Returns ``None`` when it does not — the caller falls back to the
+        pure-Python exact check — and ``True``/``False`` otherwise.
+        ``bounds`` reuses already-patched variable-bound arrays.
+        """
+        max_x = float(np.abs(x).max()) if x.size else 0.0
+        if (max_x + 1.0) * (self._max_abs_coeff + 1.0) * max(self.num_vars, 1) >= 2.0**53:
+            return None
+        lower, upper = bounds if bounds is not None else self._patched_bounds(patches)
+        if np.any(x < lower) or np.any(x > upper):
+            return False
+        if self._base_csr is None:
+            from scipy.sparse import csr_array
+
+            self._base_csr = csr_array(
+                (self.data, self.indices, self.indptr),
+                shape=(self.num_base_rows, self.num_vars),
+            )
+        residual = self._base_csr @ x
+        bad = (residual < self.base_row_lower) | (residual > self.base_row_upper)
+        if bad.any():
+            violated = set(np.nonzero(bad)[0].tolist())
+            if not violated <= inactive_rows:
+                return False
+        for i in active:
+            total = sum(c * x[j] for j, c in self._cut_coeffs[i].items())
+            if total < self._cut_rows[i].rhs:
+                return False
+        return True
 
     def check_values(
         self,
         values: Mapping[VarId, int],
         patches: Mapping[VarId, BoundPatch],
         active: set[int],
+        inactive_rows: frozenset[int] = frozenset(),
     ) -> list[str]:
-        """Exact violations of base rows, patched bounds and active cuts."""
-        problems = [row.pretty() for row in self._system.check(values)]
+        """Exact violations of base rows, patched bounds and active cuts.
+
+        Deactivated base rows (``inactive_rows``) are exempt, exactly like
+        inactive pool cuts.
+        """
+        problems = [
+            row.pretty() for row in self._system.check(values, skip_rows=inactive_rows)
+        ]
         for var, (lo, hi) in patches.items():
             value = values.get(var, 0)
             if lo is not None and value < lo:
@@ -400,26 +515,34 @@ class AssembledSystem:
         self,
         patches: Mapping[VarId, BoundPatch],
         active: set[int] | None = None,
+        inactive_rows: frozenset[int] = frozenset(),
     ) -> SolveResult:
         """Integer solve under bound patches; exact-checked like solve_milp.
 
-        Status ``"error"`` means the float solution failed the exact check
-        or the solver gave a doubtful status — callers fall back to the
-        rational simplex on a materialized system.
+        ``inactive_rows`` deactivates the named base rows for this solve
+        (toggleable constraint rows; see the module docstring).  Status
+        ``"error"`` means the float solution failed the exact check or the
+        solver gave a doubtful status — callers fall back to the rational
+        simplex on a materialized system.
         """
         active = active or set()
         if self.num_vars == 0:
-            for row in self._system.rows:
-                if not row.evaluate({}):
+            for i, row in enumerate(self._system.rows):
+                if i not in inactive_rows and not row.evaluate({}):
                     return SolveResult("infeasible", message="constant row violated")
             return SolveResult("feasible", {})
-        status, x = self._solve_raw(patches, active, integer=True)
+        status, x, bounds = self._solve_raw(patches, active, True, inactive_rows)
         if status == "infeasible":
             return SolveResult("infeasible", message="patched system infeasible")
         if status != "optimal" or x is None:
             return SolveResult("error", message="incremental solve inconclusive")
+        rounded = np.rint(x)
+        if self._vector_check(rounded, patches, active, inactive_rows, bounds):
+            return SolveResult("feasible", self._values_from(rounded))
+        # Failed or magnitude-voided vector check: the pure-Python exact
+        # check is authoritative and names the violated rows.
         values = self._values_from(x)
-        violated = self.check_values(values, patches, active)
+        violated = self.check_values(values, patches, active, inactive_rows)
         if violated:
             return SolveResult(
                 "error",
@@ -433,34 +556,57 @@ class AssembledSystem:
         patches: Mapping[VarId, BoundPatch],
         active: set[int] | None = None,
         want_values: bool = True,
+        inactive_rows: frozenset[int] = frozenset(),
+        verified: bool = False,
     ) -> tuple[str, dict[VarId, int] | None]:
         """LP relaxation under bound patches.
 
         Returns ``("infeasible", None)`` only when definitely infeasible
         (sound for pruning), ``("feasible", candidate)`` with the rounded
-        vertex — *not yet verified* — or ``("unknown", None)``.  Pruning
-        callers that only need the status pass ``want_values=False`` to
-        skip building the candidate dict.
+        vertex, or ``("unknown", None)``.  Pruning callers that only need
+        the status pass ``want_values=False`` to skip building the
+        candidate dict.  With ``verified=True`` the rounded vertex is
+        exact-checked against the active rows and patched bounds before
+        being returned — ``("feasible", None)`` then means the relaxation
+        is feasible but its rounded vertex is not an integer solution.
         """
         active = active or set()
         if self.num_vars == 0:
-            bad = any(not row.evaluate({}) for row in self._system.rows)
+            bad = any(
+                i not in inactive_rows and not row.evaluate({})
+                for i, row in enumerate(self._system.rows)
+            )
             return ("infeasible", None) if bad else ("feasible", {})
-        status, x = self._solve_raw(patches, active, integer=False)
+        status, x, bounds = self._solve_raw(patches, active, False, inactive_rows)
         if status == "infeasible":
             return "infeasible", None
         if status == "optimal" and x is not None:
-            return "feasible", self._values_from(x) if want_values else None
+            if not want_values:
+                return "feasible", None
+            rounded = np.rint(x)
+            if not verified:
+                return "feasible", self._values_from(rounded)
+            passed = self._vector_check(
+                rounded, patches, active, inactive_rows, bounds
+            )
+            if passed is None:  # magnitude guard: authoritative slow check
+                values = self._values_from(rounded)
+                passed = not self.check_values(
+                    values, patches, active, inactive_rows
+                )
+                return "feasible", (values if passed else None)
+            return "feasible", (self._values_from(rounded) if passed else None)
         return "unknown", None
 
     def materialize(
         self,
         patches: Mapping[VarId, BoundPatch],
         active: set[int] | None = None,
+        inactive_rows: frozenset[int] = frozenset(),
     ) -> LinearSystem:
         """An equivalent standalone :class:`LinearSystem` (for the exact
         backend and for fallbacks when a float solve is inconclusive)."""
-        leaf = self._system.copy()
+        leaf = self._system.copy(drop_rows=inactive_rows)
         for var, (lo, hi) in patches.items():
             if lo is not None and lo > 0:
                 leaf.add_ge({var: 1}, lo, label="patch-lower")

@@ -41,11 +41,19 @@ identical ``(patches, active)`` pair per leaf and re-solves by dual-simplex
 bound patches on a warm basis, with pool cuts mirrored so indices align;
 ``exact_warm=False`` falls back to cold solves of materialized leaves for
 differential testing.
+
+Toggleable rows (DESIGN.md section 6) extend the bound-patch discipline to
+row *subsets*: a :class:`ConditionalSystem` may register base rows as
+toggleable, and :func:`solve_conditional_system` takes ``active_rows`` —
+the subset to keep — plus a :class:`SolveWorkspace` that shares the
+assembled system, the certified twin and the cut pool across calls.  This
+is the diagnostics workload: one assembly of ``Psi(D, Sigma ∪ ¬Sigma)``,
+then one patched re-solve per probed constraint subset.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Callable, Mapping
 
 from repro.errors import ComplexityLimitError, SolverError
@@ -94,6 +102,16 @@ class ConditionalSystem:
     forced_true / forced_false:
         Types whose support is fixed up front (the root and types forced by
         negated constraints; unusable types respectively).
+    toggleable_rows:
+        Base-row indices registered as toggleable (the per-constraint
+        ``C_Sigma`` and negated-constraint rows).  ``active_rows`` on
+        :func:`solve_conditional_system` selects a subset of these; rows
+        outside this set are always active.
+    toggleable_clauses:
+        Indices into :attr:`clauses` of the support clauses contributed by
+        toggleable constraints.  Clauses outside this set depend only on
+        the DTD and stay active under every probe, which lets workspace
+        batches cache their closure.
     """
 
     base: LinearSystem
@@ -105,6 +123,8 @@ class ConditionalSystem:
     clauses: tuple[SupportClause, ...] = ()
     forced_true: frozenset[str] = frozenset()
     forced_false: frozenset[str] = frozenset()
+    toggleable_rows: frozenset[int] = frozenset()
+    toggleable_clauses: frozenset[int] = frozenset()
 
 
 @dataclass
@@ -288,11 +308,12 @@ class _ExactTwin:
         patches: Mapping[VarId, BoundPatch],
         active: set[int],
         stats: CondSolveStats,
+        inactive_rows: frozenset[int] = frozenset(),
     ) -> SolveResult:
         """Warm certified solve, with work counters folded into ``stats``."""
         exact = self.get()
         before = (exact.stats.nodes, exact.stats.pivots, exact.stats.warm_solves)
-        result = exact.solve_int(patches, active)
+        result = exact.solve_int(patches, active, inactive_rows=inactive_rows)
         stats.exact_nodes += exact.stats.nodes - before[0]
         stats.exact_pivots += exact.stats.pivots - before[1]
         stats.exact_warm_solves += exact.stats.warm_solves - before[2]
@@ -341,18 +362,128 @@ class _CutPool:
         return sum(1 for i in active if self._origin[i] != current_leaf)
 
 
+class SolveWorkspace:
+    """Persistent solver state shared across related solve calls.
+
+    Batch callers — diagnostics probing many constraint subsets of one
+    specification — create a workspace once and pass it to every
+    :func:`solve_conditional_system` call.  All calls then share one
+    :class:`AssembledSystem` (the single base assembly), one lazily-built
+    certified twin (whose warm basis carries across subsets), and one
+    connectivity-cut pool: a cut's validity argument is purely structural
+    (any tree with a member of its guard present must enter the guard set
+    from outside), so cuts learned under one row subset remain valid under
+    every other.
+
+    ``take_assembly_charge`` books the one-time assembly to exactly one
+    call's stats, so summing per-call ``assemblies`` over a batch reports
+    precisely 1 — the invariant the diagnostics acceptance test asserts.
+    """
+
+    def __init__(self, base: LinearSystem):
+        self.assembled = AssembledSystem(base)
+        self.exact_twin = _ExactTwin(self.assembled)
+        self.pool = _CutPool(self.assembled, self.exact_twin)
+        self.leaf_counter = 0
+        self.solve_calls = 0
+        self._assembly_charged = False
+        # Both caches key by the clause tuple *value* (SupportClause is
+        # hashable): batch callers keep one tuple object alive across
+        # probes, so the hash is computed over an interned object, and a
+        # recreated equal tuple still hits — never a stale entry (an
+        # id()-keyed cache could serve a dead tuple's reused address).
+        self._clause_indices: dict[tuple[SupportClause, ...], _ClauseIndex] = {}
+        self._closure_cache: dict[tuple, tuple] = {}
+
+    def base_closures(
+        self,
+        cs: ConditionalSystem,
+        clause_index: "_ClauseIndex",
+        stats: CondSolveStats,
+    ) -> tuple:
+        """Support closures under the always-active clauses, cached.
+
+        Returns ``(ok, closure, maximal)``: the propagation closure of
+        ``{root} ∪ forced_false`` and the all-present maximal completion,
+        both computed with every toggleable clause disabled.  Those inputs
+        are constraint-subset independent (only ``forced_true`` and the
+        active clause set vary between probes), so each probe merely
+        overlays its forced supports and re-examines its active toggleable
+        clauses instead of re-deriving the DTD skeleton.
+        """
+        key = (cs.clauses, cs.root, cs.forced_false)
+        cached = self._closure_cache.get(key)
+        if cached is None:
+            closure: dict[str, bool | None] = {
+                tau: None for tau in cs.element_types
+            }
+            for tau in cs.forced_false:
+                closure[tau] = False
+            closure[cs.root] = True
+            ok = _propagate_indexed(
+                clause_index, closure, [cs.root, *cs.forced_false], stats,
+                cs.toggleable_clauses,
+            )
+            maximal: dict[str, bool | None] | None = {
+                tau: tau not in cs.forced_false for tau in cs.element_types
+            }
+            if not _propagate_indexed(
+                clause_index, maximal, list(cs.element_types), stats,
+                cs.toggleable_clauses,
+            ) or not all(value is not None for value in maximal.values()):
+                maximal = None
+            cached = (ok, closure, maximal)
+            self._closure_cache[key] = cached
+        return cached
+
+    def clause_index(self, clauses: tuple[SupportClause, ...]) -> "_ClauseIndex":
+        """Memoized propagation index — batch callers keep the full clause
+        tuple stable across probes (clause subsets are selected via
+        ``inactive_clauses``, not by rebuilding the tuple), so every probe
+        after the first reuses one index."""
+        index = self._clause_indices.get(clauses)
+        if index is None:
+            index = _ClauseIndex(clauses)
+            self._clause_indices[clauses] = index
+        return index
+
+    @property
+    def assemblies(self) -> int:
+        """Base-matrix assemblies performed over the workspace lifetime."""
+        return self.assembled.assemblies
+
+    def take_assembly_charge(self) -> int:
+        """1 on the first call, 0 after — books the assembly exactly once."""
+        if self._assembly_charged:
+            return 0
+        self._assembly_charged = True
+        return self.assembled.assemblies
+
+
 class _ClauseIndex:
-    """Premise/alternative -> clause index, for worklist propagation."""
+    """Premise/alternative -> clause index, for worklist propagation.
+
+    ``by_symbol`` watches every symbol occurrence (used for externally
+    decided seeds, which may be ``False``); ``by_premise`` watches the
+    premise only — sufficient for symbols the worklist itself derives,
+    which are always ``True`` (a ``True`` alternative merely satisfies
+    its clause, so those clauses need no re-examination).
+    """
 
     def __init__(self, clauses: tuple[SupportClause, ...]):
         self.clauses = clauses
         by_symbol: dict[str, list[int]] = {}
+        by_premise: dict[str, list[int]] = {}
         for index, clause in enumerate(clauses):
             by_symbol.setdefault(clause.premise, []).append(index)
+            by_premise.setdefault(clause.premise, []).append(index)
             for alternative in clause.alternatives:
                 by_symbol.setdefault(alternative, []).append(index)
         self.by_symbol = {
             symbol: tuple(indices) for symbol, indices in by_symbol.items()
+        }
+        self.by_premise = {
+            symbol: tuple(indices) for symbol, indices in by_premise.items()
         }
 
 
@@ -361,35 +492,64 @@ def _propagate_indexed(
     assignment: dict[str, bool | None],
     seeds: list[str],
     stats: CondSolveStats,
+    disabled: frozenset[int] = frozenset(),
+    extra_clause_ids: tuple[int, ...] = (),
 ) -> bool:
     """Worklist unit propagation from the seed symbols; False on conflict.
 
     Only clauses watching a changed symbol are re-examined, replacing the
     all-clauses rescan-until-fixpoint of the original implementation.
     Sound for the same reason: a clause's state only changes when one of
-    its symbols (premise or alternative) changes value.
+    its symbols (premise or alternative) changes value.  Seeds carry the
+    full watch list (they may be ``False`` decisions, which shrink a
+    clause's open alternatives); symbols derived *during* propagation are
+    always ``True`` and only activate clauses premised on them.
+    ``extra_clause_ids`` are examined unconditionally up front — callers
+    resuming from a cached closure pass the clauses whose activation the
+    closure did not see.
     """
-    queue = list(seeds)
     clauses = index.clauses
     by_symbol = index.by_symbol
-    while queue:
-        symbol = queue.pop()
-        for clause_id in by_symbol.get(symbol, ()):
+    by_premise = index.by_premise
+    visits = 0
+    queue: list[tuple[str, bool]] = [(symbol, False) for symbol in seeds]
+    pending = list(extra_clause_ids)
+    conflict = False
+    while pending or queue:
+        if pending:
+            scan = (pending.pop(),)
+        else:
+            symbol, derived = queue.pop()
+            watchers = by_premise if derived else by_symbol
+            scan = watchers.get(symbol, ())
+        for clause_id in scan:
+            if clause_id in disabled:
+                continue  # clause belongs to a deactivated constraint
             clause = clauses[clause_id]
-            stats.propagation_visits += 1
+            visits += 1
             if assignment.get(clause.premise) is not True:
                 continue
-            if any(assignment.get(a) is True for a in clause.alternatives):
+            satisfied = False
+            open_alts: list[str] = []
+            for alternative in clause.alternatives:
+                value = assignment.get(alternative)
+                if value is True:
+                    satisfied = True
+                    break
+                if value is None:
+                    open_alts.append(alternative)
+            if satisfied:
                 continue
-            open_alts = [
-                a for a in clause.alternatives if assignment.get(a) is None
-            ]
             if not open_alts:
-                return False
+                conflict = True
+                break
             if len(open_alts) == 1:
                 assignment[open_alts[0]] = True
-                queue.append(open_alts[0])
-    return True
+                queue.append((open_alts[0], True))
+        if conflict:
+            break
+    stats.propagation_visits += visits
+    return not conflict
 
 
 def _propagate(
@@ -459,11 +619,14 @@ def _solve_leaf_exact_cold(
     patches: Mapping[VarId, BoundPatch],
     active: set[int],
     stats: CondSolveStats,
+    inactive_rows: frozenset[int] = frozenset(),
 ) -> SolveResult:
     """Cold certified solve on a materialized leaf (reference path)."""
     exact_stats = ExactStats()
     result = solve_exact(
-        assembled.materialize(patches, active), warm=False, stats=exact_stats
+        assembled.materialize(patches, active, inactive_rows),
+        warm=False,
+        stats=exact_stats,
     )
     stats.exact_nodes += exact_stats.nodes
     stats.exact_pivots += exact_stats.pivots
@@ -481,15 +644,17 @@ def _solve_leaf_assembled(
     leaf_id: int,
     exact_twin: _ExactTwin,
     exact_warm: bool,
+    inactive_rows: frozenset[int] = frozenset(),
 ) -> SolveResult:
     """Solve a leaf by patching bounds on the assembled system.
 
     Connectivity cuts discovered here go into the shared pool (guarded by
     their unreachable set) so later leaves inherit them for free.  Both
-    backends take the same ``(patches, active)`` pair: the float engine
-    patches its bound arrays, the certified engine dual-simplex-patches a
-    warm basis (``exact_warm=False`` falls back to a cold solve of the
-    materialized leaf, the reference the fuzz harness checks against).
+    backends take the same ``(patches, active, inactive_rows)`` triple: the
+    float engine patches its bound arrays and row bounds, the certified
+    engine dual-simplex-patches a warm basis (``exact_warm=False`` falls
+    back to a cold solve of the materialized leaf, the reference the fuzz
+    harness checks against).
     """
     patches = _bound_patches(cs, assignment)
     present = {tau for tau, decided in assignment.items() if decided}
@@ -500,8 +665,8 @@ def _solve_leaf_assembled(
 
     def certify(active: set[int]) -> SolveResult:
         if exact_warm:
-            return exact_twin.solve(patches, active, stats)
-        return _solve_leaf_exact_cold(assembled, patches, active, stats)
+            return exact_twin.solve(patches, active, stats, inactive_rows)
+        return _solve_leaf_exact_cold(assembled, patches, active, stats, inactive_rows)
 
     for _ in range(max_cut_rounds):
         stats.leaves_solved += 1
@@ -510,7 +675,7 @@ def _solve_leaf_assembled(
             result = certify(active)
         else:
             stats.bound_patch_solves += 1
-            result = assembled.solve_int(patches, active)
+            result = assembled.solve_int(patches, active, inactive_rows)
             if result.status == "error":
                 # Floating-point trouble: certify with the exact solver.
                 result = certify(active)
@@ -574,22 +739,58 @@ def solve_conditional_system(
     lp_prune: bool = True,
     incremental: bool = True,
     exact_warm: bool = True,
+    active_rows: frozenset[int] | None = None,
+    workspace: SolveWorkspace | None = None,
+    inactive_clauses: frozenset[int] = frozenset(),
 ) -> tuple[SolveResult, CondSolveStats]:
     """Decide the conditional system; return a realizable solution if any.
 
-    The returned solution (when feasible) satisfies the base rows, all
-    conditionals, and the connectivity side condition — i.e. it is
+    The returned solution (when feasible) satisfies the active base rows,
+    all conditionals, and the connectivity side condition — i.e. it is
     realizable as an XML tree by :mod:`repro.witness`.
 
+    ``active_rows`` selects the subset of ``cs.toggleable_rows`` to keep
+    active for this call (``None`` = all of them; rows never registered as
+    toggleable are always active), and ``inactive_clauses`` disables the
+    support clauses (by index into ``cs.clauses``) contributed by the
+    deactivated constraints — a clause from a deactivated constraint could
+    wrongly prune a feasible completion, so callers must disable the two
+    together; ``cs.forced_true`` must likewise be filtered by the caller
+    (via ``dataclasses.replace``).  ``workspace`` shares the assembled
+    system, the certified twin, the connectivity-cut pool and the clause
+    index across calls — the diagnostics batch shape: one assembly, many
+    row subsets.
+
     ``incremental=False`` selects the from-scratch reference path (one
-    matrix assembly per solve, no cut sharing); ``exact_warm=False``
-    selects the cold per-node refactorization path of the certified
-    backend.  Both exist for differential testing and ablation, and must
-    always agree with the defaults.
+    matrix assembly per solve, no cut sharing; deactivated rows are
+    dropped from the rebuilt systems); ``exact_warm=False`` selects the
+    cold per-node refactorization path of the certified backend.  All
+    exist for differential testing and ablation, and must always agree
+    with the defaults.
+
+    >>> sys = LinearSystem()
+    >>> blocked = sys.add_eq({("ext", "r"): 1}, 0, label="toggle-me")
+    >>> sys.add_ge({("ext", "r"): 1}, 1)
+    1
+    >>> cs = ConditionalSystem(
+    ...     base=sys, ext_var={"r": ("ext", "r")}, root="r",
+    ...     element_types=("r",), edges=(),
+    ...     toggleable_rows=frozenset({blocked}),
+    ... )
+    >>> solve_conditional_system(cs)[0].status          # ext == 0 and >= 1
+    'infeasible'
+    >>> result, stats = solve_conditional_system(cs, active_rows=frozenset())
+    >>> (result.status, stats.assemblies)
+    ('feasible', 1)
     """
     if backend not in ("scipy", "exact"):
         raise SolverError(f"unknown backend {backend!r}")
     stats = CondSolveStats()
+    inactive_rows = (
+        frozenset(cs.toggleable_rows - active_rows)
+        if active_rows is not None
+        else frozenset()
+    )
 
     assignment: dict[str, bool | None] = {tau: None for tau in cs.element_types}
     for tau in cs.forced_true:
@@ -609,11 +810,12 @@ def solve_conditional_system(
     if incremental:
         return _solve_incremental(
             cs, assignment, backend, max_support_nodes, max_cut_rounds,
-            lp_prune, stats, exact_warm,
+            lp_prune, stats, exact_warm, inactive_rows, workspace,
+            inactive_clauses,
         )
     return _solve_rebuild(
         cs, assignment, backend, max_support_nodes, max_cut_rounds,
-        lp_prune, stats, exact_warm,
+        lp_prune, stats, exact_warm, inactive_rows, inactive_clauses,
     )
 
 
@@ -630,6 +832,26 @@ def _branching_order(cs: ConditionalSystem) -> list[str]:
     )
 
 
+def _maximal_support(
+    cs: ConditionalSystem,
+    clause_index: _ClauseIndex,
+    assignment: Mapping[str, bool | None],
+    stats: CondSolveStats,
+    inactive_clauses: frozenset[int] = frozenset(),
+) -> dict[str, bool | None] | None:
+    """The maximal completion (everything undecided present), propagated;
+    ``None`` when it conflicts or leaves a symbol undecided."""
+    maximal = dict(assignment)
+    for tau in cs.element_types:
+        if maximal[tau] is None:
+            maximal[tau] = True
+    if _propagate_indexed(
+        clause_index, maximal, list(cs.element_types), stats, inactive_clauses
+    ) and all(value is not None for value in maximal.values()):
+        return maximal
+    return None
+
+
 def _solve_incremental(
     cs: ConditionalSystem,
     assignment: dict[str, bool | None],
@@ -639,17 +861,77 @@ def _solve_incremental(
     lp_prune: bool,
     stats: CondSolveStats,
     exact_warm: bool,
+    inactive_rows: frozenset[int],
+    workspace: SolveWorkspace | None,
+    inactive_clauses: frozenset[int],
 ) -> tuple[SolveResult, CondSolveStats]:
     """Assemble-once/bound-patch support search (DESIGN.md section 4)."""
-    clause_index = _ClauseIndex(cs.clauses)
-    seeds = [tau for tau, value in assignment.items() if value is not None]
-    if not _propagate_indexed(clause_index, assignment, seeds, stats):
-        return SolveResult("infeasible", message="support propagation conflict"), stats
+    clause_index = (
+        workspace.clause_index(cs.clauses)
+        if workspace is not None
+        else _ClauseIndex(cs.clauses)
+    )
+    maximal_view: dict[str, bool | None] | None | str = "unset"
+    base_maximal: dict[str, bool | None] | None = None
+    use_closure = workspace is not None
+    active_toggle_clauses: tuple[int, ...] = ()
+    if use_closure:
+        # Resume from the cached always-active closure: overlay this
+        # probe's forced supports and re-examine only its active
+        # toggleable clauses (the closure was computed with all of them
+        # disabled).
+        closure_ok, closure, base_maximal = workspace.base_closures(
+            cs, clause_index, stats
+        )
+        if not closure_ok:
+            return (
+                SolveResult("infeasible", message="support propagation conflict"),
+                stats,
+            )
+        merged = dict(closure)
+        seeds = []
+        for tau, value in assignment.items():
+            if value is not None and merged.get(tau) is None:
+                merged[tau] = value
+                seeds.append(tau)
+        assignment = merged
+        active_toggle_clauses = tuple(cs.toggleable_clauses - inactive_clauses)
+    else:
+        seeds = [tau for tau, value in assignment.items() if value is not None]
+    if not _propagate_indexed(
+        clause_index, assignment, seeds, stats, inactive_clauses,
+        active_toggle_clauses,
+    ):
+        return (
+            SolveResult("infeasible", message="support propagation conflict"),
+            stats,
+        )
+    root_patches = _bound_patches(cs, assignment)
 
-    assembled = AssembledSystem(cs.base)
-    stats.assemblies = assembled.assemblies
-    exact_twin = _ExactTwin(assembled)
-    pool = _CutPool(assembled, exact_twin)
+    if workspace is not None:
+        if workspace.assembled.system is not cs.base:
+            raise SolverError(
+                "workspace was assembled from a different base system"
+            )
+        assembled = workspace.assembled
+        exact_twin = workspace.exact_twin
+        pool = workspace.pool
+        stats.assemblies = workspace.take_assembly_charge()
+        workspace.solve_calls += 1
+    else:
+        assembled = AssembledSystem(cs.base)
+        stats.assemblies = assembled.assemblies
+        exact_twin = _ExactTwin(assembled)
+        pool = _CutPool(assembled, exact_twin)
+
+    def next_leaf_id() -> int:
+        if workspace is not None:
+            workspace.leaf_counter += 1
+            return workspace.leaf_counter
+        nonlocal leaf_counter
+        leaf_counter += 1
+        return leaf_counter
+
     leaf_counter = 0
 
     # Single LP probe of the root relaxation: definite infeasibility
@@ -657,8 +939,9 @@ def _solve_incremental(
     # that passes the exact checks is already a realizable answer.
     root_probed = False
     if lp_prune and backend == "scipy":
-        root_patches = _bound_patches(cs, assignment)
-        status, candidate = assembled.lp_probe(root_patches, set())
+        status, candidate = assembled.lp_probe(
+            root_patches, set(), inactive_rows=inactive_rows, verified=True
+        )
         stats.bound_patch_solves += 1
         root_probed = status != "unknown"
         if status == "infeasible":
@@ -669,8 +952,7 @@ def _solve_incremental(
             )
         if (
             status == "feasible"
-            and candidate is not None
-            and not assembled.check_values(candidate, root_patches, set())
+            and candidate is not None  # verified: already exact-checked
             and _satisfies_conditionals(cs, candidate)
             and not _unreachable_positive(cs, candidate)
         ):
@@ -680,17 +962,26 @@ def _solve_incremental(
 
     # Shortcut: the maximal support (everything not forced out present) is
     # often feasible and found in one leaf solve.
-    maximal = dict(assignment)
-    for tau in cs.element_types:
-        if maximal[tau] is None:
-            maximal[tau] = True
-    if _propagate_indexed(
-        clause_index, maximal, list(cs.element_types), stats
-    ) and all(v is not None for v in maximal.values()):
-        leaf_counter += 1
+    if maximal_view == "unset":
+        if use_closure:
+            # The cached all-present completion is fully decided; only the
+            # probe's active toggleable clauses still need a conflict scan.
+            if base_maximal is not None and _propagate_indexed(
+                clause_index, dict(base_maximal), [], stats,
+                inactive_clauses, active_toggle_clauses,
+            ):
+                maximal_view = dict(base_maximal)
+            else:
+                maximal_view = None
+        else:
+            maximal_view = _maximal_support(
+                cs, clause_index, assignment, stats, inactive_clauses
+            )
+    if maximal_view is not None:
         result = _solve_leaf_assembled(
-            cs, assembled, pool, maximal, backend, stats,  # type: ignore[arg-type]
-            max_cut_rounds, leaf_counter, exact_twin, exact_warm,
+            cs, assembled, pool, maximal_view, backend, stats,  # type: ignore[arg-type]
+            max_cut_rounds, next_leaf_id(), exact_twin, exact_warm,
+            inactive_rows,
         )
         if result.feasible:
             stats.shortcut_hit = True
@@ -719,7 +1010,9 @@ def _solve_incremental(
             if decided is not None
             else [tau for tau, value in current.items() if value is not None]
         )
-        if not _propagate_indexed(clause_index, current, seeds, stats):
+        if not _propagate_indexed(
+            clause_index, current, seeds, stats, inactive_clauses
+        ):
             continue
         if lp_prune and not (first_node and root_probed and len(pool) == 0):
             patches = _bound_patches(cs, current)
@@ -727,7 +1020,9 @@ def _solve_incremental(
                 tau for tau, value in current.items() if value is True
             }
             active = pool.active_for(decided_true)
-            status, _ = assembled.lp_probe(patches, active, want_values=False)
+            status, _ = assembled.lp_probe(
+                patches, active, want_values=False, inactive_rows=inactive_rows
+            )
             stats.bound_patch_solves += 1
             if status == "infeasible":
                 stats.lp_prunes += 1
@@ -736,10 +1031,10 @@ def _solve_incremental(
         first_node = False
         choice = undecided(current)
         if choice is None:
-            leaf_counter += 1
             result = _solve_leaf_assembled(
                 cs, assembled, pool, current, backend, stats,  # type: ignore[arg-type]
-                max_cut_rounds, leaf_counter, exact_twin, exact_warm,
+                max_cut_rounds, next_leaf_id(), exact_twin, exact_warm,
+                inactive_rows,
             )
             if result.feasible:
                 return result, stats
@@ -762,8 +1057,22 @@ def _solve_rebuild(
     lp_prune: bool,
     stats: CondSolveStats,
     exact_warm: bool,
+    inactive_rows: frozenset[int] = frozenset(),
+    inactive_clauses: frozenset[int] = frozenset(),
 ) -> tuple[SolveResult, CondSolveStats]:
     """From-scratch reference path: rebuild a LinearSystem per node."""
+    if inactive_rows or inactive_clauses:
+        # Deactivated rows and clauses are simply absent from every
+        # rebuilt system — the rebuild twin of the toggles on the hot path.
+        cs = replace(
+            cs,
+            base=cs.base.copy(drop_rows=inactive_rows),
+            clauses=tuple(
+                clause
+                for i, clause in enumerate(cs.clauses)
+                if i not in inactive_clauses
+            ),
+        )
     solve = _make_solver(backend, exact_warm, stats)
 
     if not _propagate(cs, assignment):

@@ -460,20 +460,23 @@ class ExactAssembledSystem:
         self._n = system.num_vars
         self._engine = _RevisedDualSimplex(self._n)
         self._senses: list[str] = []
-        self._gcd_message: str | None = None
-        for row in system.rows:
+        #: Base rows no integer point can satisfy (gcd test), with their
+        #: indices — consulted per solve so a *deactivated* row never
+        #: refutes a system it is not part of.
+        self._gcd_rows: list[tuple[int, str]] = []
+        for index, row in enumerate(system.rows):
             merged: dict[int, Fraction] = {}
             for var, coeff in row.coeffs:
                 j = system.index_of(var)
                 merged[j] = merged.get(j, _ZERO) + Fraction(coeff)
             self._engine.append_row(merged, Fraction(row.rhs))
             self._senses.append(row.sense)
-            if row.sense == EQ and row.coeffs and self._gcd_message is None:
+            if row.sense == EQ and row.coeffs:
                 divisor = 0
                 for _, coeff in row.coeffs:
                     divisor = gcd(divisor, abs(coeff))
                 if divisor > 1 and row.rhs % divisor != 0:
-                    self._gcd_message = f"gcd cut on row {row.pretty()}"
+                    self._gcd_rows.append((index, f"gcd cut on row {row.pretty()}"))
         self._num_base_rows = system.num_rows
         self._cut_rhs: list[int] = []
         self._max_cut_abs = 1
@@ -556,12 +559,16 @@ class ExactAssembledSystem:
         self,
         patches: Mapping[VarId, BoundPatch],
         active: set[int],
+        inactive_rows: frozenset[int] = frozenset(),
     ) -> tuple[list[Fraction | None], list[Fraction | None]]:
         """Full bound arrays (structural + slacks) for one solve.
 
         Active rows encode their sense in the slack box; a deactivated
-        cut's slack gets the box implied by the structural boxes, which
-        constrains nothing but keeps every bound finite.
+        row's slack — a pool cut not in ``active``, or a toggleable base
+        row named by ``inactive_rows`` — gets the box implied by the
+        structural boxes, which constrains nothing but keeps every bound
+        finite.  Either way the factorization is untouched: (de)activation
+        is purely a slack-bound change.
         """
         struct_lower, struct_upper, _ = self._structural_bounds(patches)
         lower: list[Fraction | None] = list(struct_lower)
@@ -569,7 +576,10 @@ class ExactAssembledSystem:
         engine = self._engine
         for i, sense in enumerate(self._senses):
             cut_index = i - self._num_base_rows
-            if cut_index >= 0 and cut_index not in active:
+            deactivated = (
+                cut_index not in active if cut_index >= 0 else i in inactive_rows
+            )
+            if deactivated:
                 # Implied activity range of the row over the current box.
                 low_activity = _ZERO
                 high_activity = _ZERO
@@ -603,27 +613,31 @@ class ExactAssembledSystem:
         node_limit: int = 5000,
         pivot_limit: int | None = None,
         warm: bool = True,
+        inactive_rows: frozenset[int] = frozenset(),
     ) -> SolveResult:
         """Certified integer solve under bound patches and active cuts.
 
-        Returns the first integral solution of the depth-first search —
-        small in practice (the LP objective is the sum of all variables)
-        but not certified minimal: alternate optimal LP vertices can
-        steer different branchings.  ``warm=False`` refactorizes the
-        basis at every branch-and-bound node (the cold reference path);
-        the default carries the parent's basis into each child and
-        across calls.
+        ``inactive_rows`` deactivates the named base rows for this solve
+        (slack-box relaxation on the live factorization — the toggleable
+        constraint rows of DESIGN.md section 6).  Returns the first
+        integral solution of the depth-first search — small in practice
+        (the LP objective is the sum of all variables) but not certified
+        minimal: alternate optimal LP vertices can steer different
+        branchings.  ``warm=False`` refactorizes the basis at every
+        branch-and-bound node (the cold reference path); the default
+        carries the parent's basis into each child and across calls.
         """
         active = set(active or ())
         if self._n == 0:
-            for row in self._system.rows:
-                if not row.evaluate({}):
+            for i, row in enumerate(self._system.rows):
+                if i not in inactive_rows and not row.evaluate({}):
                     return SolveResult("infeasible", message="constant row violated")
             return SolveResult("feasible", {})
-        if self._gcd_message is not None:
-            return SolveResult("infeasible", message=self._gcd_message)
+        for gcd_row, message in self._gcd_rows:
+            if gcd_row not in inactive_rows:
+                return SolveResult("infeasible", message=message)
 
-        base_lower, base_upper = self._column_bounds(patches, active)
+        base_lower, base_upper = self._column_bounds(patches, active, inactive_rows)
         # Crossing boxes are infeasible outright — the dual simplex only
         # polices *basic* variables against their bounds, so a nonbasic
         # parked on one side of an empty box would go unnoticed.

@@ -58,9 +58,15 @@ class LinearSystem:
     may be attached per variable. The system is deliberately dumb — it only
     stores rows; solving lives in the backends.
 
+    ``add_eq``/``add_le``/``add_ge`` return the new row's index — stable for
+    the system's lifetime, and the identifier under which toggleable rows
+    are (de)activated on the assembled backends.
+
     >>> sys = LinearSystem()
     >>> sys.add_eq({"x": 1, "y": -1}, 0)
+    0
     >>> sys.add_ge({"x": 1}, 2)
+    1
     >>> sys.num_vars, sys.num_rows
     (2, 2)
     """
@@ -105,25 +111,26 @@ class LinearSystem:
 
     # -- rows ---------------------------------------------------------------
 
-    def _add(self, coeffs: Mapping[VarId, int], sense: str, rhs: int, label: str) -> None:
+    def _add(self, coeffs: Mapping[VarId, int], sense: str, rhs: int, label: str) -> int:
         cleaned = tuple(
             (self.ensure_var(var), int(coeff))
             for var, coeff in coeffs.items()
             if coeff != 0
         )
         self._rows.append(Row(cleaned, sense, int(rhs), label))
+        return len(self._rows) - 1
 
-    def add_eq(self, coeffs: Mapping[VarId, int], rhs: int, label: str = "") -> None:
-        """Add ``sum(coeffs) == rhs``."""
-        self._add(coeffs, EQ, rhs, label)
+    def add_eq(self, coeffs: Mapping[VarId, int], rhs: int, label: str = "") -> int:
+        """Add ``sum(coeffs) == rhs``; returns the row's stable index."""
+        return self._add(coeffs, EQ, rhs, label)
 
-    def add_le(self, coeffs: Mapping[VarId, int], rhs: int, label: str = "") -> None:
-        """Add ``sum(coeffs) <= rhs``."""
-        self._add(coeffs, LE, rhs, label)
+    def add_le(self, coeffs: Mapping[VarId, int], rhs: int, label: str = "") -> int:
+        """Add ``sum(coeffs) <= rhs``; returns the row's stable index."""
+        return self._add(coeffs, LE, rhs, label)
 
-    def add_ge(self, coeffs: Mapping[VarId, int], rhs: int, label: str = "") -> None:
-        """Add ``sum(coeffs) >= rhs``."""
-        self._add(coeffs, GE, rhs, label)
+    def add_ge(self, coeffs: Mapping[VarId, int], rhs: int, label: str = "") -> int:
+        """Add ``sum(coeffs) >= rhs``; returns the row's stable index."""
+        return self._add(coeffs, GE, rhs, label)
 
     @property
     def rows(self) -> tuple[Row, ...]:
@@ -135,21 +142,40 @@ class LinearSystem:
 
     # -- utilities ----------------------------------------------------------
 
-    def copy(self) -> "LinearSystem":
-        """Independent copy (rows are immutable and shared)."""
+    def copy(self, drop_rows: "frozenset[int] | set[int]" = frozenset()) -> "LinearSystem":
+        """Independent copy (rows are immutable and shared).
+
+        ``drop_rows`` omits the rows with those indices — the rebuild-path
+        twin of deactivating toggleable rows on an assembled system.  All
+        variables stay registered either way, so column indices are stable.
+        """
         clone = LinearSystem()
         clone._index = dict(self._index)
         clone._order = list(self._order)
-        clone._rows = list(self._rows)
+        if drop_rows:
+            clone._rows = [
+                row for i, row in enumerate(self._rows) if i not in drop_rows
+            ]
+        else:
+            clone._rows = list(self._rows)
         clone._upper = dict(self._upper)
         return clone
 
-    def check(self, values: Mapping[VarId, int]) -> list[Row]:
+    def check(
+        self,
+        values: Mapping[VarId, int],
+        skip_rows: "frozenset[int] | set[int]" = frozenset(),
+    ) -> list[Row]:
         """Rows violated by an assignment (empty list = satisfied).
 
-        Also enforces nonnegativity and upper bounds.
+        Also enforces nonnegativity and upper bounds.  ``skip_rows`` are
+        exempt from the check (deactivated toggleable rows).
         """
-        violated = [row for row in self._rows if not row.evaluate(values)]
+        violated = [
+            row
+            for i, row in enumerate(self._rows)
+            if i not in skip_rows and not row.evaluate(values)
+        ]
         for var in self._order:
             value = values.get(var, 0)
             if value < 0:

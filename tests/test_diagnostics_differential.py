@@ -1,0 +1,172 @@
+"""Differential testing of the toggled diagnostics engine.
+
+The toggled engine (one assembled ``Psi(D, Sigma ∪ ¬Sigma)``, row-bound
+flips per subset; DESIGN.md section 6) must return *identical* MUS and
+redundancy answers to the rebuild-per-subset oracle — the pre-toggle
+implementation kept behind ``toggled=False``, which decides every probe
+with a full ``check_consistency``/``implies`` call.  Random instances
+come from the same generator family as :mod:`tests.test_differential_fuzz`.
+
+Alongside the oracle agreement, the acceptance invariant is asserted on
+every toggled call: **exactly one base assembly**, no matter how many
+subsets the deletion filter and the redundancy audit probe.
+"""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    DiagnosticsStats,
+    diagnose,
+    minimal_inconsistent_subset,
+    redundant_constraints,
+)
+from repro.checkers.config import CheckerConfig
+from repro.constraints.parser import parse_constraints
+from repro.dtd.model import DTD
+from repro.errors import ComplexityLimitError, InvalidConstraintError
+from repro.workloads.generators import random_dtd, random_unary_constraints
+
+#: Seeded sweep size, chunked for readable failure granularity.
+NUM_SEEDS = 60
+CHUNK = 15
+
+
+def _instance(seed: int):
+    """The seeded instance family (same shape as the solver fuzz sweep)."""
+    dtd = random_dtd(seed, num_types=3 + seed % 3)
+    sigma = random_unary_constraints(
+        seed * 31 + 7,
+        dtd,
+        num_keys=seed % 3,
+        num_fks=(seed + 1) % 3,
+        num_neg_keys=seed % 2,
+        num_neg_inclusions=(seed + 1) % 2,
+    )
+    return dtd, sigma
+
+
+def _canonical(constraints) -> list[str]:
+    return sorted(str(phi) for phi in constraints)
+
+
+@pytest.mark.parametrize("start", range(0, NUM_SEEDS, CHUNK))
+def test_diagnose_matches_rebuild_oracle(start):
+    """Toggled ``diagnose`` == rebuild ``diagnose`` on seeded instances,
+    with exactly one assembly per toggled call."""
+    checked = 0
+    for seed in range(start, start + CHUNK):
+        dtd, sigma = _instance(seed)
+        try:
+            toggled = diagnose(dtd, sigma, toggled=True)
+            rebuild = diagnose(dtd, sigma, toggled=False)
+        except (InvalidConstraintError, ComplexityLimitError):
+            continue  # outside the decidable/capped fragment: skip uniformly
+        checked += 1
+        assert toggled.consistent == rebuild.consistent, f"seed {seed}"
+        assert _canonical(toggled.mus) == _canonical(rebuild.mus), f"seed {seed}"
+        assert _canonical(toggled.redundant) == _canonical(rebuild.redundant), (
+            f"seed {seed}"
+        )
+        assert toggled.stats.method == "toggled", f"seed {seed}"
+        assert toggled.stats.assemblies == 1, (
+            f"seed {seed}: {toggled.stats.assemblies} assemblies for "
+            f"{toggled.stats.probes} probes"
+        )
+        assert rebuild.stats.method == "rebuild"
+    assert checked > 0
+
+
+def test_mus_single_assembly_and_oracle_agreement():
+    """MUS standalone: toggle-driven deletion filter equals the oracle and
+    performs one assembly for the whole filter."""
+    dtd = DTD.build(
+        "r", {"r": "(a*, b*)", "a": "EMPTY", "b": "EMPTY"},
+        attrs={"a": ["x"], "b": ["y"]},
+    )
+    sigma = parse_constraints(
+        "a.x -> a\na.x !-> a\nb.y -> b\na.x <= a.x"
+    )
+    stats = DiagnosticsStats()
+    mus = minimal_inconsistent_subset(dtd, sigma, stats=stats)
+    oracle = minimal_inconsistent_subset(dtd, sigma, toggled=False)
+    assert _canonical(mus) == _canonical(oracle) == ["a.x !-> a", "a.x -> a"]
+    assert stats.assemblies == 1
+    assert stats.probes == len(sigma) + 1  # full set + one deletion probe each
+
+
+def test_redundancy_single_assembly_and_oracle_agreement():
+    dtd = DTD.build(
+        "r", {"r": "(a*, b*, c*)", "a": "EMPTY", "b": "EMPTY", "c": "EMPTY"},
+        attrs={t: ["x"] for t in "abc"},
+    )
+    sigma = parse_constraints("a.x <= b.x\nb.x <= c.x\na.x <= c.x")
+    stats = DiagnosticsStats()
+    redundant = redundant_constraints(dtd, sigma, stats=stats)
+    oracle = redundant_constraints(dtd, sigma, toggled=False)
+    assert _canonical(redundant) == _canonical(oracle) == ["a.x <= c.x"]
+    assert stats.assemblies == 1
+    assert stats.probes == len(sigma)  # one implication probe per constraint
+
+
+def test_foreign_key_redundancy_probes_both_components():
+    """An FK is redundant only when both its inclusion and key components
+    are implied — the toggled engine probes each component's negation."""
+    dtd = DTD.build(
+        "r", {"r": "(f*, d)", "f": "EMPTY", "d": "EMPTY"},
+        attrs={"f": ["ref"], "d": ["id"]},
+    )
+    # d is a singleton, so d.id -> d holds vacuously; the FK is then
+    # implied by its own inclusion component being restated.
+    sigma = parse_constraints("f.ref => d.id\nf.ref <= d.id\nd.id -> d")
+    toggled = redundant_constraints(dtd, sigma)
+    oracle = redundant_constraints(dtd, sigma, toggled=False)
+    assert _canonical(toggled) == _canonical(oracle)
+    assert "f.ref => d.id" in _canonical(toggled)
+
+
+def test_exact_backend_probes_match_scipy():
+    """The toggled probes agree across solver backends (the certified twin
+    takes the same row toggles as the float engine)."""
+    exact = CheckerConfig(want_witness=False, backend="exact")
+    for seed in (3, 7, 11, 19):
+        dtd, sigma = _instance(seed)
+        try:
+            scipy_report = diagnose(dtd, sigma)
+            exact_report = diagnose(dtd, sigma, exact)
+        except (InvalidConstraintError, ComplexityLimitError):
+            continue
+        assert scipy_report.consistent == exact_report.consistent, f"seed {seed}"
+        assert _canonical(scipy_report.mus) == _canonical(exact_report.mus)
+        assert _canonical(scipy_report.redundant) == _canonical(
+            exact_report.redundant
+        )
+        assert exact_report.stats.assemblies <= 1
+
+
+def test_incremental_ablation_routes_to_rebuild():
+    """``CheckerConfig(incremental=False)`` — the from-scratch solver
+    ablation — must reach the checkers, so diagnostics routes it to the
+    rebuild path (a toggle workspace is inherently incremental state)."""
+    dtd, sigma = _instance(3)
+    config = CheckerConfig(want_witness=False, incremental=False)
+    report = diagnose(dtd, sigma, config)
+    assert report.stats.method == "rebuild"
+    assert diagnose(dtd, sigma).consistent == report.consistent
+
+
+def test_multi_attribute_specs_fall_back_to_rebuild():
+    """Outside the unary fragment the rebuild path answers (keys-only
+    dispatch in the checkers), flagged in the stats."""
+    dtd = DTD.build(
+        "r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["x", "y"]}
+    )
+    sigma = parse_constraints("a[x,y] -> a")
+    report = diagnose(dtd, sigma)
+    assert report.consistent
+    assert report.stats.method == "rebuild"
+
+
+def test_inconsistent_subset_requires_inconsistency():
+    dtd = DTD.build("r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["x"]})
+    with pytest.raises(InvalidConstraintError, match="consistent"):
+        minimal_inconsistent_subset(dtd, parse_constraints("a.x -> a"))

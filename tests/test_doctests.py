@@ -26,3 +26,22 @@ def test_module_doctests(module_name):
     module = importlib.import_module(module_name)
     result = doctest.testmod(module, verbose=False)
     assert result.failed == 0, f"{result.failed} doctest failures in {module_name}"
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.analysis.diagnostics",
+        "repro.ilp.assembled",
+        "repro.ilp.condsys",
+    ],
+)
+def test_diagnostics_layer_modules_keep_examples(module_name):
+    """The toggleable-row layer documents itself with runnable examples;
+    this guard keeps them from being silently dropped (the sweep above
+    would vacuously pass on an example-free module)."""
+    module = importlib.import_module(module_name)
+    examples = sum(
+        len(test.examples) for test in doctest.DocTestFinder().find(module)
+    )
+    assert examples > 0, f"{module_name} lost its doctest examples"

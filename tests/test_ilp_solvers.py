@@ -156,3 +156,145 @@ class TestBackendAgreement:
         if expected:
             assert not system.check(scipy_result.values)
             assert not system.check(exact_result.values)
+
+
+class TestToggleableRows:
+    """Base-row (de)activation on both assembled backends (DESIGN.md §6)."""
+
+    def _system(self):
+        system = LinearSystem()
+        system.add_ge({"x": 1}, 1, label="keep")      # always active
+        blocking = system.add_le({"x": 1}, 0, label="toggle")
+        return system, blocking
+
+    def test_assembled_row_toggles_and_reactivation(self):
+        from repro.ilp.assembled import AssembledSystem
+
+        system, blocking = self._system()
+        assembled = AssembledSystem(system)
+        off = frozenset({blocking})
+        # Alternate active/inactive several times: the engine state must
+        # track the requested set, not just the first solve's.
+        for _ in range(3):
+            assert assembled.solve_int({}).status == "infeasible"
+            relaxed = assembled.solve_int({}, inactive_rows=off)
+            assert relaxed.status == "feasible"
+            assert relaxed.values["x"] == 1
+        status, _ = assembled.lp_probe({}, inactive_rows=off)
+        assert status == "feasible"
+        assert assembled.lp_probe({})[0] == "infeasible"
+        assert assembled.assemblies == 1
+
+    def test_assembled_check_and_materialize_skip_inactive(self):
+        from repro.ilp.assembled import AssembledSystem
+
+        system, blocking = self._system()
+        assembled = AssembledSystem(system)
+        off = frozenset({blocking})
+        assert assembled.check_values({"x": 1}, {}, set(), off) == []
+        assert assembled.check_values({"x": 1}, {}, set()) != []
+        materialized = assembled.materialize({}, set(), off)
+        assert materialized.num_rows == system.num_rows - 1
+        assert solve_exact(materialized).feasible
+
+    def test_exact_row_toggles_on_live_basis(self):
+        from repro.ilp.exact import ExactAssembledSystem
+
+        system, blocking = self._system()
+        exact = ExactAssembledSystem(system)
+        off = frozenset({blocking})
+        for _ in range(3):
+            assert exact.solve_int({}).status == "infeasible"
+            relaxed = exact.solve_int({}, inactive_rows=off)
+            assert relaxed.status == "feasible"
+            assert relaxed.values["x"] == 1
+
+    def test_exact_gcd_row_respects_toggle(self):
+        from repro.ilp.exact import ExactAssembledSystem
+
+        system = LinearSystem()
+        gcd_row = system.add_eq({"x": 2}, 1, label="no-integer-point")
+        exact = ExactAssembledSystem(system)
+        assert exact.solve_int({}).status == "infeasible"
+        relaxed = exact.solve_int({}, inactive_rows=frozenset({gcd_row}))
+        assert relaxed.status == "feasible"
+
+    def test_condsys_toggles_only_registered_rows(self):
+        from repro.ilp.condsys import ConditionalSystem, solve_conditional_system
+
+        system = LinearSystem()
+        always = system.add_eq({("ext", "r"): 1}, 1, label="root")
+        blocking = system.add_le({("ext", "r"): 1}, 0, label="toggle")
+        cs = ConditionalSystem(
+            base=system,
+            ext_var={"r": ("ext", "r")},
+            root="r",
+            element_types=("r",),
+            edges=(),
+            toggleable_rows=frozenset({blocking}),
+        )
+        for incremental in (True, False):
+            result, _ = solve_conditional_system(cs, incremental=incremental)
+            assert result.status == "infeasible"
+            # Untoggleable rows stay active even under an empty active set.
+            result, _ = solve_conditional_system(
+                cs, active_rows=frozenset(), incremental=incremental
+            )
+            assert result.status == "feasible"
+            assert result.values[("ext", "r")] == 1
+        assert always == 0  # stable ids are plain row indices
+
+    def test_workspace_shares_one_assembly_across_subsets(self):
+        from repro.ilp.condsys import (
+            ConditionalSystem,
+            SolveWorkspace,
+            solve_conditional_system,
+        )
+
+        system = LinearSystem()
+        system.add_ge({("ext", "r"): 1}, 1, label="root")
+        toggles = [
+            system.add_ge({("ext", "r"): 1}, bound, label=f"ge-{bound}")
+            for bound in (2, 3)
+        ]
+        cs = ConditionalSystem(
+            base=system,
+            ext_var={"r": ("ext", "r")},
+            root="r",
+            element_types=("r",),
+            edges=(),
+            toggleable_rows=frozenset(toggles),
+        )
+        workspace = SolveWorkspace(cs.base)
+        total_assemblies = 0
+        for active in (frozenset(), frozenset({toggles[0]}), frozenset(toggles)):
+            result, stats = solve_conditional_system(
+                cs, active_rows=active, workspace=workspace
+            )
+            total_assemblies += stats.assemblies
+            expected = max([1] + [3 if t == toggles[1] else 2 for t in active])
+            assert result.feasible
+            assert result.values[("ext", "r")] == expected
+        assert total_assemblies == 1
+        assert workspace.assemblies == 1
+
+    def test_workspace_rejects_foreign_base(self):
+        from repro.ilp.condsys import (
+            ConditionalSystem,
+            SolveWorkspace,
+            solve_conditional_system,
+        )
+
+        system = LinearSystem()
+        system.add_eq({("ext", "r"): 1}, 1)
+        cs = ConditionalSystem(
+            base=system,
+            ext_var={"r": ("ext", "r")},
+            root="r",
+            element_types=("r",),
+            edges=(),
+        )
+        with pytest.raises(SolverError, match="different base"):
+            solve_conditional_system(
+                cs, workspace=SolveWorkspace(system.copy())
+            )
