@@ -29,6 +29,7 @@ from repro.analysis.diagnostics import (
 )
 from repro.constraints.parser import parse_constraints
 from repro.dtd.model import DTD
+from repro.workloads.generators import registrar_mus_family
 
 
 def _mixed_dtd(num_types: int) -> DTD:
@@ -62,30 +63,10 @@ def _audit_inclusion_chain(n: int):
     return dtd, parse_constraints("\n".join(lines)), 1
 
 
-def _mus_registrar(n: int):
-    """The spec-doctor conflict (two approvals per order, one auditor)
-    buried under ``n`` innocent filler keys — the MUS workload."""
-    content = {
-        "orders": "(order+, auditor, "
-        + ", ".join(f"x{i}*" for i in range(n))
-        + ")",
-        "order": "(approval, approval)",
-        "approval": "EMPTY",
-        "auditor": "EMPTY",
-    }
-    content.update({f"x{i}": "EMPTY" for i in range(n)})
-    attrs = {"order": ["oid"], "approval": ["stamp"], "auditor": ["aid"]}
-    attrs.update({f"x{i}": ["k"] for i in range(n)})
-    lines = [
-        "order.oid -> order",
-        "approval.stamp -> approval",
-        "approval.stamp => auditor.aid",
-        "auditor.aid -> auditor",
-    ]
-    lines += [f"x{i}.k -> x{i}" for i in range(n)]
-    return DTD.build("orders", content, attrs=attrs), parse_constraints(
-        "\n".join(lines)
-    )
+#: The MUS workload: the spec-doctor conflict (two approvals per order,
+#: one auditor) buried under ``n`` innocent filler keys — one shared
+#: definition in :mod:`repro.workloads.generators`.
+_mus_registrar = registrar_mus_family
 
 
 #: The audit cases the speedup gate runs over: (dtd, sigma, #redundant).

@@ -5,14 +5,37 @@ regression in a decision procedure fails the benchmark run rather than
 silently producing fast nonsense. Run with:
 
     pytest benchmarks/ --benchmark-only
+
+``--jobs N`` threads the parallel executor (DESIGN.md section 7) through
+every figure benchmark that takes the shared checker-config fixtures, so
+any of them can be timed with worker-pool fan-out:
+
+    pytest benchmarks/ --benchmark-only --jobs 4
 """
 
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the parallel executor; the shared "
+        "checker-config fixtures pass this through, so every figure "
+        "bench can be run parallel (verdicts are jobs-independent)",
+    )
+
+
 @pytest.fixture
-def no_witness_config():
+def jobs(request):
+    """The worker count selected with ``--jobs`` (default 1)."""
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture
+def no_witness_config(jobs):
     """Pure decision timing: skip witness synthesis."""
     from repro.checkers.config import CheckerConfig
 
-    return CheckerConfig(want_witness=False)
+    return CheckerConfig(want_witness=False, jobs=jobs)

@@ -62,8 +62,10 @@ from repro.workloads.examples import (
 from repro.workloads.generators import (
     fixed_dtd_constraint_family,
     keys_only_family,
+    registrar_mus_family,
     star_schema_family,
     teachers_family,
+    wide_flat_dtd,
 )
 from repro.xmltree.validate import conforms
 
@@ -276,12 +278,8 @@ _SEED_MS = {
 _REGRESSION_FACTOR = 1.20
 
 
-def _wide_dtd(num_types: int) -> DTD:
-    content = {"r": "(" + ", ".join(f"t{i}*" for i in range(num_types)) + ")"}
-    content.update({f"t{i}": "EMPTY" for i in range(num_types)})
-    return DTD.build(
-        "r", content, attrs={f"t{i}": ["x"] for i in range(num_types)}
-    )
+#: Shared wide-DTD builder (one definition for benchmarks and tests).
+_wide_dtd = wide_flat_dtd
 
 
 def _solver_workloads() -> dict[str, Callable[[], list]]:
@@ -388,33 +386,7 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
         )
     chain = [f"t{i}.x <= t{i + 1}.x" for i in range(5)] + ["t0.x <= t5.x"]
     diag_cases.append((_wide_dtd(6), parse_constraints("\n".join(chain))))
-    mus_content = {
-        "orders": "(order+, auditor, "
-        + ", ".join(f"x{i}*" for i in range(8))
-        + ")",
-        "order": "(approval, approval)",
-        "approval": "EMPTY",
-        "auditor": "EMPTY",
-    }
-    mus_content.update({f"x{i}": "EMPTY" for i in range(8)})
-    mus_attrs = {"order": ["oid"], "approval": ["stamp"], "auditor": ["aid"]}
-    mus_attrs.update({f"x{i}": ["k"] for i in range(8)})
-    diag_cases.append(
-        (
-            DTD.build("orders", mus_content, attrs=mus_attrs),
-            parse_constraints(
-                "\n".join(
-                    [
-                        "order.oid -> order",
-                        "approval.stamp -> approval",
-                        "approval.stamp => auditor.aid",
-                        "auditor.aid -> auditor",
-                    ]
-                    + [f"x{i}.k -> x{i}" for i in range(8)]
-                )
-            ),
-        )
-    )
+    diag_cases.append(registrar_mus_family(8))
 
     class _DiagResult:
         """Adapter: expose DiagnosticsStats under the checker-stats keys."""
@@ -426,6 +398,47 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
                 "leaves": report.stats.leaves_solved,
                 "exact_nodes": report.stats.exact_nodes,
                 "exact_pivots": report.stats.exact_pivots,
+            }
+
+    # Parallel executor case (ISSUE 4): a multi-branch implication batch
+    # fanned across 2 workers.  Every query runs the ordinary sequential
+    # path inside one worker, so the tracked counters are byte-identical
+    # to jobs=1 — the entry regresses if either the search counters grow
+    # or the pool startup/dispatch overhead blows up the wall time.
+    par_dtd = _wide_dtd(5)
+    par_sigma = parse_constraints(
+        "\n".join(f"t{i}.x <= t{i + 1}.x" for i in range(3))
+    )
+    par_phis = []
+    for i in range(3):
+        for j in range(i + 1, 4):
+            par_phis.append(parse_constraint(f"t{i}.x <= t{j}.x"))
+            par_phis.append(parse_constraint(f"t{j}.x <= t{i}.x"))
+    par_config = CheckerConfig(
+        want_witness=False, backend="exact", lp_prune=False, jobs=2
+    )
+
+    # QuickXplain MUS case (ISSUE 4): the registrar conflict buried under
+    # filler keys; probes must stay below the deletion filter's |Sigma|.
+    from repro.analysis.diagnostics import DiagnosticsStats, minimal_unsat_core
+
+    qx_dtd, qx_sigma = diag_cases[-1]
+
+    class _MusResult:
+        """Adapter: run + verify one QuickXplain MUS, expose its counters."""
+
+        def __init__(self, dtd, sigma):
+            mus_stats = DiagnosticsStats()
+            core = minimal_unsat_core(dtd, sigma, stats=mus_stats)
+            assert len(core) == 2, "registrar core regressed"
+            assert mus_stats.mus_probes < len(sigma), (
+                "quickxplain probe count regressed to the deletion filter's"
+            )
+            self.stats = {
+                "dfs_nodes": mus_stats.dfs_nodes,
+                "leaves": mus_stats.leaves_solved,
+                "exact_nodes": mus_stats.exact_nodes,
+                "exact_pivots": mus_stats.exact_pivots,
             }
 
     return {
@@ -447,6 +460,8 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
         "diagnostics": lambda: [
             _DiagResult(diagnose(dtd, sigma, _FAST)) for dtd, sigma in diag_cases
         ],
+        "parallel": lambda: implies_all(par_dtd, par_sigma, par_phis, par_config),
+        "quickxplain": lambda: [_MusResult(qx_dtd, qx_sigma)],
     }
 
 

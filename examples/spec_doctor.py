@@ -28,11 +28,14 @@ from repro.encoding.render import describe_encoding
 
 def _print_stats(report) -> None:
     stats = report.stats
-    print(
+    line = (
         f"    [{stats.method}: {stats.probes} subset probes on "
         f"{stats.assemblies} assembly, {stats.bound_patch_solves} patched "
-        f"re-solves, {stats.lp_probe_decided} decided by the root LP]"
+        f"re-solves, {stats.lp_probe_decided} decided by the root LP"
     )
+    if stats.mus_method:
+        line += f"; MUS via {stats.mus_method} in {stats.mus_probes} probes"
+    print(line + "]")
 
 SIGMA_TEXT = """
     order.oid -> order            # order ids are unique

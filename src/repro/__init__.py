@@ -34,6 +34,7 @@ from repro.analysis import (
     diagnose,
     extent_bounds,
     minimal_inconsistent_subset,
+    minimal_unsat_core,
     redundant_constraints,
 )
 from repro.checkers import (
@@ -125,6 +126,7 @@ __all__ = [
     "diagnose",
     "DiagnosticsReport",
     "minimal_inconsistent_subset",
+    "minimal_unsat_core",
     "redundant_constraints",
     "extent_bounds",
     "ExtentBounds",

@@ -18,6 +18,7 @@ from repro.analysis.diagnostics import (
     DiagnosticsStats,
     diagnose,
     minimal_inconsistent_subset,
+    minimal_unsat_core,
     redundant_constraints,
 )
 from repro.analysis.extent_bounds import ExtentBounds, extent_bounds
@@ -26,6 +27,7 @@ __all__ = [
     "ExtentBounds",
     "extent_bounds",
     "minimal_inconsistent_subset",
+    "minimal_unsat_core",
     "redundant_constraints",
     "DiagnosticsReport",
     "DiagnosticsStats",

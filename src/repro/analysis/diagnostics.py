@@ -4,14 +4,21 @@ The paper motivates static validation with "repeated failures are due to a
 bad specification" (Section 1) and closes proposing a design theory for
 XML specifications (Section 6). Two concrete tools toward that:
 
-* :func:`minimal_inconsistent_subset` — a deletion-minimal subset of
-  Sigma that is already inconsistent with the DTD (a MUS): the smallest
-  story to tell the schema author. Found by the standard deletion filter:
-  O(|Sigma|) consistency probes.
+* :func:`minimal_unsat_core` — a minimal subset of Sigma that is already
+  inconsistent with the DTD (a MUS): the smallest story to tell the
+  schema author.  The default ``method="quickxplain"`` finds it by
+  QuickXplain divide-and-conquer (DESIGN.md section 7) — probe counts
+  scale with the *core* size rather than ``|Sigma|``;
+  ``method="deletion"`` is the classic linear filter, exactly
+  ``|Sigma|`` probes, kept as the reference.
+  :func:`minimal_inconsistent_subset` is the original entry point and
+  defaults to the deletion filter for backward compatibility.
 * :func:`redundant_constraints` — constraints implied by the rest of the
   specification (over the DTD): safe to drop, or a hint that the author
   expected them to add strength they do not add. One implication probe per
-  expanded constraint.
+  expanded constraint; the per-constraint probes are independent, so
+  ``CheckerConfig(jobs=N)`` fans them across a worker pool, each worker
+  probing on its own assembled system.
 
 Both are **subset-probing** workloads: every probe decides consistency of
 the *same* specification with some constraints removed (and, for
@@ -19,10 +26,10 @@ implication, one negation added).  The default engine therefore assembles
 ``Psi(D, Sigma ∪ ¬Sigma)`` exactly once, with every constraint's rows
 registered as toggleable (DESIGN.md section 6), and serves each probe by
 row-bound flips on the persistent solver state — one base assembly per
-call instead of one per subset.  ``toggled=False`` selects the
-re-encode-per-subset reference path, kept as the differential oracle
-(:mod:`tests.test_diagnostics_differential`) and the benchmark baseline
-(``benchmarks/bench_diagnostics.py``).
+call (per worker, when parallel) instead of one per subset.
+``toggled=False`` selects the re-encode-per-subset reference path, kept
+as the differential oracle (:mod:`tests.test_diagnostics_differential`)
+and the benchmark baseline (``benchmarks/bench_diagnostics.py``).
 
 Both operate on the decidable unary classes; specifications outside them
 (multi-attribute constraints) automatically fall back to the rebuild path,
@@ -44,8 +51,8 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from collections.abc import Iterable
+from dataclasses import asdict, dataclass, field, replace
+from collections.abc import Callable, Iterable
 
 from repro.constraints.ast import Constraint
 from repro.constraints.classes import expand_foreign_keys
@@ -55,7 +62,13 @@ from repro.checkers.implication import _negate, implies
 from repro.dtd.model import DTD
 from repro.encoding.combined import build_encoding
 from repro.errors import ComplexityLimitError, InvalidConstraintError
-from repro.ilp.condsys import CondSolveStats, SolveWorkspace, solve_conditional_system
+from repro.ilp.condsys import (
+    CondSolveStats,
+    SolveWorkspace,
+    WorkerPool,
+    fanout_map,
+    solve_conditional_system,
+)
 
 
 @dataclass
@@ -63,14 +76,21 @@ class DiagnosticsStats:
     """Work counters for one diagnostics call.
 
     ``assemblies`` counts full base-matrix assemblies — exactly 1 on the
-    toggled path no matter how many subsets are probed (the acceptance
-    invariant of DESIGN.md section 6); the rebuild path pays one per
-    consistency/implication call.  ``probes`` counts subset solves.
+    sequential toggled path no matter how many subsets are probed (the
+    acceptance invariant of DESIGN.md section 6; with ``jobs > 1`` each
+    worker pays one assembly for its own probe, so the count is at most
+    ``1 + workers_spawned``); the rebuild path pays one per
+    consistency/implication call.  ``probes`` counts subset solves;
+    ``mus_probes`` the subset probes spent inside the MUS filter alone,
+    the counter the QuickXplain-vs-deletion benchmark gates on
+    (``mus_method`` names the filter that ran).
     """
 
     method: str = "toggled"
+    mus_method: str = ""
     assemblies: int = 0
     probes: int = 0
+    mus_probes: int = 0
     dfs_nodes: int = 0
     leaves_solved: int = 0
     bound_patch_solves: int = 0
@@ -80,6 +100,7 @@ class DiagnosticsStats:
     lp_probe_decided: int = 0
     exact_nodes: int = 0
     exact_pivots: int = 0
+    workers_spawned: int = 0
 
     def merge_solve(self, solve: CondSolveStats) -> None:
         """Fold one :class:`CondSolveStats` into the running totals."""
@@ -111,12 +132,26 @@ class DiagnosticsStats:
         self.exact_nodes += stats.get("exact_nodes", 0)
         self.exact_pivots += stats.get("exact_pivots", 0)
 
+    def absorb(self, worker: "DiagnosticsStats | dict") -> None:
+        """Fold a worker's counters in (parallel audit reconciliation).
+
+        Integer counters add; the ``method``/``mus_method`` labels are the
+        parent's business and are left untouched.
+        """
+        values = worker if isinstance(worker, dict) else asdict(worker)
+        for name, value in values.items():
+            if isinstance(value, str):
+                continue
+            setattr(self, name, getattr(self, name) + int(value))
+
     def as_dict(self) -> dict[str, int | str]:
         """Flat rendering for ``--stats`` output and benchmarks."""
         return {
             "method": self.method,
+            "mus_method": self.mus_method or "-",
             "assemblies": self.assemblies,
             "probes": self.probes,
+            "mus_probes": self.mus_probes,
             "dfs_nodes": self.dfs_nodes,
             "leaves_solved": self.leaves_solved,
             "bound_patch_solves": self.bound_patch_solves,
@@ -126,6 +161,7 @@ class DiagnosticsStats:
             "lp_probe_decided": self.lp_probe_decided,
             "exact_nodes": self.exact_nodes,
             "exact_pivots": self.exact_pivots,
+            "workers_spawned": self.workers_spawned,
         }
 
 
@@ -232,17 +268,122 @@ class _ToggleProbe:
         return result.feasible
 
 
-def _mus_filter(probe: _ToggleProbe, sigma: list[Constraint]) -> list[Constraint]:
-    """The deletion filter, driven by subset probes (full set known UNSAT)."""
+#: MUS filter names accepted by ``method=``.
+_MUS_METHODS = ("quickxplain", "deletion")
+
+#: A subset-consistency oracle: ``check(subset) -> True`` iff the DTD plus
+#: exactly those constraints is satisfiable.  Both MUS filters are written
+#: against this shape, so the toggled engine and the rebuild oracle drive
+#: the *same* filter code.
+_SubsetCheck = Callable[[list[Constraint]], bool]
+
+
+def _require_mus_method(method: str) -> None:
+    """Reject unknown filter names before any expensive work happens."""
+    if method not in _MUS_METHODS:
+        raise InvalidConstraintError(
+            f"unknown MUS method {method!r}; expected one of {_MUS_METHODS}"
+        )
+
+
+def _mus_deletion(check: _SubsetCheck, sigma: list[Constraint]) -> list[Constraint]:
+    """The linear deletion filter: exactly ``|Sigma|`` probes.
+
+    Kept as the reference filter — its probe count is the baseline the
+    QuickXplain gate (``benchmarks/bench_parallel.py``) compares against.
+    """
     current = list(sigma)
     index = 0
     while index < len(current):
         candidate = current[:index] + current[index + 1:]
-        if probe.consistent(probe.active_parts(candidate)):
+        if check(candidate):
             index += 1  # constraint is necessary for the conflict
         else:
             current = candidate  # still inconsistent without it: drop
     return current
+
+
+def _mus_quickxplain(check: _SubsetCheck, sigma: list[Constraint]) -> list[Constraint]:
+    """QuickXplain divide-and-conquer (Junker 2004; DESIGN.md section 7).
+
+    Preconditions (the callers establish both): the full set is
+    inconsistent, and the DTD alone is consistent.  Probes backgrounds —
+    prefixes of the splitting tree — instead of every single-deletion
+    subset, so the probe count scales as ``O(k + k·log(|Sigma|/k))`` for
+    a core of size ``k``: far below the deletion filter's ``|Sigma|``
+    whenever the conflict is small and the specification is large.  Like
+    the deletion filter it returns a *minimal* inconsistent subset; when
+    an instance has several MUSes the two filters may legitimately pick
+    different (individually minimal) ones.
+    """
+
+    def qx(
+        background: list[Constraint],
+        just_added: bool,
+        constraints: list[Constraint],
+    ) -> list[Constraint]:
+        if just_added and not check(background):
+            return []  # background alone already inconsistent
+        if len(constraints) == 1:
+            return list(constraints)
+        half = len(constraints) // 2
+        first, second = constraints[:half], constraints[half:]
+        part2 = qx(background + first, bool(first), second)
+        part1 = qx(background + part2, bool(part2), first)
+        return part1 + part2
+
+    return qx([], False, list(sigma))
+
+
+def _minimal_core(
+    check: _SubsetCheck, sigma: list[Constraint], method: str
+) -> list[Constraint]:
+    """Dispatch to the selected MUS filter (full set known UNSAT)."""
+    _require_mus_method(method)
+    if method == "quickxplain":
+        return _mus_quickxplain(check, sigma)
+    return _mus_deletion(check, sigma)
+
+
+def _probe_check(probe: _ToggleProbe) -> _SubsetCheck:
+    """Subset oracle over toggle probes, counting MUS-phase probes."""
+
+    def check(subset: list[Constraint]) -> bool:
+        probe.stats.mus_probes += 1
+        return probe.consistent(probe.active_parts(subset))
+
+    return check
+
+
+def _rebuild_check(
+    dtd: DTD, config: CheckerConfig, stats: DiagnosticsStats
+) -> _SubsetCheck:
+    """Subset oracle over full checker calls (the rebuild reference).
+
+    Probes run with ``jobs=1``: the subset probe is the intended unit of
+    parallelism, and a worker pool per probe would cost more than it
+    saves."""
+    probe_config = replace(config, want_witness=False, jobs=1)
+
+    def check(subset: list[Constraint]) -> bool:
+        stats.mus_probes += 1
+        result = check_consistency(dtd, subset, probe_config)
+        stats.merge_checker(result.stats)
+        return result.consistent
+
+    return check
+
+
+def _is_redundant(probe: _ToggleProbe, sigma: list[Constraint], index: int) -> bool:
+    """Is ``sigma[index]`` implied by the rest? (one probe per component's
+    negation: implied iff every negation is inconsistent with the rest)."""
+    phi = sigma[index]
+    rest = sigma[:index] + sigma[index + 1:]
+    rest_parts = probe.active_parts(rest)
+    return all(
+        not probe.consistent(rest_parts | {negated})
+        for negated in probe.negations[phi]
+    )
 
 
 def _redundancy_filter(
@@ -250,49 +391,121 @@ def _redundancy_filter(
 ) -> list[Constraint]:
     """Implication audit via probes: ``phi`` is implied by the rest iff
     every component's negation is inconsistent with the rest's rows."""
-    redundant: list[Constraint] = []
-    for index, phi in enumerate(sigma):
-        rest = sigma[:index] + sigma[index + 1:]
-        rest_parts = probe.active_parts(rest)
-        if all(
-            not probe.consistent(rest_parts | {negated})
-            for negated in probe.negations[phi]
-        ):
-            redundant.append(phi)
-    return redundant
+    return [
+        phi
+        for index, phi in enumerate(sigma)
+        if _is_redundant(probe, sigma, index)
+    ]
 
 
-def minimal_inconsistent_subset(
+#: Per-process state of a diagnostics worker: its own union probe over the
+#: full specification, built once by :func:`_init_diagnostics_worker`.
+_DIAGNOSTICS_WORKER: dict = {}
+
+
+def _init_diagnostics_worker(payload: tuple) -> None:
+    """Build this worker's own ``Psi(D, Sigma ∪ ¬Sigma)`` probe.
+
+    The parent constructed the identical probe before fanning out, so
+    this cannot fail in the worker only (same deterministic inputs).
+    """
+    dtd, sigma, config = payload
+    _DIAGNOSTICS_WORKER["sigma"] = sigma
+    _DIAGNOSTICS_WORKER["probe"] = _ToggleProbe(
+        dtd, sigma, config, with_negations=True, stats=DiagnosticsStats()
+    )
+
+
+def _diagnostics_task(indices: tuple[int, ...]) -> tuple[list[bool], dict]:
+    """Audit a chunk of constraint indices on this worker's probe."""
+    probe = _DIAGNOSTICS_WORKER["probe"]
+    sigma = _DIAGNOSTICS_WORKER["sigma"]
+    stats = DiagnosticsStats()
+    stats.assemblies = probe.workspace.take_assembly_charge()
+    probe.stats = stats
+    flags = [_is_redundant(probe, sigma, index) for index in indices]
+    return flags, asdict(stats)
+
+
+def _redundancy_filter_parallel(
+    dtd: DTD,
+    probe: _ToggleProbe,
+    sigma: list[Constraint],
+    config: CheckerConfig,
+    stats: DiagnosticsStats,
+) -> list[Constraint]:
+    """Fan the per-constraint audit probes across a worker pool.
+
+    Each worker owns a full probe (its own assembly and workspace — the
+    single-owner rule of DESIGN.md section 7), so ``stats.assemblies``
+    grows to at most ``1 + workers``; the verdicts are the sequential
+    ones exactly, since every probe is independent and each worker runs
+    the identical sequential probe code.  The parent's ``probe`` is only
+    consulted as the fallback when the pool cannot be built.
+    """
+    jobs = min(config.jobs, len(sigma))
+    if jobs < 2 or not WorkerPool.available():
+        return _redundancy_filter(probe, sigma)
+    chunks = [tuple(range(start, len(sigma), jobs)) for start in range(jobs)]
+    worker_config = replace(config, jobs=1)
+    stats.workers_spawned += jobs
+    results = fanout_map(
+        _diagnostics_task,
+        chunks,
+        jobs,
+        _init_diagnostics_worker,
+        (dtd, sigma, worker_config),
+    )
+    redundant_indices: set[int] = set()
+    for chunk, (flags, worker_stats) in zip(chunks, results):
+        stats.absorb(worker_stats)
+        redundant_indices.update(
+            index for index, flag in zip(chunk, flags) if flag
+        )
+    return [phi for index, phi in enumerate(sigma) if index in redundant_indices]
+
+
+def minimal_unsat_core(
     dtd: DTD,
     constraints: Iterable[Constraint],
     config: CheckerConfig | None = None,
     *,
+    method: str = "quickxplain",
     toggled: bool = True,
     stats: DiagnosticsStats | None = None,
 ) -> list[Constraint]:
-    """A deletion-minimal inconsistent subset of ``Sigma`` (a MUS).
+    """A minimal inconsistent subset of ``Sigma`` (a MUS).
 
     Requires the full set to be inconsistent with the DTD (raises
     :class:`InvalidConstraintError` otherwise). The result may be empty
     when the DTD alone has no valid tree — then no constraints are to
     blame at all.
 
-    ``toggled=False`` selects the rebuild-per-subset reference path (one
-    full checker call per probe); the default probes constraint subsets by
-    row toggles on a single assembled system.  ``stats``, when supplied,
-    is filled with the call's work counters.
+    ``method`` selects the filter: ``"quickxplain"`` (default) probes
+    divide-and-conquer backgrounds — ``O(k + k·log(|Sigma|/k))`` probes
+    for a core of size ``k`` — while ``"deletion"`` is the classic linear
+    filter, exactly ``|Sigma|`` probes.  Both return minimal cores; on
+    specifications with several distinct MUSes they may return different
+    (individually minimal) ones.  ``toggled=False`` selects the
+    rebuild-per-subset reference path (one full checker call per probe);
+    the default probes constraint subsets by row toggles on a single
+    assembled system.  ``stats``, when supplied, is filled with the
+    call's work counters — ``mus_probes`` isolates the filter's probe
+    count, the number the QuickXplain benchmark gate compares.
 
     >>> from repro.workloads.examples import teachers_dtd_d1, sigma1_constraints
     >>> stats = DiagnosticsStats()
-    >>> mus = minimal_inconsistent_subset(
+    >>> core = minimal_unsat_core(
     ...     teachers_dtd_d1(), sigma1_constraints(), stats=stats)
-    >>> sorted(str(phi) for phi in mus)
+    >>> sorted(str(phi) for phi in core)
     ['subject.taught_by -> subject', 'subject.taught_by => teacher.name']
-    >>> stats.assemblies            # probes patch one persistent system
-    1
+    >>> (stats.mus_method, stats.assemblies)  # one persistent system
+    ('quickxplain', 1)
     """
+    _require_mus_method(method)
     config = config or DEFAULT_CONFIG
     stats = stats if stats is not None else DiagnosticsStats()
+    stats.mus_method = method
     current = list(constraints)
     if _use_toggles(toggled, current, config):
         try:
@@ -308,19 +521,51 @@ def minimal_inconsistent_subset(
                 )
             if not dtd_has_valid_tree(dtd):
                 return []
-            return _mus_filter(probe, current)
-    return _minimal_inconsistent_subset_rebuild(dtd, current, config, stats)
+            return _minimal_core(_probe_check(probe), current, method)
+    return _minimal_unsat_core_rebuild(dtd, current, config, stats, method)
 
 
-def _minimal_inconsistent_subset_rebuild(
+def minimal_inconsistent_subset(
+    dtd: DTD,
+    constraints: Iterable[Constraint],
+    config: CheckerConfig | None = None,
+    *,
+    method: str = "deletion",
+    toggled: bool = True,
+    stats: DiagnosticsStats | None = None,
+) -> list[Constraint]:
+    """A deletion-minimal inconsistent subset of ``Sigma`` (a MUS).
+
+    The original entry point; defaults to the linear deletion filter so
+    long-standing callers keep byte-identical behaviour and probe counts.
+    :func:`minimal_unsat_core` is the same computation with the
+    QuickXplain filter as the default.
+
+    >>> from repro.workloads.examples import teachers_dtd_d1, sigma1_constraints
+    >>> stats = DiagnosticsStats()
+    >>> mus = minimal_inconsistent_subset(
+    ...     teachers_dtd_d1(), sigma1_constraints(), stats=stats)
+    >>> sorted(str(phi) for phi in mus)
+    ['subject.taught_by -> subject', 'subject.taught_by => teacher.name']
+    >>> stats.assemblies            # probes patch one persistent system
+    1
+    """
+    return minimal_unsat_core(
+        dtd, constraints, config, method=method, toggled=toggled, stats=stats
+    )
+
+
+def _minimal_unsat_core_rebuild(
     dtd: DTD,
     current: list[Constraint],
     config: CheckerConfig,
     stats: DiagnosticsStats,
+    method: str = "deletion",
 ) -> list[Constraint]:
     """Reference path: one full consistency check per probed subset."""
     stats.method = "rebuild"
-    probe = replace(config, want_witness=False)
+    stats.mus_method = method
+    probe = replace(config, want_witness=False, jobs=1)
     result = check_consistency(dtd, current, probe)
     stats.merge_checker(result.stats)
     if result.consistent:
@@ -329,16 +574,8 @@ def _minimal_inconsistent_subset_rebuild(
         )
     if not dtd_has_valid_tree(dtd):
         return []
-    index = 0
-    while index < len(current):
-        candidate = current[:index] + current[index + 1:]
-        result = check_consistency(dtd, candidate, probe)
-        stats.merge_checker(result.stats)
-        if result.consistent:
-            index += 1  # constraint is necessary for the conflict
-        else:
-            current = candidate  # still inconsistent without it: drop
-    return current
+    check = _rebuild_check(dtd, config, stats)
+    return _minimal_core(check, current, method)
 
 
 def redundant_constraints(
@@ -355,7 +592,10 @@ def redundant_constraints(
     two mutually-implied constraints can both be reported (either one may
     be dropped, not both).  The toggled default decides each implication
     by activating the rest's rows plus the query's negated rows on the one
-    assembled union system; ``toggled=False`` re-encodes per query.
+    assembled union system; ``toggled=False`` re-encodes per query.  The
+    per-constraint probes are independent, so ``config.jobs > 1`` fans
+    them across a worker pool (each worker on its own assembly) with
+    identical verdicts.
     """
     config = config or DEFAULT_CONFIG
     stats = stats if stats is not None else DiagnosticsStats()
@@ -368,6 +608,10 @@ def redundant_constraints(
         except ComplexityLimitError:
             probe = None  # union setrep block over cap: rebuild instead
         if probe is not None:
+            if config.jobs > 1:
+                return _redundancy_filter_parallel(
+                    dtd, probe, sigma, config, stats
+                )
             return _redundancy_filter(probe, sigma)
     return _redundant_constraints_rebuild(dtd, sigma, config, stats)
 
@@ -378,9 +622,10 @@ def _redundant_constraints_rebuild(
     config: CheckerConfig,
     stats: DiagnosticsStats,
 ) -> list[Constraint]:
-    """Reference path: one full implication call per constraint."""
+    """Reference path: one full implication call per constraint (each
+    probe at ``jobs=1`` — a pool per probe would invert the speedup)."""
     stats.method = "rebuild"
-    probe = replace(config, want_witness=False)
+    probe = replace(config, want_witness=False, jobs=1)
     redundant: list[Constraint] = []
     for index, phi in enumerate(sigma):
         rest = sigma[:index] + sigma[index + 1:]
@@ -425,15 +670,24 @@ def diagnose(
     config: CheckerConfig | None = None,
     *,
     toggled: bool = True,
+    mus_method: str = "quickxplain",
 ) -> DiagnosticsReport:
     """Full specification health check.
 
     For consistent specifications, reports redundancies; for inconsistent
-    ones, a minimal conflicting subset.  The whole report — the initial
-    consistency verdict plus every MUS/redundancy probe — is served from
-    one assembled system (``report.stats.assemblies == 1`` on the toggled
-    path); ``toggled=False`` is the re-encode-per-subset reference.
+    ones, a minimal conflicting subset — found by the ``mus_method``
+    filter (QuickXplain by default; ``"deletion"`` for the linear
+    reference filter).  The whole report — the initial consistency
+    verdict plus every MUS/redundancy probe — is served from one
+    assembled system (``report.stats.assemblies == 1`` on the sequential
+    toggled path); ``toggled=False`` is the re-encode-per-subset
+    reference, which drives the *same* filters through full checker
+    calls.  ``config.jobs > 1`` fans the redundancy audit's independent
+    probes across a worker pool (one assembly per worker); the MUS
+    filter stays sequential — each of its probes depends on the answers
+    before it.
     """
+    _require_mus_method(mus_method)
     config = config or DEFAULT_CONFIG
     sigma = list(constraints)
     stats = DiagnosticsStats()
@@ -450,15 +704,21 @@ def diagnose(
             probe = None  # union setrep block over cap: rebuild instead
         if probe is not None:
             if probe.consistent(probe.active_parts(sigma)):
-                return DiagnosticsReport(
-                    consistent=True,
-                    redundant=_redundancy_filter(probe, sigma),
-                    stats=stats,
+                redundant = (
+                    _redundancy_filter_parallel(dtd, probe, sigma, config, stats)
+                    if config.jobs > 1
+                    else _redundancy_filter(probe, sigma)
                 )
+                return DiagnosticsReport(
+                    consistent=True, redundant=redundant, stats=stats
+                )
+            stats.mus_method = mus_method
             return DiagnosticsReport(
-                consistent=False, mus=_mus_filter(probe, sigma), stats=stats
+                consistent=False,
+                mus=_minimal_core(_probe_check(probe), sigma, mus_method),
+                stats=stats,
             )
-    return _diagnose_rebuild(dtd, sigma, config, stats)
+    return _diagnose_rebuild(dtd, sigma, config, stats, mus_method)
 
 
 def _diagnose_rebuild(
@@ -466,10 +726,11 @@ def _diagnose_rebuild(
     sigma: list[Constraint],
     config: CheckerConfig,
     stats: DiagnosticsStats,
+    mus_method: str = "quickxplain",
 ) -> DiagnosticsReport:
-    """Reference path: full checker calls per subset."""
+    """Reference path: full checker calls per subset (each at ``jobs=1``)."""
     stats.method = "rebuild"
-    probe = replace(config, want_witness=False)
+    probe = replace(config, want_witness=False, jobs=1)
     result = check_consistency(dtd, sigma, probe)
     stats.merge_checker(result.stats)
     if result.consistent:
@@ -480,8 +741,8 @@ def _diagnose_rebuild(
         )
     return DiagnosticsReport(
         consistent=False,
-        mus=_minimal_inconsistent_subset_rebuild(
-            dtd, list(sigma), config, stats
+        mus=_minimal_unsat_core_rebuild(
+            dtd, list(sigma), config, stats, mus_method
         ),
         stats=stats,
     )

@@ -43,6 +43,19 @@ class CheckerConfig:
         bound patches, and consecutive leaf solves share one persistent
         basis. ``False`` refactorizes cold at every node — the reference
         path the differential fuzz harness checks against.
+    jobs:
+        Worker processes for the parallel executor (DESIGN.md section 7).
+        With ``jobs > 1``, batch checkers (:func:`repro.checkers.
+        implication.implies_all`, the diagnostics audit) fan independent
+        queries across a fork-based worker pool, and a single consistency
+        solve fans independent support branches across per-worker
+        workspace clones with a mergeable cut pool.  Completed verdicts
+        are always identical to ``jobs=1``; only wall-clock and the
+        work-schedule counters change (``max_support_nodes`` bounds each
+        worker's subtree individually, so near the budget a parallel run
+        may finish a search the sequential run aborts).  ``1`` (the
+        default) is fully sequential, and platforms without ``fork``
+        degrade to it silently.
     """
 
     backend: str = "scipy"
@@ -53,6 +66,7 @@ class CheckerConfig:
     lp_prune: bool = True
     incremental: bool = True
     exact_warm: bool = True
+    jobs: int = 1
 
 
 #: Default configuration used when callers pass ``None``.

@@ -148,6 +148,7 @@ def check_consistency(
         lp_prune=config.lp_prune,
         incremental=config.incremental,
         exact_warm=config.exact_warm,
+        jobs=config.jobs,
     )
     stat_map: dict[str, int | bool] = {
         "dfs_nodes": stats.dfs_nodes,
@@ -163,6 +164,10 @@ def check_consistency(
         "exact_nodes": stats.exact_nodes,
         "exact_pivots": stats.exact_pivots,
         "exact_warm_solves": stats.exact_warm_solves,
+        "workers_spawned": stats.workers_spawned,
+        "parallel_waves": stats.parallel_waves,
+        "cuts_merged": stats.cuts_merged,
+        "cut_merge_duplicates": stats.cut_merge_duplicates,
     }
     method = f"ilp-encoding ({cls.value})"
     if not result.feasible:

@@ -14,12 +14,19 @@ Batch queries should go through :func:`implies_all`, which validates the
 specification once and shares the per-DTD ``Psi_DN`` encoding block (see
 :mod:`repro.encoding.combined`) across the whole batch — the shape of
 every redundancy audit and implication benchmark, which otherwise re-derive
-an identical encoding per query.
+an identical encoding per query.  The queries of a batch are independent
+of each other, so ``CheckerConfig(jobs=N)`` additionally fans them across
+a fork-based worker pool (DESIGN.md section 7): each worker validates
+nothing (the parent already did), holds its own ``Psi_DN`` cache and
+solver state, and runs the ordinary sequential per-query path — results
+and per-query statistics are therefore *identical* to ``jobs=1``, in the
+original query order.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import replace
 
 from repro.constraints.ast import (
     Constraint,
@@ -39,7 +46,7 @@ from repro.dtd.model import DTD
 from repro.encoding.combined import build_encoding
 from repro.encoding.dtd_system import ext_var
 from repro.errors import SolverError, UndecidableProblemError
-from repro.ilp.condsys import solve_conditional_system
+from repro.ilp.condsys import WorkerPool, fanout_map, solve_conditional_system
 from repro.witness.synthesize import synthesize_witness
 from repro.witness.values import make_all_values_distinct
 from repro.xmltree.validate import conforms
@@ -192,6 +199,28 @@ def _implies_validated(
     )
 
 
+#: Per-process state of an implication worker: the validated batch it
+#: answers queries for, set once by :func:`_init_implication_worker`.
+_IMPLICATION_WORKER: dict = {}
+
+
+def _init_implication_worker(payload: tuple) -> None:
+    """Adopt the already-validated batch; each worker owns its caches."""
+    dtd, sigma, phis, config = payload
+    _IMPLICATION_WORKER["dtd"] = dtd
+    _IMPLICATION_WORKER["sigma"] = sigma
+    _IMPLICATION_WORKER["phis"] = phis
+    _IMPLICATION_WORKER["config"] = config
+
+
+def _implication_task(index: int) -> ImplicationResult:
+    """Answer query ``phis[index]`` with the ordinary sequential path."""
+    state = _IMPLICATION_WORKER
+    return _implies_validated(
+        state["dtd"], state["sigma"], state["phis"][index], state["config"]
+    )
+
+
 def implies_all(
     dtd: DTD,
     sigma: Iterable[Constraint],
@@ -205,6 +234,12 @@ def implies_all(
     per-DTD encoding block, so only the constraint rows (``C_Sigma`` plus
     the negated query) are re-encoded per ``phi``.
 
+    With ``config.jobs > 1`` the queries fan across a fork-based worker
+    pool; each worker runs the identical sequential per-query code (its
+    own solves stay at ``jobs=1`` — no nested parallelism), so the
+    returned results, their order, and every per-query stats counter
+    match the sequential run exactly.
+
     >>> from repro.dtd.model import DTD
     >>> from repro.constraints.parser import parse_constraints
     >>> d = DTD.build("db", {"db": "(item)", "item": "EMPTY"},
@@ -216,4 +251,13 @@ def implies_all(
     sigma = list(sigma)
     phis = list(phis)
     validate_constraints(dtd, [*sigma, *phis])
+    if config.jobs > 1 and len(phis) > 1 and WorkerPool.available():
+        worker_config = replace(config, jobs=1)
+        return fanout_map(
+            _implication_task,
+            list(range(len(phis))),
+            config.jobs,
+            _init_implication_worker,
+            (dtd, sigma, phis, worker_config),
+        )
     return [_implies_validated(dtd, sigma, phi, config) for phi in phis]

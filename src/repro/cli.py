@@ -8,9 +8,10 @@ Subcommands (also available as ``python -m repro``):
   conform to the DTD and satisfy the constraints?
 * ``implies DTD CONSTRAINTS PHI`` — is the constraint ``PHI`` implied?
   With ``--counterexample FILE`` writes a refuting document;
-* ``diagnose DTD CONSTRAINTS`` — minimal inconsistent subset or
-  redundancy report, probed by row toggles on one assembled system
-  (``--stats`` prints the work counters, ``--rebuild`` the ablation);
+* ``diagnose DTD CONSTRAINTS`` — minimal inconsistent subset (QuickXplain
+  divide-and-conquer) or redundancy report, probed by row toggles on one
+  assembled system (``--stats`` prints the work counters, ``--rebuild``
+  the ablation, ``--jobs N`` fans the audit across worker processes);
 * ``bounds DTD [CONSTRAINTS] --type TAU`` — feasible range of
   ``|ext(TAU)|``.
 
@@ -64,6 +65,7 @@ def _solver_config(args: argparse.Namespace) -> CheckerConfig:
     return CheckerConfig(
         backend=getattr(args, "backend", "scipy"),
         exact_warm=not getattr(args, "cold", False),
+        jobs=getattr(args, "jobs", 1),
     )
 
 
@@ -166,6 +168,15 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable warm starts in the certified simplex (cold "
             "per-node refactorization; the differential-testing ablation)",
+        )
+        command.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the parallel executor (independent "
+            "support branches and diagnostics probes fan across N "
+            "fork-based workers; verdicts are identical to --jobs 1)",
         )
 
     p_check = sub.add_parser("check", help="consistency of (DTD, constraints)")

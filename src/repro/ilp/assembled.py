@@ -29,6 +29,14 @@ each ``C_Sigma`` row (and each negated-constraint row) under its stable row
 index, so diagnostics can probe any constraint subset by bound flips on the
 one assembled system instead of re-encoding it per subset.
 
+An :class:`AssembledSystem` — like the persistent HiGHS instances it
+drives — is **single-owner state**: it is never shared across processes
+or threads.  The parallel executor (DESIGN.md section 7) gives every
+worker its own instance (each fork worker assembles its own from the
+pickled base system; ``SolveWorkspace.clone()`` is the same ownership
+rule for same-process callers) and moves only cut *records* between
+owners under the pool's dedup/merge policy.
+
 >>> from repro.ilp.model import LinearSystem
 >>> sys = LinearSystem()
 >>> sys.add_ge({"x": 1}, 1, label="always")

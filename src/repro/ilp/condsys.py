@@ -49,17 +49,44 @@ the subset to keep — plus a :class:`SolveWorkspace` that shares the
 assembled system, the certified twin and the cut pool across calls.  This
 is the diagnostics workload: one assembly of ``Psi(D, Sigma ∪ ¬Sigma)``,
 then one patched re-solve per probed constraint subset.
+
+Parallel support-branch solving (DESIGN.md section 7): support branches
+are independent, so ``solve_conditional_system(..., jobs=N)`` expands the
+root of the search into a frontier of propagated subproblems and fans
+them across a fork-based :class:`WorkerPool`.  Neither the persistent
+HiGHS instances nor the live exact factorization are shareable across
+workers, so each worker owns a full workspace — its own
+:class:`SolveWorkspace` built worker-side over the pickled base (the
+equivalent of :meth:`SolveWorkspace.clone` for state that cannot cross
+the process boundary), with its own :class:`AssembledSystem`,
+lazily-built :class:`ExactAssembledSystem` twin and *local* cut pool;
+pools are
+reconciled at wave boundaries by :meth:`_CutPool.merge` — a guarded
+dedup keyed on the canonical coefficient form and the guard set — so a
+cut learned on one branch prunes sibling branches dispatched in later
+waves.  Verdicts are schedule-independent: the frontier partitions the
+support completions exactly, merged cuts are valid under every subset
+(their justification is structural), and a feasible answer from any
+worker is exact-checked like every other leaf.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from collections.abc import Callable, Mapping
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, field, replace
+from collections.abc import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ComplexityLimitError, SolverError
 from repro.ilp.assembled import AssembledSystem
 from repro.ilp.exact import ExactAssembledSystem, ExactStats, solve_exact
-from repro.ilp.model import BoundPatch, LinearSystem, SolveResult, VarId
+from repro.ilp.model import (
+    BoundPatch,
+    LinearSystem,
+    SolveResult,
+    VarId,
+    canonical_coeffs,
+)
 from repro.ilp.scipy_backend import lp_infeasible, solve_milp_certified
 
 
@@ -152,6 +179,32 @@ class CondSolveStats:
     exact_pivots: int = 0
     #: Exact LP re-solves served warm from a carried-over basis.
     exact_warm_solves: int = 0
+    #: Worker processes this solve fanned subproblems across (0 when the
+    #: search ran sequentially — including jobs>1 calls decided before any
+    #: branching happened).
+    workers_spawned: int = 0
+    #: Frontier dispatch rounds; cut pools are reconciled between waves.
+    parallel_waves: int = 0
+    #: Worker-discovered cuts accepted into the shared pool by the merge
+    #: policy (post-dedup).
+    cuts_merged: int = 0
+    #: Worker-discovered cuts dropped as duplicates during merges.
+    cut_merge_duplicates: int = 0
+
+    def absorb(self, worker: "CondSolveStats | Mapping[str, int | bool]") -> None:
+        """Fold a worker's counters into this (parent) stats object.
+
+        Integer counters add; boolean flags OR.  Used when reconciling the
+        per-worker :class:`CondSolveStats` of a parallel solve, so the
+        parent's totals account for all work done anywhere.
+        """
+        values = worker if isinstance(worker, Mapping) else asdict(worker)
+        for name, value in values.items():
+            current = getattr(self, name)
+            if isinstance(current, bool):
+                setattr(self, name, current or bool(value))
+            else:
+                setattr(self, name, current + int(value))
 
 
 def _leaf_rows(
@@ -320,6 +373,34 @@ class _ExactTwin:
         return result
 
 
+@dataclass(frozen=True)
+class CutRecord:
+    """One connectivity cut in transferable form (DESIGN.md section 7).
+
+    The currency of the two-level cut pool: workers
+    :meth:`~_CutPool.export` their locally-discovered cuts as records, the
+    parent :meth:`~_CutPool.merge`\\ s them into the shared pool, and the
+    next dispatch wave seeds sibling workers with the merged set.  The
+    right-hand side is always 1 (``sum(occ entering U) >= 1``), so a
+    record is fully determined by its coefficients, guard and label.
+    """
+
+    coeffs: tuple[tuple[VarId, int], ...]
+    guard: frozenset[str]
+    label: str = ""
+
+    @property
+    def key(self) -> tuple:
+        """Dedup key: canonical coefficient form plus the guard set."""
+        return (self.coeffs, self.guard)
+
+
+#: Origin marker for cuts that arrived via :meth:`_CutPool.merge` rather
+#: than local discovery — distinct from every real leaf id (those are
+#: >= 1), so merged cuts always count as shared-pool hits.
+_MERGED_ORIGIN = -1
+
+
 class _CutPool:
     """Connectivity cuts shared across leaves, with presence guards.
 
@@ -331,6 +412,16 @@ class _CutPool:
     carries its guard and is only activated for nodes whose decided-present
     set intersects it.  Entries are mirrored into the certified exact twin
     (when built) so both backends agree on cut indices.
+
+    Pools are single-owner (they drive a single-owner
+    :class:`AssembledSystem`), but their *contents* move between owners:
+    :meth:`export` renders every entry as a :class:`CutRecord` and
+    :meth:`merge` imports foreign records under the dedup policy —
+    a record is accepted iff no entry with the same canonical
+    coefficients *and* guard exists.  Merging never reorders or removes
+    existing entries, so cut indices already handed to the engines stay
+    valid, and the merge result is independent of the order in which
+    worker pools are reconciled (set union under a canonical key).
     """
 
     def __init__(self, assembled: AssembledSystem, exact_twin: "_ExactTwin | None" = None):
@@ -338,6 +429,8 @@ class _CutPool:
         self._exact_twin = exact_twin
         self._guards: list[frozenset[str]] = []
         self._origin: list[int] = []
+        self._records: list[CutRecord] = []
+        self._keys: set[tuple] = set()
 
     def __len__(self) -> int:
         return len(self._guards)
@@ -351,6 +444,35 @@ class _CutPool:
             self._exact_twin.notify_cut(coeffs, 1, label)
         self._guards.append(guard)
         self._origin.append(origin_leaf)
+        record = CutRecord(canonical_coeffs(coeffs), guard, label)
+        self._records.append(record)
+        self._keys.add(record.key)
+
+    def export(self) -> tuple[CutRecord, ...]:
+        """Every pool entry as a transferable :class:`CutRecord`."""
+        return tuple(self._records)
+
+    def merge(self, records: Iterable[CutRecord]) -> tuple[int, int]:
+        """Import foreign cut records; returns ``(accepted, duplicates)``.
+
+        The dedup policy keys on ``(canonical coefficients, guard)``: two
+        workers that hit the same unreachable set independently learn
+        byte-identical cuts, and exactly one survives.  Accepted records
+        append to the assembled system (and the exact twin) like locally
+        learned cuts, but carry the :data:`_MERGED_ORIGIN` marker so
+        ``shared_hits`` counts them as foreign knowledge.
+        """
+        accepted = duplicates = 0
+        for record in records:
+            if record.key in self._keys:
+                duplicates += 1
+                continue
+            self.add(
+                dict(record.coeffs), record.guard, _MERGED_ORIGIN,
+                label=record.label,
+            )
+            accepted += 1
+        return accepted, duplicates
 
     def active_for(self, present: set[str]) -> set[int]:
         return {
@@ -458,6 +580,188 @@ class SolveWorkspace:
             return 0
         self._assembly_charged = True
         return self.assembled.assemblies
+
+    def clone(self) -> "SolveWorkspace":
+        """An independent workspace over the same base system.
+
+        The in-process form of the parallel executor's ownership rule
+        (DESIGN.md section 7): persistent HiGHS instances and the live
+        exact factorization are single-owner state, so concurrent use
+        requires a full clone — its own assembly, its own lazily-built
+        certified twin, its own cut pool — never a shared handle.  The
+        clone starts with a *copy* of this pool's cuts (imported through
+        the merge policy, so they count as foreign knowledge) and
+        afterwards evolves independently; reconciliation is explicit,
+        via ``parent.pool.merge(clone.pool.export())``.  Fork workers
+        cannot receive a clone object (live solver state does not cross
+        the process boundary), so they re-derive the equivalent state
+        worker-side — a fresh workspace over the pickled base, seeded
+        with the parent pool's exported cut records; ``clone()`` is the
+        same operation for same-process callers.
+
+        The clone pays its own base assembly: cloning is how a batch
+        *chooses* to trade one assembly per worker for parallel progress.
+
+        >>> base = LinearSystem()
+        >>> _ = base.add_ge({("ext", "r"): 1}, 1)
+        >>> parent = SolveWorkspace(base)
+        >>> worker = parent.clone()
+        >>> worker.assembled is parent.assembled
+        False
+        >>> worker.assembled.system is parent.assembled.system
+        True
+        """
+        clone = SolveWorkspace(self.assembled.system)
+        clone.pool.merge(self.pool.export())
+        return clone
+
+
+class WorkerPool:
+    """Fork-based pool of solver worker processes (DESIGN.md section 7).
+
+    A thin wrapper around ``multiprocessing``'s *fork* context that pins
+    the process-ownership rules of the parallel executor:
+
+    * every worker is initialized exactly once with a pickled payload
+      (``initializer(payload)``) and builds its own single-owner solver
+      state there — per-worker :class:`SolveWorkspace` clones, never
+      shared handles, because neither the persistent HiGHS instances nor
+      the live exact factorization are safe to share across processes;
+    * tasks are dispatched with :meth:`map`, which preserves task order
+      in its results, so callers get deterministic result alignment
+      regardless of which worker ran which task.
+
+    Fork is required (workers must inherit the imported solver stack
+    cheaply); on platforms without it callers degrade to the sequential
+    path — :meth:`available` is the gate.
+    """
+
+    def __init__(self, jobs: int, initializer: Callable, payload: object):
+        if jobs < 2:
+            raise SolverError("WorkerPool needs at least 2 workers")
+        context = multiprocessing.get_context("fork")
+        self.jobs = jobs
+        self._pool = context.Pool(
+            processes=jobs, initializer=initializer, initargs=(payload,)
+        )
+
+    @staticmethod
+    def available() -> bool:
+        """Can a fork pool be built on this platform?"""
+        return (
+            hasattr(os, "fork")
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Run ``fn`` over ``tasks``; results come back in task order."""
+        return self._pool.map(fn, list(tasks))
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def fanout_map(
+    fn: Callable,
+    tasks: Sequence,
+    jobs: int,
+    initializer: Callable,
+    payload: object,
+) -> list:
+    """One-shot fan-out of independent tasks over a :class:`WorkerPool`.
+
+    The shared executor entry point for batch callers
+    (:func:`repro.checkers.implication.implies_all`, the diagnostics
+    audit): build a pool of at most ``min(jobs, len(tasks))`` workers,
+    initialize each with ``payload``, map, tear down.  Results are in
+    task order.  Callers gate on :meth:`WorkerPool.available` and fall
+    back to their sequential loop when it is false.
+    """
+    workers = min(jobs, len(tasks))
+    if workers < 2:
+        raise SolverError("fanout_map needs >= 2 workers and >= 2 tasks")
+    with WorkerPool(workers, initializer, payload) as pool:
+        return pool.map(fn, tasks)
+
+
+#: Per-process state of a branch worker, set by :func:`_init_branch_worker`
+#: (runs once per worker under the fork context) and read by every
+#: :func:`_branch_task` the worker executes.
+_BRANCH_WORKER: dict = {}
+
+
+def _init_branch_worker(payload: tuple) -> None:
+    """Worker initializer: adopt the instance and build owned solver state."""
+    cs, params = payload
+    _BRANCH_WORKER["cs"] = cs
+    _BRANCH_WORKER["params"] = params
+    _BRANCH_WORKER["workspace"] = SolveWorkspace(cs.base)
+
+
+#: Exception classes a worker may legitimately raise, shipped back by
+#: name so the parent can decide *after* the wave whether a sibling's
+#: feasible verdict makes the error moot (a feasible answer is sound
+#: regardless of what happened on other branches).
+_RAISABLE = {
+    "ComplexityLimitError": ComplexityLimitError,
+    "SolverError": SolverError,
+}
+
+
+def _branch_task(task: tuple) -> tuple:
+    """Solve one frontier subproblem inside a worker process.
+
+    ``task`` is ``(assignment_items, seed_cuts)``: a propagated partial
+    support assignment plus the shared pool's current cut records.  The
+    worker merges the seeds into its local pool (dedup makes re-seeding
+    across waves free), runs the ordinary sequential subtree search on
+    its own workspace, and ships back the verdict, its work counters and
+    the cuts it *discovered* (everything past the seed watermark).
+
+    Expected solver exceptions (complexity budget, cut-loop divergence)
+    are returned as ``("raised", ..., kind)`` rather than raised: the
+    parent must see the whole wave before deciding, because a sibling's
+    exact-checked feasible answer outranks this subtree's failure.
+    """
+    cs = _BRANCH_WORKER["cs"]
+    params = _BRANCH_WORKER["params"]
+    workspace = _BRANCH_WORKER["workspace"]
+    assignment_items, seed_cuts = task
+    workspace.pool.merge(seed_cuts)
+    watermark = len(workspace.pool)
+    stats = CondSolveStats()
+    stats.assemblies = workspace.take_assembly_charge()
+
+    def next_leaf_id() -> int:
+        workspace.leaf_counter += 1
+        return workspace.leaf_counter
+
+    try:
+        result = _dfs_search(
+            cs,
+            [(dict(assignment_items), None)],
+            clause_index=workspace.clause_index(cs.clauses),
+            assembled=workspace.assembled,
+            pool=workspace.pool,
+            exact_twin=workspace.exact_twin,
+            next_leaf_id=next_leaf_id,
+            stats=stats,
+            **params,
+        )
+        status, values, message = result.status, result.values, result.message
+        kind = ""
+    except (ComplexityLimitError, SolverError) as exc:
+        status, values, message = "raised", {}, str(exc)
+        kind = type(exc).__name__
+    discovered = workspace.pool.export()[watermark:]
+    return status, values, message, asdict(stats), discovered, kind
 
 
 class _ClauseIndex:
@@ -742,12 +1046,40 @@ def solve_conditional_system(
     active_rows: frozenset[int] | None = None,
     workspace: SolveWorkspace | None = None,
     inactive_clauses: frozenset[int] = frozenset(),
+    jobs: int = 1,
 ) -> tuple[SolveResult, CondSolveStats]:
     """Decide the conditional system; return a realizable solution if any.
 
     The returned solution (when feasible) satisfies the active base rows,
     all conditionals, and the connectivity side condition — i.e. it is
     realizable as an XML tree by :mod:`repro.witness`.
+
+    ``jobs`` fans independent support branches across a fork-based
+    :class:`WorkerPool` of that many processes (DESIGN.md section 7).
+    The *verdict* is identical to ``jobs=1`` — the frontier partitions
+    the support completions exactly and every worker runs the same
+    sequential subtree search — but work counters reflect the schedule
+    (``workers_spawned``, ``parallel_waves``, ``cuts_merged``), and a
+    feasible instance may return a different — equally valid, still
+    exact-checked — witness.  The one carve-out is the resource budget:
+    ``max_support_nodes`` bounds each worker's subtree individually, so
+    near the budget a parallel run may complete a search the sequential
+    run aborts with :class:`ComplexityLimitError` (it never flips a
+    completed verdict).  Parallelism engages only when the search
+    actually branches: instances decided by the root LP probe or the
+    maximal-support shortcut, callers holding a ``workspace`` (single-
+    owner state), and platforms without ``fork`` all take the sequential
+    path unchanged.
+
+    >>> trivial = LinearSystem()
+    >>> _ = trivial.add_ge({("ext", "r"): 1}, 1)
+    >>> cs_jobs = ConditionalSystem(
+    ...     base=trivial, ext_var={"r": ("ext", "r")}, root="r",
+    ...     element_types=("r",), edges=(),
+    ... )
+    >>> result, stats = solve_conditional_system(cs_jobs, jobs=4)
+    >>> (result.status, stats.workers_spawned)   # decided pre-branching
+    ('feasible', 0)
 
     ``active_rows`` selects the subset of ``cs.toggleable_rows`` to keep
     active for this call (``None`` = all of them; rows never registered as
@@ -811,8 +1143,10 @@ def solve_conditional_system(
         return _solve_incremental(
             cs, assignment, backend, max_support_nodes, max_cut_rounds,
             lp_prune, stats, exact_warm, inactive_rows, workspace,
-            inactive_clauses,
+            inactive_clauses, jobs,
         )
+    # The from-scratch reference path stays sequential regardless of
+    # ``jobs`` — it exists to be the simplest possible oracle.
     return _solve_rebuild(
         cs, assignment, backend, max_support_nodes, max_cut_rounds,
         lp_prune, stats, exact_warm, inactive_rows, inactive_clauses,
@@ -864,8 +1198,10 @@ def _solve_incremental(
     inactive_rows: frozenset[int],
     workspace: SolveWorkspace | None,
     inactive_clauses: frozenset[int],
+    jobs: int = 1,
 ) -> tuple[SolveResult, CondSolveStats]:
-    """Assemble-once/bound-patch support search (DESIGN.md section 4)."""
+    """Assemble-once/bound-patch support search (DESIGN.md section 4);
+    with ``jobs > 1`` the branching phase fans out per section 7."""
     clause_index = (
         workspace.clause_index(cs.clauses)
         if workspace is not None
@@ -987,6 +1323,76 @@ def _solve_incremental(
             stats.shortcut_hit = True
             return result, stats
 
+    stack = [(assignment, None)]
+    skip_first_lp = root_probed
+    if jobs > 1 and workspace is None and WorkerPool.available():
+        frontier = _frontier(
+            cs, assignment, clause_index, stats, inactive_clauses,
+            target=2 * jobs,
+        )
+        if len(frontier) >= 2:
+            result = _solve_parallel(
+                cs, frontier, pool, stats, backend, max_support_nodes,
+                max_cut_rounds, lp_prune, exact_warm, inactive_rows,
+                inactive_clauses, jobs,
+            )
+            return result, stats
+        # The instance did not split: fall through to the sequential DFS,
+        # seeded with the frontier (its expansion work — propagation and
+        # node counts — is kept, not redone; an empty frontier means every
+        # child conflicted, which the empty stack reports as infeasible).
+        stack = [(entry, None) for entry in frontier]
+        skip_first_lp = False  # the root probe covered the root, not these
+
+    result = _dfs_search(
+        cs,
+        stack,
+        clause_index=clause_index,
+        assembled=assembled,
+        pool=pool,
+        exact_twin=exact_twin,
+        next_leaf_id=next_leaf_id,
+        stats=stats,
+        backend=backend,
+        max_support_nodes=max_support_nodes,
+        max_cut_rounds=max_cut_rounds,
+        lp_prune=lp_prune,
+        exact_warm=exact_warm,
+        inactive_rows=inactive_rows,
+        inactive_clauses=inactive_clauses,
+        skip_first_lp=skip_first_lp,
+    )
+    return result, stats
+
+
+def _dfs_search(
+    cs: ConditionalSystem,
+    stack: list[tuple[dict[str, bool | None], str | None]],
+    *,
+    clause_index: _ClauseIndex,
+    assembled: AssembledSystem,
+    pool: _CutPool,
+    exact_twin: _ExactTwin,
+    next_leaf_id: Callable[[], int],
+    stats: CondSolveStats,
+    backend: str,
+    max_support_nodes: int,
+    max_cut_rounds: int,
+    lp_prune: bool,
+    exact_warm: bool,
+    inactive_rows: frozenset[int],
+    inactive_clauses: frozenset[int],
+    skip_first_lp: bool = False,
+) -> SolveResult:
+    """Exhaust the support subtrees rooted at the given stack entries.
+
+    The sequential DFS core, shared verbatim by the single-process path
+    (one root entry) and by every parallel worker (one frontier
+    subproblem per call, against the worker's own workspace).  Stack
+    entries carry the symbol decided last, seeding propagation;
+    ``skip_first_lp`` elides the first node's LP probe when the caller
+    just probed the identical relaxation (the root LP probe).
+    """
     order = _branching_order(cs)
 
     def undecided(current: Mapping[str, bool | None]) -> str | None:
@@ -995,8 +1401,6 @@ def _solve_incremental(
                 return tau
         return None
 
-    # Stack entries carry the symbol decided last, seeding propagation.
-    stack: list[tuple[dict[str, bool | None], str | None]] = [(assignment, None)]
     first_node = True
     while stack:
         current, decided = stack.pop()
@@ -1014,7 +1418,7 @@ def _solve_incremental(
             clause_index, current, seeds, stats, inactive_clauses
         ):
             continue
-        if lp_prune and not (first_node and root_probed and len(pool) == 0):
+        if lp_prune and not (first_node and skip_first_lp and len(pool) == 0):
             patches = _bound_patches(cs, current)
             decided_true = {
                 tau for tau, value in current.items() if value is True
@@ -1037,7 +1441,7 @@ def _solve_incremental(
                 inactive_rows,
             )
             if result.feasible:
-                return result, stats
+                return result
             continue
         with_false = dict(current)
         with_false[choice] = False
@@ -1045,7 +1449,135 @@ def _solve_incremental(
         with_true[choice] = True
         stack.append((with_false, choice))
         stack.append((with_true, choice))
-    return SolveResult("infeasible", message="support search exhausted"), stats
+    return SolveResult("infeasible", message="support search exhausted")
+
+
+def _frontier(
+    cs: ConditionalSystem,
+    assignment: dict[str, bool | None],
+    clause_index: _ClauseIndex,
+    stats: CondSolveStats,
+    inactive_clauses: frozenset[int],
+    target: int,
+) -> list[dict[str, bool | None]]:
+    """Partition the remaining search space into >= ``target`` subproblems.
+
+    Breadth-first expansion along the branching order, with unit
+    propagation applied to every child (conflicting children are dropped,
+    exactly as the DFS would drop them).  The returned assignments cover
+    the support completions of ``assignment`` *exactly* — each completion
+    extends precisely one frontier entry — so solving every entry is
+    equivalent to the sequential search, whatever the dispatch order.
+
+    Node accounting: each node is counted in ``stats.dfs_nodes`` exactly
+    once — conflicted children here (they are dropped and never popped
+    again), surviving entries when whoever searches them (a worker's
+    subtree DFS, or the sequential fallback) pops them.
+    """
+    order = _branching_order(cs)
+
+    def undecided(current: Mapping[str, bool | None]) -> str | None:
+        for tau in order:
+            if current[tau] is None:
+                return tau
+        return None
+
+    pending: list[dict[str, bool | None]] = [dict(assignment)]
+    decided: list[dict[str, bool | None]] = []
+    while pending and len(pending) + len(decided) < target:
+        current = pending.pop(0)
+        choice = undecided(current)
+        if choice is None:
+            decided.append(current)
+            continue
+        for value in (True, False):
+            child = dict(current)
+            child[choice] = value
+            if _propagate_indexed(
+                clause_index, child, [choice], stats, inactive_clauses
+            ):
+                pending.append(child)
+            else:
+                stats.dfs_nodes += 1  # dropped here, never popped again
+    return decided + pending
+
+
+def _solve_parallel(
+    cs: ConditionalSystem,
+    frontier: list[dict[str, bool | None]],
+    pool: _CutPool,
+    stats: CondSolveStats,
+    backend: str,
+    max_support_nodes: int,
+    max_cut_rounds: int,
+    lp_prune: bool,
+    exact_warm: bool,
+    inactive_rows: frozenset[int],
+    inactive_clauses: frozenset[int],
+    jobs: int,
+) -> SolveResult:
+    """Fan the support search across a worker pool (DESIGN.md section 7).
+
+    Takes the root's frontier of propagated subproblems (>= 2 entries;
+    the caller built it with :func:`_frontier` and runs sequentially
+    otherwise) and dispatches them in waves of ``jobs`` tasks.  Between
+    waves the
+    two-level cut pool is reconciled: worker-discovered cuts merge into
+    the shared pool (guarded dedup on canonical coefficients + guard),
+    and the next wave's tasks are seeded with the merged set, so a cut
+    learned on one branch prunes siblings dispatched later.  A feasible
+    verdict short-circuits after the wave that found it; infeasible
+    requires every subproblem exhausted — the same exhaustiveness
+    argument as the sequential DFS, so verdicts are schedule-independent.
+
+    Error semantics: a subtree that exhausts its work budget (or hits a
+    solver failure) does not abort the solve — the search continues, and
+    the error is re-raised only if *no* subproblem produces a feasible
+    answer (an exact-checked witness is sound regardless of sibling
+    failures; an "infeasible" with an unexplored subtree is not).  The
+    ``max_support_nodes`` budget bounds each worker's subtree search
+    individually — a deliberate resource-policy difference from the
+    sequential path's single global budget, so a parallel run may finish
+    a search the sequential run would abort (never the reverse verdict).
+    """
+    params = dict(
+        backend=backend,
+        max_support_nodes=max_support_nodes,
+        max_cut_rounds=max_cut_rounds,
+        lp_prune=lp_prune,
+        exact_warm=exact_warm,
+        inactive_rows=inactive_rows,
+        inactive_clauses=inactive_clauses,
+    )
+    workers = min(jobs, len(frontier))
+    stats.workers_spawned = workers
+    found: SolveResult | None = None
+    pending_error: tuple[str, str] | None = None
+    with WorkerPool(workers, _init_branch_worker, (cs, params)) as executor:
+        for start in range(0, len(frontier), workers):
+            wave = frontier[start:start + workers]
+            stats.parallel_waves += 1
+            seed = pool.export()
+            tasks = [(tuple(entry.items()), seed) for entry in wave]
+            for status, values, message, worker_stats, fresh, kind in (
+                executor.map(_branch_task, tasks)
+            ):
+                stats.absorb(worker_stats)
+                accepted, duplicates = pool.merge(fresh)
+                stats.cuts_merged += accepted
+                stats.cut_merge_duplicates += duplicates
+                if status == "feasible" and found is None:
+                    found = SolveResult(status, values, message)
+                elif status == "raised" and pending_error is None:
+                    pending_error = (kind, message)
+            if found is not None:
+                # An exact-checked feasible answer is sound whatever
+                # happened on sibling branches — errors become moot.
+                return found
+    if pending_error is not None:
+        kind, message = pending_error
+        raise _RAISABLE.get(kind, SolverError)(message)
+    return SolveResult("infeasible", message="support search exhausted")
 
 
 def _solve_rebuild(

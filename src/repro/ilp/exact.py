@@ -27,6 +27,13 @@ branch-and-bound *nodes* and dual-simplex *pivots* are counted, so a
 pathological bound-patch sequence cannot spin inside a single node —
 and exceeding it raises :class:`SolverError` rather than returning a
 wrong answer.
+
+An :class:`ExactAssembledSystem` carries a live factorized basis across
+calls and is therefore **single-owner state**, never shared between
+processes: the parallel executor (DESIGN.md section 7) lazily builds
+one per worker (through each worker's own ``SolveWorkspace``), and cut
+rows learned elsewhere arrive as records replayed through ``add_cut``,
+which extends the live factorization exactly like a locally learned cut.
 """
 
 from __future__ import annotations

@@ -29,6 +29,52 @@ from repro.regex.ast import (
 )
 
 
+def wide_flat_dtd(num_types: int) -> DTD:
+    """``r`` over ``num_types`` independent starred types, one attribute
+    each — the flat shape under the negation, chain-implication, parallel
+    and diagnostics workloads (one definition; benchmarks and differential
+    tests must stay on the same family)."""
+    content = {"r": "(" + ", ".join(f"t{i}*" for i in range(num_types)) + ")"}
+    content.update({f"t{i}": "EMPTY" for i in range(num_types)})
+    return DTD.build(
+        "r", content, attrs={f"t{i}": ["x"] for i in range(num_types)}
+    )
+
+
+def registrar_mus_family(filler: int) -> tuple[DTD, list[Constraint]]:
+    """The spec-doctor conflict buried under ``filler`` innocent keys.
+
+    The DTD forces two approvals per order but exactly one auditor; the
+    stamp key plus the FK into the auditor squeeze ``|approval| <= 1`` —
+    a 2-element MUS (the stamp key and the FK), independent of how many
+    filler keys surround it.  The MUS-workload family of the diagnostics
+    and QuickXplain benchmarks and their differential tests.
+    """
+    from repro.constraints.parser import parse_constraints
+
+    content = {
+        "orders": "(order+, auditor, "
+        + ", ".join(f"x{i}*" for i in range(filler))
+        + ")",
+        "order": "(approval, approval)",
+        "approval": "EMPTY",
+        "auditor": "EMPTY",
+    }
+    content.update({f"x{i}": "EMPTY" for i in range(filler)})
+    attrs = {"order": ["oid"], "approval": ["stamp"], "auditor": ["aid"]}
+    attrs.update({f"x{i}": ["k"] for i in range(filler)})
+    lines = [
+        "order.oid -> order",
+        "approval.stamp -> approval",
+        "approval.stamp => auditor.aid",
+        "auditor.aid -> auditor",
+    ]
+    lines += [f"x{i}.k -> x{i}" for i in range(filler)]
+    return DTD.build("orders", content, attrs=attrs), parse_constraints(
+        "\n".join(lines)
+    )
+
+
 def chain_dtd(depth: int, keyed: bool = True) -> tuple[DTD, list[Constraint]]:
     """A linear chain ``r -> c1 -> ... -> c_depth`` with one key per type.
 

@@ -18,13 +18,20 @@ from repro.analysis.diagnostics import (
     DiagnosticsStats,
     diagnose,
     minimal_inconsistent_subset,
+    minimal_unsat_core,
     redundant_constraints,
 )
 from repro.checkers.config import CheckerConfig
+from repro.checkers.consistency import check_consistency
 from repro.constraints.parser import parse_constraints
 from repro.dtd.model import DTD
 from repro.errors import ComplexityLimitError, InvalidConstraintError
-from repro.workloads.generators import random_dtd, random_unary_constraints
+from repro.ilp.condsys import WorkerPool
+from repro.workloads.generators import (
+    random_dtd,
+    random_unary_constraints,
+    registrar_mus_family,
+)
 
 #: Seeded sweep size, chunked for readable failure granularity.
 NUM_SEEDS = 60
@@ -170,3 +177,134 @@ def test_inconsistent_subset_requires_inconsistency():
     dtd = DTD.build("r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["x"]})
     with pytest.raises(InvalidConstraintError, match="consistent"):
         minimal_inconsistent_subset(dtd, parse_constraints("a.x -> a"))
+
+
+# ---------------------------------------------------------------------------
+# QuickXplain vs the deletion filter (DESIGN.md section 7)
+# ---------------------------------------------------------------------------
+
+
+def _assert_valid_mus(dtd, sigma, mus, seed):
+    """Semantic MUS check: inconsistent, and every element necessary.
+
+    QuickXplain and the deletion filter both return *minimal* inconsistent
+    subsets, but on specifications with several distinct MUSes they may
+    legitimately return different ones — equivalence is semantic, not
+    syntactic, so each result is verified against the checker directly.
+    """
+    config = CheckerConfig(want_witness=False)
+    assert set(mus) <= set(sigma), f"seed {seed}: core not a subset"
+    assert not check_consistency(dtd, mus, config).consistent, (
+        f"seed {seed}: reported core is not inconsistent"
+    )
+    for index in range(len(mus)):
+        subset = mus[:index] + mus[index + 1:]
+        assert check_consistency(dtd, subset, config).consistent, (
+            f"seed {seed}: core element {mus[index]} is not necessary"
+        )
+
+
+def test_quickxplain_equals_deletion_on_seeded_instances():
+    """Both filters return valid minimal cores on every seeded
+    inconsistent instance, with identical consistency verdicts.  (Probe
+    counts are not compared here — QuickXplain's constant factor can
+    exceed the deletion filter's on tiny Sigma; the |Sigma| >= 8 payoff
+    is gated in test_quickxplain_saves_probes_on_large_specifications
+    and benchmarks/bench_parallel.py.)"""
+    checked = 0
+    for seed in range(NUM_SEEDS):
+        dtd, sigma = _instance(seed)
+        try:
+            report = diagnose(dtd, sigma)
+        except (InvalidConstraintError, ComplexityLimitError):
+            continue
+        if report.consistent or not report.dtd_satisfiable:
+            continue
+        qx_stats, del_stats = DiagnosticsStats(), DiagnosticsStats()
+        qx = minimal_unsat_core(dtd, sigma, stats=qx_stats)
+        deletion = minimal_unsat_core(
+            dtd, sigma, method="deletion", stats=del_stats
+        )
+        assert qx_stats.mus_method == "quickxplain"
+        assert del_stats.mus_method == "deletion"
+        _assert_valid_mus(dtd, sigma, qx, seed)
+        _assert_valid_mus(dtd, sigma, deletion, seed)
+        checked += 1
+    assert checked > 0
+
+
+def test_quickxplain_toggled_matches_rebuild_oracle():
+    """The toggled QuickXplain run and the rebuild-per-subset QuickXplain
+    run drive the same filter over the same subset oracle, so their cores
+    are identical — not just both-minimal."""
+    checked = 0
+    for seed in range(NUM_SEEDS):
+        dtd, sigma = _instance(seed)
+        try:
+            report = diagnose(dtd, sigma)
+        except (InvalidConstraintError, ComplexityLimitError):
+            continue
+        if report.consistent or not report.dtd_satisfiable:
+            continue
+        toggled = minimal_unsat_core(dtd, sigma)
+        rebuild = minimal_unsat_core(dtd, sigma, toggled=False)
+        assert _canonical(toggled) == _canonical(rebuild), f"seed {seed}"
+        checked += 1
+    assert checked > 0
+
+
+def test_quickxplain_saves_probes_on_large_specifications():
+    """On |Sigma| >= 8 with a small conflict, QuickXplain probes strictly
+    fewer subsets than the deletion filter (the section-7 payoff; the
+    benchmark gate re-asserts this with the full registrar family)."""
+    dtd, sigma = registrar_mus_family(8)
+    assert len(sigma) >= 8
+    qx_stats, del_stats = DiagnosticsStats(), DiagnosticsStats()
+    qx = minimal_unsat_core(dtd, sigma, stats=qx_stats)
+    deletion = minimal_unsat_core(dtd, sigma, method="deletion", stats=del_stats)
+    assert _canonical(qx) == _canonical(deletion)
+    assert del_stats.mus_probes == len(sigma)
+    assert qx_stats.mus_probes < del_stats.mus_probes, (
+        f"quickxplain {qx_stats.mus_probes} probes vs deletion "
+        f"{del_stats.mus_probes}"
+    )
+
+
+def test_diagnose_mus_method_selects_the_filter():
+    """``diagnose`` exposes the filter choice and stamps it in the stats."""
+    dtd, sigma = _instance(3)
+    default = diagnose(dtd, sigma)
+    deletion = diagnose(dtd, sigma, mus_method="deletion")
+    assert default.consistent == deletion.consistent
+    if not default.consistent:
+        _assert_valid_mus(dtd, sigma, default.mus, "diagnose-default")
+        _assert_valid_mus(dtd, sigma, deletion.mus, "diagnose-deletion")
+        assert default.stats.mus_method == "quickxplain"
+        assert deletion.stats.mus_method == "deletion"
+
+
+# ---------------------------------------------------------------------------
+# Parallel audit probes (jobs sweep)
+# ---------------------------------------------------------------------------
+
+
+def test_redundancy_audit_jobs_sweep():
+    """The parallel audit returns the sequential answers at every worker
+    count; each worker pays its own assembly (the single-owner rule)."""
+    dtd = DTD.build(
+        "r", {"r": "(a*, b*, c*, d*)", "a": "EMPTY", "b": "EMPTY",
+              "c": "EMPTY", "d": "EMPTY"},
+        attrs={t: ["x"] for t in "abcd"},
+    )
+    sigma = parse_constraints(
+        "a.x <= b.x\nb.x <= c.x\na.x <= c.x\nc.x <= d.x\nb.x <= d.x"
+    )
+    baseline = _canonical(redundant_constraints(dtd, sigma))
+    for jobs in (2, 4):
+        stats = DiagnosticsStats()
+        config = CheckerConfig(want_witness=False, jobs=jobs)
+        parallel = redundant_constraints(dtd, sigma, config, stats=stats)
+        assert _canonical(parallel) == baseline, f"jobs={jobs}"
+        if WorkerPool.available():
+            assert stats.workers_spawned == min(jobs, len(sigma))
+            assert 1 <= stats.assemblies <= 1 + stats.workers_spawned

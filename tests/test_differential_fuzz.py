@@ -135,3 +135,105 @@ def test_configs_cover_the_advertised_matrix():
     assert not CONFIGS["exact-cold"].exact_warm
     assert CONFIGS["highs-inc"].incremental
     assert not CONFIGS["legacy-reb"].incremental
+
+
+# ---------------------------------------------------------------------------
+# Parallel executor sweep (DESIGN.md section 7): jobs ∈ {1, 2, 4}
+# ---------------------------------------------------------------------------
+
+#: Worker counts under differential test — the parallel path must return
+#: the sequential verdict for every one of them.
+JOBS_SWEEP = (1, 2, 4)
+
+
+def _branchy_cases():
+    """Instances whose support search genuinely branches (the certified
+    pipeline with LP pruning off), so the frontier fan-out really runs."""
+    from repro.constraints.parser import parse_constraints
+    from repro.workloads.generators import wide_flat_dtd
+
+    cases = []
+    for active in (3, 4):
+        chain = [f"t{i}.x <= t{(i + 1) % active}.x" for i in range(active)]
+        cases.append(
+            (
+                wide_flat_dtd(active + 2),
+                parse_constraints("\n".join(chain + ["t0.x !<= t1.x"])),
+            )
+        )
+    return cases
+
+
+def test_jobs_sweep_verdicts_match_sequential():
+    """Identical verdicts at jobs ∈ {1, 2, 4}, on branchy instances (where
+    workers really spawn) and on a slice of the random fuzz family (mostly
+    decided pre-branching — the degenerate path must also agree)."""
+    from repro.ilp.condsys import WorkerPool
+
+    cases = _branchy_cases()
+    for seed in (1, 5, 9, 14):
+        cases.append(_instance(seed))
+    engaged = 0
+    for dtd, sigma in cases:
+        verdicts = {}
+        for jobs in JOBS_SWEEP:
+            config = CheckerConfig(
+                want_witness=False, backend="exact", lp_prune=False, jobs=jobs
+            )
+            try:
+                result = check_consistency(dtd, sigma, config)
+            except InvalidConstraintError:
+                verdicts = {}
+                break
+            verdicts[jobs] = result.consistent
+            if jobs > 1 and result.stats.get("workers_spawned", 0):
+                engaged += 1
+        assert len(set(verdicts.values())) <= 1, (
+            f"jobs sweep diverged: {verdicts}"
+        )
+    if WorkerPool.available():
+        assert engaged > 0, "no instance ever engaged the worker pool"
+
+
+def test_jobs_sweep_witnesses_stay_verified():
+    """Feasible parallel answers may pick a different branch's witness —
+    it must still synthesize and re-verify like any sequential one."""
+    verifying = CheckerConfig(
+        want_witness=True, verify_witness=True, lp_prune=False, jobs=4
+    )
+    checked = 0
+    for seed in (2, 4, 8):
+        dtd, sigma = _instance(seed)
+        try:
+            result = check_consistency(dtd, sigma, verifying)
+        except InvalidConstraintError:
+            continue
+        if result.consistent:
+            assert result.witness is not None  # verified inside the checker
+            checked += 1
+    assert checked > 0
+
+
+def test_implies_all_jobs_sweep_verdicts_and_stats_identical():
+    """Batch implication under the worker pool: every worker runs the
+    identical sequential per-query path, so not only the verdicts but the
+    complete per-query stats dicts must match ``jobs=1`` exactly."""
+    from repro.checkers.implication import implies_all
+    from repro.constraints.parser import parse_constraint
+    from repro.workloads.generators import star_schema_family
+
+    dtd, sigma = star_schema_family(3, consistent=True)
+    phis = [parse_constraint(f"dim{i}.id -> dim{i}") for i in range(3)]
+    phis += [parse_constraint(f"fact.ref{i} <= dim{i}.id") for i in range(3)]
+    baseline = implies_all(
+        dtd, sigma, phis, CheckerConfig(want_witness=False, jobs=1)
+    )
+    for jobs in JOBS_SWEEP[1:]:
+        parallel = implies_all(
+            dtd, sigma, phis, CheckerConfig(want_witness=False, jobs=jobs)
+        )
+        assert [r.implied for r in parallel] == [r.implied for r in baseline]
+        for query, (seq, par) in enumerate(zip(baseline, parallel)):
+            assert par.stats == seq.stats, (
+                f"jobs={jobs} query={query}: stats diverged from sequential"
+            )

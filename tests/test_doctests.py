@@ -45,3 +45,29 @@ def test_diagnostics_layer_modules_keep_examples(module_name):
         len(test.examples) for test in doctest.DocTestFinder().find(module)
     )
     assert examples > 0, f"{module_name} lost its doctest examples"
+
+
+def _surface_examples(obj) -> int:
+    """Runnable doctest examples attached directly to one API object."""
+    return sum(
+        len(test.examples) for test in doctest.DocTestFinder().find(obj)
+    )
+
+
+def test_parallel_surface_keeps_examples():
+    """The section-7 public surface documents itself with runnable
+    examples: the ``jobs`` entry point, the per-worker workspace clone,
+    and the QuickXplain MUS.  The module sweep above executes them; this
+    guard keeps them from being silently dropped."""
+    from repro.analysis.diagnostics import minimal_unsat_core
+    from repro.ilp.condsys import SolveWorkspace, solve_conditional_system
+
+    for obj, needle in (
+        (solve_conditional_system, "jobs"),
+        (SolveWorkspace.clone, "clone"),
+        (minimal_unsat_core, "quickxplain"),
+    ):
+        assert _surface_examples(obj) > 0, f"{obj.__qualname__} lost its example"
+        assert needle in (obj.__doc__ or ""), (
+            f"{obj.__qualname__} no longer documents {needle!r}"
+        )

@@ -50,7 +50,19 @@ def test_readme_flags_exist_in_cli():
     parser = build_parser()
     args = parser.parse_args(
         ["diagnose", "d.dtd", "s.txt", "--stats", "--rebuild", "--backend",
-         "exact", "--cold"]
+         "exact", "--cold", "--jobs", "4"]
     )
     assert args.stats and args.rebuild and args.cold
     assert args.backend == "exact"
+    assert args.jobs == 4
+
+
+def test_readme_scaling_section_is_executable():
+    """The Scaling quickstart is a real doctest session: the README must
+    keep a `--jobs` shell example and a `jobs=` Python example, and the
+    doctest runner above executes the latter."""
+    text = README.read_text()
+    assert "## Scaling" in text
+    assert "--jobs 4" in text
+    assert "jobs=2" in text
+    assert "minimal_unsat_core" in text
