@@ -12,7 +12,7 @@ import pytest
 from repro.checkers.bounded import bounded_consistency
 from repro.checkers.consistency import check_consistency
 from repro.errors import UndecidableProblemError
-from repro.relational.constraints import FD, ID, RelKey
+from repro.relational.constraints import FD, ID
 from repro.relational.model import RelationSchema, Schema
 from repro.relational.reductions import (
     encode_fd_implication,

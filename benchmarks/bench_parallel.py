@@ -26,7 +26,6 @@ Every benchmark asserts the correctness of the answer it times, per the
 suite's fast-nonsense policy.
 """
 
-import os
 import time
 
 import pytest
@@ -42,10 +41,6 @@ from repro.workloads.generators import (
     random_unary_constraints,
     registrar_mus_family,
     wide_flat_dtd,
-)
-
-_CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
-    os.cpu_count() or 1
 )
 
 #: Worker count of the headline gate.
@@ -128,19 +123,14 @@ def test_branch_fanout_verdicts_match_and_cuts_merge():
         assert merged_total > 0, "no cut ever crossed the merge policy"
 
 
-@pytest.mark.skipif(
-    not WorkerPool.available(),
-    reason="no fork start method: jobs degrades to sequential here",
-)
-@pytest.mark.skipif(
-    _CORES < _JOBS,
-    reason=f"wall-clock speedup needs >= {_JOBS} CPU cores, "
-    f"container has {_CORES}; the correctness gates above still ran",
-)
-def test_parallel_implication_speedup_at_4_workers():
+def test_parallel_implication_speedup_at_4_workers(speedup_gate):
     """The headline gate: >= 2x wall clock at 4 workers on the
     multi-branch implication workload (sequential cost ~2s, pool
-    overhead ~0.25s, so the ideal-parallel margin is wide)."""
+    overhead ~0.25s, so the ideal-parallel margin is wide).  Hardware
+    requirements (fork + >= 4 effective cores) are decided by the shared
+    guard in ``benchmarks/conftest.py``, so this skips exactly when the
+    fuzz sweeps downscale."""
+    speedup_gate(_JOBS)
     dtd, sigma, phis, expected = _implication_workload()
 
     def run(jobs: int) -> float:

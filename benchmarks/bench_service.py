@@ -1,0 +1,208 @@
+"""Serving benchmarks (ISSUE 5 acceptance gates).
+
+Two claims of the long-lived checking service are gated here:
+
+1. **Warm sessions beat cold one-shots.**  On the registrar workload, a
+   warm-session ``implies`` (p50, full re-solve on the session's warm
+   workspaces — the response cache is cleared between repeats, so this
+   is *not* the trivial cached-repeat case) is at least 5x faster than a
+   cold one-shot CLI invocation (fresh interpreter, fresh parse, fresh
+   encode and assembly — what every request paid before the service
+   existed).  In practice the gap is orders of magnitude; 5x leaves room
+   for slow CI containers.
+2. **Coalescing beats sequential one-shots.**  A stream of 32 requests
+   (eight distinct queries re-asked by 32 concurrent clients) answered
+   through the server's per-session batcher achieves at least 2x the
+   aggregate throughput of the *same stream* issued as sequential
+   one-shots (fresh parse, fresh session and cleared encoding caches
+   per request — the cold-start cost the service amortizes).  This is a
+   structural amortization claim (validate once, share the encoding
+   block, coalesce into ``implies_all``, answer exact repeats from the
+   response cache), not a parallelism claim, so it runs on any core
+   count.
+
+Every benchmark asserts the correctness of the answers it times, per
+the suite's fast-nonsense policy.
+"""
+
+import asyncio
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.constraints.parser import parse_constraints
+from repro.dtd.serializer import dtd_to_string
+from repro.encoding.combined import clear_encoding_cache
+from repro.service.registry import SessionRegistry
+from repro.service.server import CheckingServer
+from repro.service.session import SpecSession
+from repro.workloads.generators import registrar_mus_family, wide_flat_dtd
+
+#: The warm-vs-cold speedup the service must clear (measured: >> 20x).
+_WARM_GATE = 5.0
+
+#: Aggregate-throughput factor for the coalesced 32-client batch.
+_BATCH_GATE = 2.0
+
+_CLIENTS = 32
+
+
+def _registrar_spec():
+    """The registrar workload: the |Sigma| = 12 MUS-hunt family."""
+    dtd, sigma = registrar_mus_family(8)
+    phis = [str(phi) for phi in sigma[:4]]
+    return dtd, sigma, phis
+
+
+def test_warm_session_implies_p50_vs_cold_cli(tmp_path):
+    """Gate 1: warm-session ``implies`` p50 >= 5x faster than the cold
+    one-shot CLI on the registrar workload."""
+    dtd, sigma, phis = _registrar_spec()
+    dtd_path = tmp_path / "registrar.dtd"
+    sigma_path = tmp_path / "registrar.sig"
+    dtd_path.write_text(dtd_to_string(dtd))
+    sigma_path.write_text("\n".join(str(phi) for phi in sigma) + "\n")
+
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    def cold_once() -> float:
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "implies",
+                str(dtd_path),
+                str(sigma_path),
+                phis[0],
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - start
+        assert proc.returncode == 0, proc.stderr
+        assert "implied: True" in proc.stdout
+        return elapsed
+
+    cold_p50 = statistics.median(cold_once() for _ in range(5))
+
+    session = SpecSession(dtd, sigma, mode="warm")
+    assert session.implies(phis[0])["implied"] is True  # build the workspace
+
+    def warm_once() -> float:
+        # Clear only the response cache: the repeat must re-solve on the
+        # warm workspace (bound patches on the persistent assembly), not
+        # just replay a recorded answer.
+        session._responses.clear()
+        session._response_bytes = 0
+        start = time.perf_counter()
+        payload = session.implies(phis[0])
+        elapsed = time.perf_counter() - start
+        assert payload["implied"] is True
+        return elapsed
+
+    warm_p50 = statistics.median(warm_once() for _ in range(9))
+    assert session.stats.workspaces_reused >= 9
+
+    speedup = cold_p50 / warm_p50
+    assert speedup >= _WARM_GATE, (
+        f"cold one-shot CLI p50 {cold_p50 * 1000:.1f}ms vs warm-session "
+        f"implies p50 {warm_p50 * 1000:.1f}ms: {speedup:.1f}x < {_WARM_GATE}x"
+    )
+
+
+def _chain_workload():
+    """The 32-request client stream over one chain specification.
+
+    Thirty-two requests drawn from eight distinct implication queries —
+    the serving shape the ISSUE motivates (many clients re-asking a
+    stable spec), and the shape where the service's two amortizations
+    both engage: coalescing shares validation and the encoding block
+    across a batch, and the response cache answers exact repeats.  The
+    one-shot side replays the *same* stream, paying a cold start per
+    request (fresh parse, cleared encoding caches) the way the
+    pre-service CLI did.
+    """
+    dtd = wide_flat_dtd(9)
+    sigma_text = "\n".join(f"t{i}.x <= t{i + 1}.x" for i in range(7))
+    distinct = []
+    for i in range(8):
+        for j in range(8):
+            if i != j and len(distinct) < 8:
+                distinct.append((f"t{i}.x <= t{j}.x", j > i))
+    stream = [distinct[index % len(distinct)] for index in range(_CLIENTS)]
+    return dtd, sigma_text, stream
+
+
+def test_coalesced_batch_throughput_vs_sequential_one_shots():
+    """Gate 2: 32 concurrent clients through the batcher >= 2x aggregate
+    throughput over 32 sequential one-shot solves."""
+    dtd, sigma_text, phis = _chain_workload()
+    dtd_text = dtd_to_string(dtd)
+
+    # -- one-shot side: fresh parse, cold encoding caches, per query ----
+    from repro.dtd.parser import parse_dtd
+
+    def one_shots() -> float:
+        start = time.perf_counter()
+        for phi, expected in phis:
+            clear_encoding_cache()
+            cold = SpecSession(parse_dtd(dtd_text), parse_constraints(sigma_text))
+            assert cold.implies(phi)["implied"] is expected
+        return time.perf_counter() - start
+
+    sequential = min(one_shots() for _ in range(2))
+
+    # -- coalesced side: 32 concurrent clients against one server -------
+    server = CheckingServer(SessionRegistry())
+    host, port = server.start_background()
+
+    async def client(phi: str, expected: bool) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        request = {
+            "id": phi,
+            "op": "implies",
+            "dtd": dtd_text,
+            "constraints": sigma_text,
+            "phi": phi,
+        }
+        writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        response = json.loads(await reader.readline())
+        writer.close()
+        assert response["ok"], response
+        assert response["result"]["implied"] is expected, phi
+
+    async def burst() -> None:
+        await asyncio.gather(
+            *(client(phi, expected) for phi, expected in phis)
+        )
+
+    try:
+        # Warm the session admission (parse + validate) but none of the
+        # 32 query answers, then time the full concurrent burst.
+        server.registry.session_for(dtd_text, sigma_text)
+        start = time.perf_counter()
+        asyncio.run(burst())
+        coalesced = time.perf_counter() - start
+        stats = server.stats_payload()["server"]
+        assert stats["errors"] == 0
+        assert stats["batches_coalesced"] >= 1, stats
+        assert stats["batch_width"] >= 2
+    finally:
+        server.close()
+
+    throughput_gain = sequential / coalesced
+    assert throughput_gain >= _BATCH_GATE, (
+        f"32 sequential one-shots {sequential * 1000:.0f}ms vs coalesced "
+        f"batch {coalesced * 1000:.0f}ms: {throughput_gain:.2f}x < "
+        f"{_BATCH_GATE}x aggregate throughput"
+    )

@@ -11,9 +11,52 @@ every figure benchmark that takes the shared checker-config fixtures, so
 any of them can be timed with worker-pool fan-out:
 
     pytest benchmarks/ --benchmark-only --jobs 4
+
+This conftest is also the one home of the **hardware skip guard** for
+wall-clock gates: both the local suite and CI's cgroup-limited 2-core
+runners decide "can this speedup gate mean anything here?" through
+:func:`parallel_speedup_skip_reason`, which reads the same
+:func:`repro.ilp.condsys.effective_parallelism` primitive the
+differential fuzz sweeps use to trim oversubscribed worker counts — so
+local runs and CI skip identically instead of drifting between
+``os.cpu_count()`` and affinity masks.
 """
 
 import pytest
+
+
+def parallel_speedup_skip_reason(jobs: int) -> "str | None":
+    """Why a ``jobs``-worker wall-clock gate cannot run here, or ``None``.
+
+    Speedup gates need real hardware: ``effective_parallelism()`` cores
+    (affinity-aware — what CI's 2-core runners actually grant) and a
+    ``fork`` start method.  Correctness gates never skip on cores; only
+    timing claims do.
+    """
+    from repro.ilp.condsys import WorkerPool, effective_parallelism
+
+    if not WorkerPool.available():
+        return "no fork start method: jobs degrades to sequential here"
+    cores = effective_parallelism()
+    if cores < jobs:
+        return (
+            f"wall-clock speedup needs >= {jobs} effective CPU cores, "
+            f"container has {cores}; the correctness gates still ran"
+        )
+    return None
+
+
+@pytest.fixture
+def speedup_gate():
+    """Callable fixture: ``speedup_gate(jobs)`` skips when the hardware
+    cannot support a ``jobs``-worker wall-clock claim."""
+
+    def gate(jobs: int) -> None:
+        reason = parallel_speedup_skip_reason(jobs)
+        if reason is not None:
+            pytest.skip(reason)
+
+    return gate
 
 
 def pytest_addoption(parser):

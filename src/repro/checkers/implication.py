@@ -52,8 +52,12 @@ from repro.witness.values import make_all_values_distinct
 from repro.xmltree.validate import conforms
 
 
-def _negate(phi: Constraint) -> Constraint:
-    """The constraint asserting ``not phi`` (unary forms only)."""
+def negate_constraint(phi: Constraint) -> Constraint:
+    """The constraint asserting ``not phi`` (unary forms only).
+
+    Public because the session layer (:mod:`repro.service`) keys its warm
+    per-query solver state by the negated constraint this produces.
+    """
     if isinstance(phi, Key):
         return NegKey(phi.element_type, phi.attrs[0])
     if isinstance(phi, InclusionConstraint):
@@ -67,6 +71,10 @@ def _negate(phi: Constraint) -> Constraint:
     raise UndecidableProblemError(  # pragma: no cover - callers dispatch first
         f"cannot negate {phi!r} within the decidable classes"
     )
+
+
+#: Backwards-compatible private alias (pre-service name).
+_negate = negate_constraint
 
 
 def _keys_only_counterexample(
@@ -119,16 +127,26 @@ def implies(
     config = config or DEFAULT_CONFIG
     sigma = list(sigma)
     validate_constraints(dtd, [*sigma, phi])
-    return _implies_validated(dtd, sigma, phi, config)
+    return implies_validated(dtd, sigma, phi, config)
 
 
-def _implies_validated(
+def implies_validated(
     dtd: DTD,
     sigma: list[Constraint],
     phi: Constraint,
     config: CheckerConfig,
+    consistency=None,
 ) -> ImplicationResult:
-    """:func:`implies` after ``validate_constraints`` has already run."""
+    """:func:`implies` after ``validate_constraints`` has already run.
+
+    ``consistency`` swaps the negation-consistency probe's solver: it is
+    called as ``consistency(dtd, constraints, config)`` in place of
+    :func:`check_consistency` and must return a
+    :class:`~repro.checkers.results.ConsistencyResult`.  The session
+    layer passes a closure that serves the probe from cached encodings
+    and warm workspaces; the default (``None``) is the ordinary one-shot
+    checker, so every other caller is unchanged.
+    """
 
     # Keys-only fragment: linear time (Theorem 3.5(3)).
     if isinstance(phi, Key) and all(isinstance(psi, Key) for psi in sigma):
@@ -156,7 +174,7 @@ def _implies_validated(
                 "implication for multi-attribute foreign keys is undecidable "
                 "(Corollary 3.4)"
             )
-        part = _implies_validated(dtd, sigma, phi.inclusion, config)
+        part = implies_validated(dtd, sigma, phi.inclusion, config, consistency)
         if not part.implied:
             return ImplicationResult(
                 False,
@@ -164,7 +182,7 @@ def _implies_validated(
                 method="foreign key = inclusion AND key",
                 message="inclusion component not implied",
             )
-        part = _implies_validated(dtd, sigma, phi.key, config)
+        part = implies_validated(dtd, sigma, phi.key, config, consistency)
         if not part.implied:
             return ImplicationResult(
                 False,
@@ -181,8 +199,9 @@ def _implies_validated(
             "fragments are decidable"
         )
 
-    negated = _negate(phi)
-    result = check_consistency(dtd, [*sigma, negated], config)
+    negated = negate_constraint(phi)
+    probe = consistency or check_consistency
+    result = probe(dtd, [*sigma, negated], config)
     method = f"negation-consistency via {result.method}"
     if result.consistent:
         return ImplicationResult(
@@ -216,7 +235,7 @@ def _init_implication_worker(payload: tuple) -> None:
 def _implication_task(index: int) -> ImplicationResult:
     """Answer query ``phis[index]`` with the ordinary sequential path."""
     state = _IMPLICATION_WORKER
-    return _implies_validated(
+    return implies_validated(
         state["dtd"], state["sigma"], state["phis"][index], state["config"]
     )
 
@@ -260,4 +279,4 @@ def implies_all(
             _init_implication_worker,
             (dtd, sigma, phis, worker_config),
         )
-    return [_implies_validated(dtd, sigma, phi, config) for phi in phis]
+    return [implies_validated(dtd, sigma, phi, config) for phi in phis]

@@ -13,7 +13,19 @@ Subcommands (also available as ``python -m repro``):
   assembled system (``--stats`` prints the work counters, ``--rebuild``
   the ablation, ``--jobs N`` fans the audit across worker processes);
 * ``bounds DTD [CONSTRAINTS] --type TAU`` — feasible range of
-  ``|ext(TAU)|``.
+  ``|ext(TAU)|``;
+* ``serve`` — the long-lived checking service: line-delimited JSON over
+  stdio (default) or a localhost TCP socket (``--port``), with
+  cross-request session caching and request batching (DESIGN.md
+  section 8).
+
+``check``/``implies``/``diagnose``/``validate`` are thin clients of the
+same session API the server runs on: each command resolves its
+``(DTD, Sigma)`` through the process-wide
+:func:`~repro.service.registry.default_registry`, so one-shot
+invocations behave exactly as before while embedders calling
+:func:`main` repeatedly get session reuse for free (``--session`` prints
+the fingerprint and hit counters).
 
 DTD files use ``<!ELEMENT>``/``<!ATTLIST>`` syntax; constraint files use
 the library's text syntax (one constraint per line, ``#`` comments).
@@ -27,18 +39,13 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.diagnostics import diagnose
 from repro.analysis.extent_bounds import extent_bounds
 from repro.checkers.config import CheckerConfig
-from repro.checkers.consistency import check_consistency
-from repro.checkers.implication import implies as check_implies
-from repro.constraints.parser import parse_constraint, parse_constraints
-from repro.constraints.satisfaction import violations
+from repro.constraints.parser import parse_constraints
 from repro.dtd.parser import parse_dtd
 from repro.errors import ReproError
-from repro.xmltree.parse import parse_xml
-from repro.xmltree.serialize import tree_to_string
-from repro.xmltree.validate import conforms
+from repro.service.registry import SessionRegistry, default_registry
+from repro.service.session import SpecSession
 
 
 def _load_dtd(path: str, root: str | None):
@@ -60,77 +67,143 @@ def _print_stats(stats: dict) -> None:
     print(f"solver stats: {rendered}")
 
 
-def _solver_config(args: argparse.Namespace) -> CheckerConfig:
-    """The checker configuration selected by the solver flags."""
-    return CheckerConfig(
-        backend=getattr(args, "backend", "scipy"),
-        exact_warm=not getattr(args, "cold", False),
-        jobs=getattr(args, "jobs", 1),
+def _config_overrides(args: argparse.Namespace) -> dict | None:
+    """The per-request config overrides selected by the solver flags.
+
+    Only non-default selections are sent, so a plain invocation shares
+    the session's (default-config) response-cache entries.
+    """
+    overrides: dict = {}
+    if getattr(args, "backend", "scipy") != "scipy":
+        overrides["backend"] = args.backend
+    if getattr(args, "cold", False):
+        overrides["exact_warm"] = False
+    if getattr(args, "jobs", 1) != 1:
+        overrides["jobs"] = args.jobs
+    return overrides or None
+
+
+def _session_for(args: argparse.Namespace) -> SpecSession:
+    """Resolve the command's spec through the process-wide registry."""
+    dtd = _load_dtd(args.dtd, args.root)
+    sigma = _load_constraints(getattr(args, "constraints", None))
+    return default_registry().session_for(dtd, sigma)
+
+
+def _print_session(session: SpecSession) -> None:
+    """The ``--session`` line: fingerprint plus cross-request counters."""
+    stats = session.stats
+    print(
+        f"session: {session.fingerprint}  [mode={session.mode} "
+        f"requests={stats.requests} cache_hits={stats.cache_hits}]"
     )
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    dtd = _load_dtd(args.dtd, args.root)
-    sigma = _load_constraints(args.constraints)
-    result = check_consistency(dtd, sigma, _solver_config(args))
-    print(f"consistent: {result.consistent}   [{result.method}]")
-    if result.message:
-        print(f"note: {result.message}")
+    session = _session_for(args)
+    payload = session.check(_config_overrides(args))
+    print(f"consistent: {payload['consistent']}   [{payload['method']}]")
+    if payload["message"]:
+        print(f"note: {payload['message']}")
     if args.stats:
-        _print_stats(result.stats)
-    if result.consistent and args.witness:
-        assert result.witness is not None
-        Path(args.witness).write_text(tree_to_string(result.witness) + "\n")
+        _print_stats(payload["stats"])
+    if args.session_info:
+        _print_session(session)
+    if payload["consistent"] and args.witness:
+        assert payload["witness"] is not None
+        Path(args.witness).write_text(payload["witness"] + "\n")
         print(f"witness written to {args.witness}")
-    return 0 if result.consistent else 1
+    return 0 if payload["consistent"] else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    dtd = _load_dtd(args.dtd, args.root)
-    sigma = _load_constraints(args.constraints)
-    tree = parse_xml(Path(args.document).read_text())
-    report = conforms(tree, dtd)
-    print(f"conforms to DTD: {bool(report)}")
-    for error in report.errors:
+    session = _session_for(args)
+    payload = session.validate(Path(args.document).read_text())
+    print(f"conforms to DTD: {payload['conforms']}")
+    for error in payload["errors"]:
         print(f"  - {error}")
-    violated = violations(tree, sigma)
-    if sigma:
-        print(f"satisfies constraints: {not violated}")
-        for phi in violated:
+    if session.sigma:
+        print(f"satisfies constraints: {payload['satisfies']}")
+        for phi in payload["violations"]:
             print(f"  - violated: {phi}")
-    return 0 if report and not violated else 1
+    return 0 if payload["conforms"] and payload["satisfies"] else 1
 
 
 def _cmd_implies(args: argparse.Namespace) -> int:
-    dtd = _load_dtd(args.dtd, args.root)
-    sigma = _load_constraints(args.constraints)
-    phi = parse_constraint(args.phi)
-    result = check_implies(dtd, sigma, phi, _solver_config(args))
-    print(f"implied: {result.implied}   [{result.method}]")
-    if result.message:
-        print(f"note: {result.message}")
+    session = _session_for(args)
+    payload = session.implies(args.phi, _config_overrides(args))
+    print(f"implied: {payload['implied']}   [{payload['method']}]")
+    if payload["message"]:
+        print(f"note: {payload['message']}")
     if args.stats:
-        _print_stats(result.stats)
-    if not result.implied and result.counterexample is not None:
+        _print_stats(payload["stats"])
+    if args.session_info:
+        _print_session(session)
+    if not payload["implied"] and payload["counterexample"] is not None:
         if args.counterexample:
             Path(args.counterexample).write_text(
-                tree_to_string(result.counterexample) + "\n"
+                payload["counterexample"] + "\n"
             )
             print(f"counterexample written to {args.counterexample}")
         else:
             print("counterexample document:")
-            print(tree_to_string(result.counterexample))
-    return 0 if result.implied else 1
+            print(payload["counterexample"])
+    return 0 if payload["implied"] else 1
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
-    dtd = _load_dtd(args.dtd, args.root)
-    sigma = _load_constraints(args.constraints)
-    report = diagnose(dtd, sigma, _solver_config(args), toggled=not args.rebuild)
-    print(report.summary())
+    session = _session_for(args)
+    payload = session.diagnose(_config_overrides(args), rebuild=args.rebuild)
+    print(payload["summary"])
     if args.stats:
-        _print_stats(report.stats.as_dict())
-    return 0 if report.consistent else 1
+        _print_stats(payload["stats"])
+    if args.session_info:
+        _print_session(session)
+    return 0 if payload["consistent"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred: only `serve` needs the asyncio server (and its thread
+    # pool); the one-shot commands stay off that import cost.
+    import asyncio
+
+    from repro.service.server import CheckingServer
+
+    config = CheckerConfig(
+        backend=args.backend,
+        exact_warm=not args.cold,
+        jobs=args.jobs,
+    )
+    registry = SessionRegistry(
+        max_sessions=args.max_sessions,
+        max_bytes=args.max_bytes,
+        mode=args.mode,
+        config=config,
+    )
+    server = CheckingServer(registry)
+
+    async def run_tcp() -> None:
+        serving = asyncio.ensure_future(
+            server.serve_tcp(args.host, args.port)
+        )
+        while server.address is None and not serving.done():
+            await asyncio.sleep(0.001)
+        if server.address is not None:
+            # Announce the bound port (``--port 0`` binds ephemerally).
+            print(
+                f"listening on {server.address[0]}:{server.address[1]}",
+                flush=True,
+            )
+        await serving
+
+    try:
+        if args.port is None:
+            asyncio.run(server.serve_stdio())
+        else:
+            asyncio.run(run_tcp())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -154,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--root", default=None, help="root element type (default: first declared)"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_session_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--session",
+            action="store_true",
+            dest="session_info",
+            help="print the spec's session fingerprint and cross-request "
+            "cache counters (the command resolves through the same "
+            "session API `repro serve` runs on)",
+        )
 
     def add_solver_flags(command: argparse.ArgumentParser) -> None:
         command.add_argument(
@@ -192,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         "assembly/cut-pool/propagation and exact node/pivot counters)",
     )
     add_solver_flags(p_check)
+    add_session_flag(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_validate = sub.add_parser("validate", help="validate a document")
@@ -215,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print solver statistics for the underlying consistency solve",
     )
     add_solver_flags(p_implies)
+    add_session_flag(p_implies)
     p_implies.set_defaults(func=_cmd_implies)
 
     p_diagnose = sub.add_parser("diagnose", help="specification health report")
@@ -235,7 +320,56 @@ def build_parser() -> argparse.ArgumentParser:
         "toggling rows on one assembled system (the differential ablation)",
     )
     add_solver_flags(p_diagnose)
+    add_session_flag(p_diagnose)
     p_diagnose.set_defaults(func=_cmd_diagnose)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived checking service (line-delimited JSON; "
+        "stdio by default, TCP with --port)",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1; the protocol is a "
+        "localhost trust model)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve on a TCP port instead of stdio (0 binds an "
+        "ephemeral port; the bound address is announced on stdout)",
+    )
+    p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=32,
+        metavar="N",
+        help="resident session cap; least-recently-used sessions are "
+        "evicted beyond it (default: 32)",
+    )
+    p_serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        metavar="B",
+        help="approximate byte budget across resident sessions "
+        "(default: 256 MiB)",
+    )
+    p_serve.add_argument(
+        "--mode",
+        choices=["replay", "warm"],
+        default="replay",
+        help="session reuse mode: 'replay' answers repeats from the "
+        "response cache with byte-identical results (default); 'warm' "
+        "additionally keeps per-query solver workspaces and carries "
+        "the connectivity-cut pool across requests (same verdicts, "
+        "warm work counters)",
+    )
+    add_solver_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_bounds = sub.add_parser("bounds", help="feasible |ext(tau)| range")
     p_bounds.add_argument("dtd")

@@ -24,6 +24,7 @@ encoders append rows.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -110,6 +111,49 @@ def clear_encoding_cache() -> None:
     _DTD_BLOCK_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
+
+
+def canonical_spec(dtd: DTD, constraints: list[Constraint]) -> str:
+    """The canonical text form of a ``(DTD, Sigma)`` specification.
+
+    The DTD is rendered in declaration syntax (root first, a stable
+    round-trip of :func:`repro.dtd.serializer.dtd_to_string`) and the
+    constraints in the library's text syntax, one per line, *in order*:
+    constraint order is part of a specification's identity because
+    order-sensitive consumers (the MUS filters, toggle row ids) would
+    otherwise serve one ordering's answers for another.
+
+    >>> from repro.dtd.model import DTD
+    >>> d = DTD.build("r", {"r": "(a)", "a": "EMPTY"}, attrs={"a": ["k"]})
+    >>> print(canonical_spec(d, []))
+    <!ELEMENT r (a)>
+    <!ELEMENT a EMPTY>
+    <!ATTLIST a k CDATA #REQUIRED>
+    <BLANKLINE>
+    """
+    from repro.dtd.serializer import dtd_to_string
+
+    lines = [dtd_to_string(dtd)]
+    lines.extend(str(phi) for phi in constraints)
+    return "\n".join(lines)
+
+
+def spec_fingerprint(dtd: DTD, constraints: list[Constraint]) -> str:
+    """A stable hex fingerprint of ``(DTD, Sigma)`` — the session cache key.
+
+    Two structurally equal specifications (same DTD value, same
+    constraints in the same order) always produce the same fingerprint,
+    across processes and runs; any difference in root, content models,
+    attributes, or the constraint sequence produces a different one.
+
+    >>> from repro.dtd.model import DTD
+    >>> d = DTD.build("r", {"r": "(a)", "a": "EMPTY"}, attrs={"a": ["k"]})
+    >>> fp = spec_fingerprint(d, [])
+    >>> fp == spec_fingerprint(d, []) and len(fp) == 64
+    True
+    """
+    digest = hashlib.sha256(canonical_spec(dtd, constraints).encode("utf-8"))
+    return digest.hexdigest()
 
 
 def _dtd_cache_key(dtd: DTD) -> object:

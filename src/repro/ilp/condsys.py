@@ -509,6 +509,7 @@ class SolveWorkspace:
         self.leaf_counter = 0
         self.solve_calls = 0
         self._assembly_charged = False
+        self._checked_out = False
         # Both caches key by the clause tuple *value* (SupportClause is
         # hashable): batch callers keep one tuple object alive across
         # probes, so the hash is computed over an interned object, and a
@@ -615,6 +616,78 @@ class SolveWorkspace:
         clone.pool.merge(self.pool.export())
         return clone
 
+    def export_cuts(self) -> tuple[CutRecord, ...]:
+        """Every pooled connectivity cut as a transferable record.
+
+        The cross-*request* face of the two-level cut pool (DESIGN.md
+        sections 7-8): a long-lived session exports a workspace's cuts
+        after each solve and re-seeds future workspaces over the same
+        DTD skeleton with them.  A connectivity cut's justification is
+        purely structural — any tree with a member of its guard present
+        must enter the guard set from outside — so the records stay
+        valid for *every* constraint set encoded over the same DTD.
+        """
+        return self.pool.export()
+
+    def adopt_cuts(self, records: Iterable[CutRecord]) -> tuple[int, int]:
+        """Seed this workspace with previously exported cut records.
+
+        Returns ``(accepted, duplicates)`` under the standard merge
+        policy (dedup on canonical coefficients + guard).  Records whose
+        variables do not exist in this workspace's base system are
+        skipped rather than imported: a cut can only mention columns the
+        assembled matrix actually has (cuts over one DTD's skeleton all
+        share those columns; foreign records from other DTDs never
+        transfer).
+        """
+        known = set(self.assembled.system.variables)
+        portable = [
+            record
+            for record in records
+            if all(var in known for var, _ in record.coeffs)
+        ]
+        return self.pool.merge(portable)
+
+    def checkout(self) -> "_WorkspaceLease":
+        """Claim exclusive use of this workspace for one solve sequence.
+
+        Persistent HiGHS instances and the live exact factorization are
+        single-owner state; a long-lived service holding workspaces
+        across requests must never let two requests patch the same
+        instance concurrently.  ``checkout()`` returns a context manager
+        that marks the workspace busy for its duration and raises
+        :class:`SolverError` on overlapping claims — turning a silent
+        data race into a hard error at the boundary where request
+        scheduling went wrong.
+
+        >>> base = LinearSystem()
+        >>> _ = base.add_ge({("ext", "r"): 1}, 1)
+        >>> ws = SolveWorkspace(base)
+        >>> with ws.checkout():
+        ...     with ws.checkout():
+        ...         pass
+        Traceback (most recent call last):
+            ...
+        repro.errors.SolverError: workspace is already checked out
+        """
+        return _WorkspaceLease(self)
+
+
+class _WorkspaceLease:
+    """Context manager enforcing single-owner workspace checkout."""
+
+    def __init__(self, workspace: SolveWorkspace):
+        self._workspace = workspace
+
+    def __enter__(self) -> SolveWorkspace:
+        if self._workspace._checked_out:
+            raise SolverError("workspace is already checked out")
+        self._workspace._checked_out = True
+        return self._workspace
+
+    def __exit__(self, *exc_info) -> None:
+        self._workspace._checked_out = False
+
 
 class WorkerPool:
     """Fork-based pool of solver worker processes (DESIGN.md section 7).
@@ -666,6 +739,37 @@ class WorkerPool:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def effective_parallelism() -> int:
+    """CPU cores actually available to this process.
+
+    The one detection primitive every parallel gate derives from —
+    benchmark speedup skips (``benchmarks/conftest.py``), the jobs
+    sweeps of the differential fuzz harness, and the serving benchmarks
+    all consult it, so local runs and CI's cgroup-limited 2-core runners
+    skip (or downscale) the same way.  Prefers ``os.sched_getaffinity``
+    (which sees CPU-set limits the way container runtimes apply them)
+    and falls back to ``os.cpu_count()``.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
+
+
+def parallel_sweep_allowed(jobs: int) -> bool:
+    """Should a correctness sweep run a ``jobs``-worker configuration here?
+
+    Worker counts up to 2 always run (pool-engagement coverage must
+    survive single-core containers); beyond that, counts above twice the
+    effective cores are pure oversubscription — they exercise no new
+    schedule and dominate CI wall clock on 2-core runners — and are
+    skipped.  Wall-clock *speedup* gates are stricter (they need
+    ``effective_parallelism() >= jobs``; see ``benchmarks/conftest.py``).
+    Both guards read :func:`effective_parallelism`, so local runs and CI
+    runners skip the same way.
+    """
+    return jobs <= 2 or jobs <= 2 * effective_parallelism()
 
 
 def fanout_map(

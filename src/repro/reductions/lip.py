@@ -137,13 +137,13 @@ def lip_to_xml(instance: LIPInstance) -> LIPReduction:
         for i in rows_with_j:
             sigma.append(Key(f"Z{i}_{j}", (f"A{i}_{j}",)))
         for i in rows_with_j:
-            for l in rows_with_j:
-                if i != l:
+            for k in rows_with_j:
+                if i != k:
                     sigma.append(
                         ForeignKey(
                             InclusionConstraint(
                                 f"Z{i}_{j}", (f"A{i}_{j}",),
-                                f"Z{l}_{j}", (f"A{l}_{j}",),
+                                f"Z{k}_{j}", (f"A{k}_{j}",),
                             )
                         )
                     )

@@ -1,0 +1,60 @@
+"""Long-lived checking service: resident sessions over the one-shot core.
+
+The paper's checkers decide one ``(DTD, Sigma)`` question per call; real
+XML tooling asks *streams* of questions against specifications that
+change rarely.  This package turns the pipeline into a resident engine
+(DESIGN.md section 8):
+
+* :class:`~repro.service.session.SpecSession` — one specification's
+  cached state: the parsed spec, its canonical fingerprint, a response
+  cache, and (in ``"warm"`` mode) per-query solver workspaces plus the
+  session-level connectivity-cut pool;
+* :class:`~repro.service.registry.SessionRegistry` — the cross-request
+  cache: sessions keyed by ``(DTD, Sigma)`` fingerprint with LRU +
+  byte-budget eviction;
+* :class:`~repro.service.server.CheckingServer` — the asyncio front end
+  (``repro serve``): line-delimited JSON over stdio or a localhost TCP
+  socket, with a per-session batcher that coalesces concurrent
+  ``implies`` requests into single ``implies_all`` fan-outs;
+* :class:`~repro.service.client.ServiceClient` — a small synchronous
+  client for scripts, benchmarks and the README quickstart.
+
+The CLI's ``check``/``implies``/``diagnose`` commands are thin clients
+of the same session API, so the service and the one-shot path cannot
+drift: a request replayed through ``repro serve`` returns byte-identical
+verdicts, witnesses and solver stats to the direct
+:class:`~repro.checkers.config.CheckerConfig` path
+(``tests/test_service_differential.py`` enforces this).
+"""
+
+__all__ = [
+    "CheckingServer",
+    "ServiceClient",
+    "SessionRegistry",
+    "SpecSession",
+]
+
+#: Exported name -> defining submodule.  Resolution is lazy (PEP 562) so
+#: that the CLI's one-shot commands — thin clients of the session layer
+#: only — never pay for importing the asyncio server or its thread-pool
+#: machinery on their cold path (the exact path the serving benchmarks
+#: compare against).
+_EXPORTS = {
+    "CheckingServer": "repro.service.server",
+    "ServiceClient": "repro.service.client",
+    "SessionRegistry": "repro.service.registry",
+    "SpecSession": "repro.service.session",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(__all__)

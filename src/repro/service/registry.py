@@ -1,0 +1,188 @@
+"""Cross-request session cache: fingerprint-keyed, LRU + byte budget.
+
+The registry is the service's working set.  Every request resolves to a
+:class:`~repro.service.session.SpecSession` through
+:meth:`SessionRegistry.session_for`: a canonical
+:func:`~repro.encoding.combined.spec_fingerprint` of the request's
+``(DTD, Sigma)`` either hits a resident session (``session_hits``) or
+admits a new one, evicting least-recently-used sessions while the
+registry exceeds its session count or byte budget
+(``sessions_evicted``).  An evicted specification is not an error — the
+next request for it simply re-admits a cold session, whose answers are
+byte-identical to the evicted one's (the differential suite replays
+exactly this).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.checkers.config import CheckerConfig
+from repro.constraints.ast import Constraint
+from repro.constraints.parser import parse_constraints
+from repro.dtd.model import DTD
+from repro.dtd.parser import parse_dtd
+from repro.encoding.combined import spec_fingerprint
+from repro.errors import ReproError
+from repro.service.session import MODES, SpecSession
+
+
+#: Lazily-created process-wide registry (the CLI's thin-client backing).
+_DEFAULT_REGISTRY: "SessionRegistry | None" = None
+
+
+def default_registry() -> "SessionRegistry":
+    """The process-wide registry the CLI commands resolve through.
+
+    One-shot command invocations see a cold session each (their results
+    are byte-identical to the pre-service CLI), while embedders that
+    call :func:`repro.cli.main` repeatedly in one process — test
+    harnesses, notebooks, driver scripts — get cross-call session reuse
+    for free.
+    """
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = SessionRegistry()
+    return _DEFAULT_REGISTRY
+
+
+class SessionRegistry:
+    """LRU cache of :class:`SpecSession`\\ s keyed by spec fingerprint.
+
+    >>> from repro.dtd.model import DTD
+    >>> registry = SessionRegistry(max_sessions=2)
+    >>> d = DTD.build("r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["k"]})
+    >>> first = registry.session_for(d, [])
+    >>> registry.session_for(d, []) is first      # same spec: cache hit
+    True
+    >>> registry.stats()["session_hits"]
+    1
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = 32,
+        max_bytes: int = 256 * 1024 * 1024,
+        mode: str = "replay",
+        config: CheckerConfig | None = None,
+        max_cached_responses: int = 512,
+        max_workspaces: int = 32,
+    ):
+        if mode not in MODES:
+            raise ReproError(f"unknown session mode {mode!r} (use one of {MODES})")
+        if max_sessions < 1:
+            raise ReproError("the registry needs room for at least one session")
+        self.max_sessions = max_sessions
+        self.max_bytes = max_bytes
+        self.mode = mode
+        self.config = config
+        self._max_cached_responses = max_cached_responses
+        self._max_workspaces = max_workspaces
+        self._lock = threading.Lock()
+        self._sessions: "OrderedDict[str, SpecSession]" = OrderedDict()
+        self._hits = 0
+        self._opened = 0
+        self._evicted = 0
+
+    # -- resolution ---------------------------------------------------------
+
+    def session_for(
+        self,
+        dtd: DTD | str,
+        constraints: list[Constraint] | tuple[Constraint, ...] | str = (),
+        root: str | None = None,
+    ) -> SpecSession:
+        """The resident session for ``(dtd, constraints)``; admit if absent.
+
+        Accepts parsed objects or text (``<!ELEMENT ...>`` declarations
+        and constraint lines), so the wire layer and the CLI resolve
+        through the same entry point.
+        """
+        if isinstance(dtd, str):
+            dtd = parse_dtd(dtd, root=root)
+        if isinstance(constraints, str):
+            constraints = parse_constraints(constraints)
+        sigma = list(constraints)
+        fingerprint = spec_fingerprint(dtd, sigma)
+        with self._lock:
+            session = self._sessions.get(fingerprint)
+            if session is not None:
+                self._sessions.move_to_end(fingerprint)
+                self._hits += 1
+                return session
+            session = SpecSession(
+                dtd,
+                sigma,
+                config=self.config,
+                mode=self.mode,
+                max_cached_responses=self._max_cached_responses,
+                max_workspaces=self._max_workspaces,
+            )
+            self._opened += 1
+            self._sessions[fingerprint] = session
+            self._shrink_locked()
+            return session
+
+    def get(self, fingerprint: str) -> SpecSession | None:
+        """The resident session with this fingerprint, if any (no admit)."""
+        with self._lock:
+            session = self._sessions.get(fingerprint)
+            if session is not None:
+                self._sessions.move_to_end(fingerprint)
+                self._hits += 1
+            return session
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop one session by fingerprint; ``True`` if it was resident."""
+        with self._lock:
+            if fingerprint not in self._sessions:
+                return False
+            del self._sessions[fingerprint]
+            self._evicted += 1
+            return True
+
+    def _shrink_locked(self) -> None:
+        """Evict LRU sessions while over the count or byte budget.
+
+        The just-admitted session (most recently used) is never evicted:
+        a single oversized spec must still be answerable, it simply
+        leaves no room for neighbours.
+        """
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self._evicted += 1
+        while len(self._sessions) > 1 and self.approx_bytes() > self.max_bytes:
+            self._sessions.popitem(last=False)
+            self._evicted += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def approx_bytes(self) -> int:
+        """Estimated resident size of every session (see ``approx_bytes``)."""
+        return sum(session.approx_bytes() for session in self._sessions.values())
+
+    def fingerprints(self) -> list[str]:
+        """Resident fingerprints, least recently used first."""
+        with self._lock:
+            return list(self._sessions)
+
+    def stats(self) -> dict[str, int]:
+        """Registry counters plus aggregate session counters."""
+        with self._lock:
+            payload = {
+                "sessions": len(self._sessions),
+                "sessions_opened": self._opened,
+                "session_hits": self._hits,
+                "sessions_evicted": self._evicted,
+                "approx_bytes": self.approx_bytes(),
+                "max_sessions": self.max_sessions,
+                "max_bytes": self.max_bytes,
+            }
+            payload["session_requests"] = sum(
+                session.stats.requests for session in self._sessions.values()
+            )
+            payload["response_cache_hits"] = sum(
+                session.stats.cache_hits for session in self._sessions.values()
+            )
+            return payload

@@ -1,0 +1,389 @@
+"""The asyncio front end: ``repro serve`` (DESIGN.md section 8).
+
+Line-delimited JSON requests arrive over stdio or a localhost TCP
+socket; each is dispatched against the shared
+:class:`~repro.service.registry.SessionRegistry`.  Solver work runs in a
+small thread pool so the event loop stays responsive, under two
+scheduling rules:
+
+* **per-session serialization** — every session has at most one
+  operation in flight at a time (a single drainer task per session
+  feeds the executor), so single-owner workspace state never races;
+* **batch coalescing** — while a session is busy, newly arrived
+  ``implies`` requests with the same config pile up in its queue; the
+  drainer pops them *together* and answers them with one
+  ``implies_batch`` call (which validates once, shares the encoding
+  block, and fans across the PR-4 worker pool when ``jobs > 1``).
+  ``batches_coalesced`` counts multi-request batches and
+  ``batch_width`` the widest one.
+
+Responses may complete out of request order across a connection; the
+echoed ``id`` is the correlation key.  ``shutdown`` stops the server —
+the trust model is a localhost/stdio tool, not an internet service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.ilp.condsys import effective_parallelism
+from repro.service import protocol
+from repro.service.registry import SessionRegistry
+from repro.service.session import SpecSession
+
+
+@dataclass
+class ServerStats:
+    """Front-end counters (the solver's own counters ride on responses)."""
+
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    batches: int = 0
+    batches_coalesced: int = 0
+    batch_width: int = 0
+    batch_width_sum: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "errors": self.errors,
+            "batches": self.batches,
+            "batches_coalesced": self.batches_coalesced,
+            "batch_width": self.batch_width,
+            "batch_width_sum": self.batch_width_sum,
+        }
+
+
+class _SessionQueue:
+    """Pending operations for one session, drained one batch at a time."""
+
+    def __init__(self, server: "CheckingServer", session: SpecSession):
+        self.server = server
+        self.session = session
+        self.pending: deque = deque()
+        self.draining = False
+
+    def submit(self, request: dict) -> "asyncio.Future":
+        future = asyncio.get_running_loop().create_future()
+        self.pending.append((request, future))
+        if not self.draining:
+            self.draining = True
+            asyncio.get_running_loop().create_task(self._drain())
+        return future
+
+    def _take_batch(self) -> list:
+        """The next unit of work: a coalesced ``implies`` run or one op.
+
+        When the head is an ``implies``, every pending ``implies`` with
+        the same config joins it (requests are independent, so pulling
+        them forward past other queued ops only changes completion
+        order, which the protocol does not promise).
+        """
+        head, head_future = self.pending.popleft()
+        if head.get("op") != "implies":
+            return [(head, head_future)]
+        batch = [(head, head_future)]
+        config = head.get("config")
+        rest = deque()
+        while self.pending:
+            request, future = self.pending.popleft()
+            if request.get("op") == "implies" and request.get("config") == config:
+                batch.append((request, future))
+            else:
+                rest.append((request, future))
+        self.pending = rest
+        return batch
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while self.pending:
+                batch = self._take_batch()
+                stats = self.server.stats
+                stats.batches += 1
+                if len(batch) > 1:
+                    stats.batches_coalesced += 1
+                stats.batch_width = max(stats.batch_width, len(batch))
+                stats.batch_width_sum += len(batch)
+                try:
+                    if len(batch) > 1:
+                        phis = [request["phi"] for request, _ in batch]
+                        config = batch[0][0].get("config")
+                        payloads = await loop.run_in_executor(
+                            self.server.executor,
+                            lambda: self.session.implies_batch(phis, config),
+                        )
+                    else:
+                        request = batch[0][0]
+                        payloads = [
+                            await loop.run_in_executor(
+                                self.server.executor,
+                                lambda: protocol.perform(self.session, request),
+                            )
+                        ]
+                except Exception as exc:  # noqa: BLE001 - per-request delivery
+                    for _, future in batch:
+                        if not future.done():
+                            future.set_exception(_copy_exception(exc))
+                else:
+                    for (_, future), payload in zip(batch, payloads):
+                        if not future.done():
+                            future.set_result(payload)
+        finally:
+            self.draining = False
+            if not self.pending:
+                self.server._queues.pop(self.session.fingerprint, None)
+
+
+def _copy_exception(exc: Exception) -> Exception:
+    """A per-future clone (one exception object must not be shared by
+    several futures: tracebacks would chain confusingly)."""
+    try:
+        return type(exc)(str(exc))
+    except Exception:  # noqa: BLE001 - exotic signature; reuse the original
+        return exc
+
+
+class CheckingServer:
+    """The resident checking service over a :class:`SessionRegistry`."""
+
+    def __init__(
+        self,
+        registry: SessionRegistry | None = None,
+        executor_threads: int | None = None,
+    ):
+        self.registry = registry or SessionRegistry()
+        self.stats = ServerStats()
+        self.executor = ThreadPoolExecutor(
+            max_workers=executor_threads
+            or max(2, min(8, effective_parallelism())),
+            thread_name_prefix="repro-serve",
+        )
+        self._queues: dict[str, _SessionQueue] = {}
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._thread_loop: asyncio.AbstractEventLoop | None = None
+        self._thread_ready = threading.Event()
+        self.address: tuple[str, int] | None = None
+
+    # -- request handling ---------------------------------------------------
+
+    async def handle_request(self, line: str) -> dict:
+        """Decode, dispatch and answer one request line."""
+        self.stats.requests += 1
+        request_id = None
+        try:
+            request = protocol.parse_request(line)
+            request_id = request.get("id")
+            op = request["op"]
+            if op == "stats":
+                response = protocol.ok_response(request, self.stats_payload(), None)
+            elif op == "shutdown":
+                response = protocol.ok_response(request, {"stopping": True}, None)
+                if self._stop is not None:
+                    # Stop on the next tick-ish so responses already in
+                    # flight (including this one) can still be written.
+                    asyncio.get_running_loop().call_later(
+                        0.05, self._stop.set
+                    )
+            else:
+                loop = asyncio.get_running_loop()
+                session = await loop.run_in_executor(
+                    self.executor,
+                    lambda: protocol.resolve_session(self.registry, request),
+                )
+                queue = self._queues.get(session.fingerprint)
+                if queue is None or queue.session is not session:
+                    queue = _SessionQueue(self, session)
+                    self._queues[session.fingerprint] = queue
+                payload = await queue.submit(request)
+                if "error" in payload:
+                    self.stats.errors += 1
+                    response = {
+                        "id": request_id,
+                        "ok": False,
+                        **payload,
+                    }
+                else:
+                    response = protocol.ok_response(request, payload, session)
+        except Exception as exc:  # noqa: BLE001 - every request gets an answer
+            self.stats.errors += 1
+            response = protocol.error_response(request_id, exc)
+        self.stats.responses += 1
+        return response
+
+    def stats_payload(self) -> dict:
+        """Registry, server and per-session counters (the ``stats`` op)."""
+        sessions = {}
+        for fingerprint in self.registry.fingerprints():
+            session = self.registry._sessions.get(fingerprint)
+            if session is not None:
+                sessions[fingerprint] = session.service_stats()
+        return {
+            "registry": self.registry.stats(),
+            "server": self.stats.as_dict(),
+            "sessions": sessions,
+        }
+
+    # -- transports ---------------------------------------------------------
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Serve on a localhost TCP socket until ``shutdown`` arrives.
+
+        ``self.address`` carries the bound ``(host, port)`` once
+        listening (``port=0`` binds an ephemeral port).
+        """
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle_connection, host, port)
+        sockname = server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        async with server:
+            await self._stop.wait()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        write_lock = asyncio.Lock()
+        tasks = []
+
+        async def answer(line: str) -> None:
+            response = await self.handle_request(line)
+            try:
+                async with write_lock:
+                    writer.write((protocol.encode(response) + "\n").encode("utf-8"))
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the response has nowhere to go
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").strip()
+                if not text:
+                    continue
+                tasks.append(asyncio.ensure_future(answer(text)))
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Server shutdown cancels connection handlers mid-read; the
+            # 0.05s grace period in the shutdown op already let queued
+            # responses flush.
+            pass
+        finally:
+            writer.close()
+
+    async def serve_stdio(self, stdin=None, stdout=None) -> None:
+        """Serve over stdin/stdout until EOF or ``shutdown``.
+
+        stdin is pumped by a dedicated *daemon* thread rather than the
+        default executor: a blocked ``readline`` must not keep the
+        process alive after a ``shutdown`` request (``asyncio.run``
+        joins default-executor threads on exit; it never joins a
+        daemon).
+        """
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        self._stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        lines: asyncio.Queue = asyncio.Queue()
+        write_lock = asyncio.Lock()
+        tasks = []
+
+        def pump() -> None:
+            while True:
+                line = stdin.readline()
+                try:
+                    loop.call_soon_threadsafe(lines.put_nowait, line)
+                except RuntimeError:
+                    return  # loop already closed; nothing left to feed
+                if not line:
+                    return
+
+        threading.Thread(target=pump, name="repro-stdin", daemon=True).start()
+
+        async def answer(line: str) -> None:
+            response = await self.handle_request(line)
+            async with write_lock:
+                stdout.write(protocol.encode(response) + "\n")
+                stdout.flush()
+
+        while not self._stop.is_set():
+            read = asyncio.ensure_future(lines.get())
+            stop = asyncio.ensure_future(self._stop.wait())
+            done, _ = await asyncio.wait(
+                {read, stop}, return_when=asyncio.FIRST_COMPLETED
+            )
+            stop.cancel()
+            if read not in done:
+                read.cancel()
+                break
+            line = read.result()
+            if not line:
+                break
+            if line.strip():
+                tasks.append(asyncio.ensure_future(answer(line.strip())))
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- background lifecycle (tests, benchmarks, the README quickstart) ----
+
+    def start_background(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Run the TCP server on a daemon thread; returns the address.
+
+        >>> from repro.service.registry import SessionRegistry
+        >>> server = CheckingServer(SessionRegistry(max_sessions=4))
+        >>> host, port = server.start_background()
+        >>> port > 0
+        True
+        >>> server.close()
+        """
+        if self._thread is not None:
+            raise RuntimeError("server is already running")
+
+        def run() -> None:
+            async def main() -> None:
+                self._thread_loop = asyncio.get_running_loop()
+                started = asyncio.ensure_future(self.serve_tcp(host, port))
+                while self.address is None and not started.done():
+                    await asyncio.sleep(0.001)
+                self._thread_ready.set()
+                await started
+
+            try:
+                asyncio.run(main())
+            finally:
+                self._thread_ready.set()
+
+        self._thread = threading.Thread(target=run, name="repro-serve", daemon=True)
+        self._thread.start()
+        self._thread_ready.wait(timeout=10.0)
+        if self.address is None:
+            raise RuntimeError("server failed to start")
+        return self.address
+
+    def close(self) -> None:
+        """Stop a background server and release the executor."""
+        if self._thread is not None and self._thread_loop is not None:
+            stop = self._stop
+
+            def signal() -> None:
+                if stop is not None:
+                    stop.set()
+
+            try:
+                self._thread_loop.call_soon_threadsafe(signal)
+            except RuntimeError:
+                pass  # loop already closed
+            self._thread.join(timeout=10.0)
+            self._thread = None
+            self._thread_loop = None
+        self.executor.shutdown(wait=False)

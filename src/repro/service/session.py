@@ -1,0 +1,483 @@
+"""One specification's resident state: the ``SpecSession``.
+
+A session pins one ``(DTD, Sigma)`` pair — identified by its canonical
+:func:`~repro.encoding.combined.spec_fingerprint` — and answers
+``check`` / ``implies`` / ``diagnose`` / ``validate`` requests against
+it.  Requests and responses are JSON-ready dicts (the wire form of
+``repro serve``), so a session *is* the service engine; the asyncio
+layer only schedules calls into it.
+
+Two reuse modes:
+
+* ``"replay"`` (default) — deterministic cross-request caching only:
+  the parsed spec, its validation, the per-DTD ``Psi_DN`` encoding
+  block, and a bounded response cache keyed by the full request.  A
+  novel request runs the *exact* one-shot checker path, so every
+  response is byte-identical to the direct
+  :class:`~repro.checkers.config.CheckerConfig` call — repeats are
+  served from the cache, stats included.
+* ``"warm"`` — additionally keeps per-query
+  :class:`~repro.ilp.condsys.SolveWorkspace`\\ s (assembled HiGHS
+  matrix + lazily-built exact twin) in a bounded LRU, and carries the
+  session-level connectivity-cut pool into every new workspace.  A
+  repeated ``implies`` that misses the response cache re-solves by
+  bound patches on the warm assembly; novel queries start from the
+  accumulated cuts.  Verdicts and witnesses stay correct (cuts are
+  structurally valid for every constraint set over the same DTD, and
+  all witnesses are re-verified), but the solver *work counters* then
+  reflect the warm state rather than a cold start.
+
+Sessions are single-owner: a :class:`threading.RLock` serializes
+requests, and warm workspaces are claimed through
+:meth:`~repro.ilp.condsys.SolveWorkspace.checkout` so an ownership bug
+raises instead of racing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields, replace
+
+from repro.checkers.config import DEFAULT_CONFIG, CheckerConfig
+from repro.checkers.consistency import check_consistency, check_consistency_encoded
+from repro.checkers.implication import implies_all, implies_validated
+from repro.checkers.results import ConsistencyResult
+from repro.analysis.diagnostics import diagnose
+from repro.constraints.ast import Constraint
+from repro.constraints.classes import (
+    ConstraintClass,
+    classify,
+    validate_constraints,
+)
+from repro.constraints.parser import parse_constraint
+from repro.constraints.satisfaction import violations
+from repro.dtd.model import DTD
+from repro.encoding.combined import (
+    build_encoding,
+    canonical_spec,
+    spec_fingerprint,
+)
+from repro.errors import ReproError
+from repro.ilp.condsys import SolveWorkspace
+from repro.xmltree.parse import parse_xml
+from repro.xmltree.serialize import tree_to_string
+from repro.xmltree.validate import conforms
+
+#: The reuse modes a session can run in.
+MODES = ("replay", "warm")
+
+#: CheckerConfig fields a request may override per call.
+_CONFIG_FIELDS = frozenset(f.name for f in fields(CheckerConfig))
+
+
+@dataclass
+class SessionStats:
+    """Counters for one session's cross-request behaviour."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    workspaces_built: int = 0
+    workspaces_reused: int = 0
+    workspaces_dropped: int = 0
+    cuts_carried: int = 0
+    batch_requests: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "workspaces_built": self.workspaces_built,
+            "workspaces_reused": self.workspaces_reused,
+            "workspaces_dropped": self.workspaces_dropped,
+            "cuts_carried": self.cuts_carried,
+            "batch_requests": self.batch_requests,
+        }
+
+
+def merge_config(base: CheckerConfig, overrides: dict | None) -> CheckerConfig:
+    """``base`` with a request's config overrides applied.
+
+    Unknown keys raise :class:`ReproError` (a client typo must not be
+    silently ignored — it would change which answer the client thinks
+    it asked for).
+    """
+    if not overrides:
+        return base
+    unknown = set(overrides) - _CONFIG_FIELDS
+    if unknown:
+        names = ", ".join(sorted(unknown))
+        raise ReproError(f"unknown config override(s): {names}")
+    return replace(base, **overrides)
+
+
+def _error_payload(exc: Exception) -> dict:
+    """The canonical error body — one rendering for singles and batches.
+
+    The protocol layer wraps the same body into error responses, so a
+    query that fails inside a coalesced batch answers byte-identically
+    to the same query sent alone.
+    """
+    return {
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+class SpecSession:
+    """Resident checking state for one ``(DTD, Sigma)`` specification.
+
+    >>> from repro.dtd.model import DTD
+    >>> from repro.constraints.parser import parse_constraints
+    >>> d = DTD.build("db", {"db": "(item*)", "item": "EMPTY"},
+    ...               attrs={"item": ["id"]})
+    >>> session = SpecSession(d, parse_constraints("item.id -> item"))
+    >>> session.check()["consistent"]
+    True
+    >>> first = session.implies("item.id -> item")
+    >>> first["implied"], session.stats.cache_hits
+    (True, 0)
+    >>> session.implies("item.id -> item") == first   # served from cache
+    True
+    >>> session.stats.cache_hits
+    1
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        constraints: list[Constraint] | tuple[Constraint, ...] = (),
+        config: CheckerConfig | None = None,
+        mode: str = "replay",
+        max_cached_responses: int = 512,
+        max_workspaces: int = 32,
+        max_response_bytes: int = 64 * 1024 * 1024,
+    ):
+        if mode not in MODES:
+            raise ReproError(f"unknown session mode {mode!r} (use one of {MODES})")
+        self.dtd = dtd
+        self.sigma = list(constraints)
+        validate_constraints(dtd, self.sigma)
+        self.config = config or DEFAULT_CONFIG
+        self.mode = mode
+        self.fingerprint = spec_fingerprint(dtd, self.sigma)
+        self.stats = SessionStats()
+        self._spec_bytes = len(canonical_spec(dtd, self.sigma).encode("utf-8"))
+        self._max_cached_responses = max_cached_responses
+        self._max_workspaces = max_workspaces
+        #: Per-session cap on the response cache's resident bytes (keys
+        #: included), so one session cannot grow unboundedly between the
+        #: registry's admission-time budget scans.
+        self._max_response_bytes = max_response_bytes
+        self._lock = threading.RLock()
+        #: request key -> rendered response JSON (the byte-identity store).
+        self._responses: "OrderedDict[tuple, str]" = OrderedDict()
+        self._response_bytes = 0
+        #: warm mode: workspace key -> (encoding, SolveWorkspace).
+        self._workspaces: "OrderedDict[tuple, tuple]" = OrderedDict()
+        #: warm mode: session-level cut pool, keyed for dedup.
+        self._cut_records: dict[tuple, object] = {}
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def approx_bytes(self) -> int:
+        """Rough resident size, the registry's eviction currency.
+
+        Sums the canonical spec text, the cached responses (keys
+        included — a ``validate`` key retains the whole document text),
+        and a per-workspace estimate from the base system's shape (rows
+        and columns of the assembled matrix plus pooled cuts).  An
+        estimate is enough: eviction needs relative weight, not
+        accounting.  Takes the session lock: callers (the registry's
+        eviction scan, the ``stats`` op) run on other threads than the
+        executor thread mutating the warm-workspace LRU.
+        """
+        with self._lock:
+            total = self._spec_bytes + self._response_bytes
+            for encoding, workspace in self._workspaces.values():
+                base = encoding.condsys.base
+                total += 48 * base.num_rows + 24 * base.num_vars
+                total += 64 * len(workspace.pool)
+            return total
+
+    def service_stats(self) -> dict[str, int]:
+        """The session's cross-request counters plus cache occupancy."""
+        with self._lock:
+            payload = self.stats.as_dict()
+            payload["cached_responses"] = len(self._responses)
+            payload["warm_workspaces"] = len(self._workspaces)
+            payload["cut_records"] = len(self._cut_records)
+            payload["approx_bytes"] = self.approx_bytes()
+            return payload
+
+    @staticmethod
+    def _entry_bytes(key: tuple, rendered: str) -> int:
+        """One cache entry's weight: response JSON plus the key itself
+        (a ``validate`` key retains the entire document text)."""
+        return len(rendered) + sum(len(str(part)) for part in key)
+
+    def _remember(self, key: tuple, payload: dict) -> dict:
+        """Record a response; return the cache's canonical copy."""
+        rendered = json.dumps(payload, sort_keys=True)
+        self._responses[key] = rendered
+        self._response_bytes += self._entry_bytes(key, rendered)
+        while len(self._responses) > 1 and (
+            len(self._responses) > self._max_cached_responses
+            or self._response_bytes > self._max_response_bytes
+        ):
+            dropped_key, dropped = self._responses.popitem(last=False)
+            self._response_bytes -= self._entry_bytes(dropped_key, dropped)
+        return json.loads(rendered)
+
+    def _recall(self, key: tuple) -> dict | None:
+        rendered = self._responses.get(key)
+        if rendered is None:
+            return None
+        self._responses.move_to_end(key)
+        self.stats.cache_hits += 1
+        return json.loads(rendered)
+
+    # -- request entry points ----------------------------------------------
+
+    def check(self, config: dict | None = None) -> dict:
+        """Consistency of the session's specification."""
+        with self._lock:
+            self.stats.requests += 1
+            effective = merge_config(self.config, config)
+            key = ("check", effective)
+            cached = self._recall(key)
+            if cached is not None:
+                return cached
+            if self.mode == "warm":
+                result = self._warm_consistency(
+                    self.dtd, self.sigma, effective, workspace_key=("check",)
+                )
+            else:
+                result = check_consistency(self.dtd, self.sigma, effective)
+            payload = {
+                "consistent": result.consistent,
+                "method": result.method,
+                "message": result.message,
+                "stats": dict(result.stats),
+                "witness": (
+                    tree_to_string(result.witness)
+                    if result.witness is not None
+                    else None
+                ),
+            }
+            return self._remember(key, payload)
+
+    def implies(self, phi: str | Constraint, config: dict | None = None) -> dict:
+        """Is ``phi`` implied by the session's specification?"""
+        with self._lock:
+            self.stats.requests += 1
+            return self._implies_locked(phi, merge_config(self.config, config))
+
+    def implies_batch(self, phis: list, config: dict | None = None) -> list[dict]:
+        """Batch implication — the coalesced form the server's batcher uses.
+
+        Per-query responses are identical to asking :meth:`implies` one
+        by one (``implies_all`` runs the same validated per-query path),
+        but the batch validates once, shares the per-DTD encoding block,
+        and — with ``jobs > 1`` in the session config — fans the misses
+        across the PR-4 worker pool in one ``implies_all`` call.
+        """
+        with self._lock:
+            self.stats.requests += 1
+            self.stats.batch_requests += 1
+            effective = merge_config(self.config, config)
+            responses: list[dict] = []
+            misses: list[tuple[int, Constraint]] = []
+            for phi in phis:
+                try:
+                    parsed = self._parse_phi(phi)
+                except ReproError as exc:
+                    responses.append(_error_payload(exc))
+                    continue
+                key = ("implies", str(parsed), effective)
+                cached = self._recall(key)
+                if cached is None:
+                    misses.append((len(responses), parsed))
+                responses.append(cached)  # placeholder when None
+            if len(misses) > 1 and self.mode != "warm":
+                # The coalesced path: one ``implies_all`` call over the
+                # batch's *distinct* missed queries — it validates once,
+                # shares the per-DTD encoding block, and fans over the
+                # PR-4 worker pool when ``jobs > 1``; queries repeated
+                # within the batch are solved once and the duplicates
+                # replay the recorded response (counted as cache hits,
+                # exactly as the sequential loop would have served
+                # them).  Any ReproError from the batch call (an
+                # undecidable query poisons it whole) falls back to the
+                # per-query loop below, which isolates errors per
+                # request.
+                unique: dict[str, Constraint] = {}
+                for _, parsed in misses:
+                    unique.setdefault(str(parsed), parsed)
+                try:
+                    results = implies_all(
+                        self.dtd, self.sigma, list(unique.values()), effective
+                    )
+                except ReproError:
+                    pass
+                else:
+                    first: dict[str, dict] = {}
+                    for parsed, result in zip(unique.values(), results):
+                        key = ("implies", str(parsed), effective)
+                        first[str(parsed)] = self._remember(
+                            key, self._implication_payload(result)
+                        )
+                    for index, parsed in misses:
+                        payload = first.pop(str(parsed), None)
+                        if payload is None:  # an intra-batch repeat
+                            payload = self._recall(
+                                ("implies", str(parsed), effective)
+                            )
+                        responses[index] = payload
+                    misses = []
+            for index, parsed in misses:
+                try:
+                    responses[index] = self._implies_locked(parsed, effective)
+                except ReproError as exc:
+                    responses[index] = _error_payload(exc)
+            return responses
+
+    def diagnose(
+        self,
+        config: dict | None = None,
+        rebuild: bool = False,
+        mus_method: str = "quickxplain",
+    ) -> dict:
+        """Specification health report (MUS / redundancy audit)."""
+        with self._lock:
+            self.stats.requests += 1
+            effective = merge_config(self.config, config)
+            key = ("diagnose", bool(rebuild), mus_method, effective)
+            cached = self._recall(key)
+            if cached is not None:
+                return cached
+            report = diagnose(
+                self.dtd,
+                self.sigma,
+                effective,
+                toggled=not rebuild,
+                mus_method=mus_method,
+            )
+            payload = {
+                "consistent": report.consistent,
+                "dtd_satisfiable": report.dtd_satisfiable,
+                "mus": [str(phi) for phi in report.mus],
+                "redundant": [str(phi) for phi in report.redundant],
+                "summary": report.summary(),
+                "stats": report.stats.as_dict(),
+            }
+            return self._remember(key, payload)
+
+    def validate(self, document: str) -> dict:
+        """Does a concrete document conform to the DTD and satisfy Sigma?"""
+        with self._lock:
+            self.stats.requests += 1
+            key = ("validate", document)
+            cached = self._recall(key)
+            if cached is not None:
+                return cached
+            tree = parse_xml(document)
+            report = conforms(tree, self.dtd)
+            violated = violations(tree, self.sigma)
+            payload = {
+                "conforms": bool(report),
+                "errors": list(report.errors),
+                "satisfies": not violated,
+                "violations": [str(phi) for phi in violated],
+            }
+            return self._remember(key, payload)
+
+    def describe(self) -> dict:
+        """The session's identity card (the ``open`` response)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "root": self.dtd.root,
+            "element_types": len(self.dtd.element_types),
+            "constraints": len(self.sigma),
+            "mode": self.mode,
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _parse_phi(self, phi: str | Constraint) -> Constraint:
+        return parse_constraint(phi) if isinstance(phi, str) else phi
+
+    def _implication_payload(self, result) -> dict:
+        return {
+            "implied": result.implied,
+            "method": result.method,
+            "message": result.message,
+            "stats": dict(result.stats),
+            "counterexample": (
+                tree_to_string(result.counterexample)
+                if result.counterexample is not None
+                else None
+            ),
+        }
+
+    def _implies_locked(self, phi: str | Constraint, effective: CheckerConfig) -> dict:
+        parsed = self._parse_phi(phi)
+        key = ("implies", str(parsed), effective)
+        cached = self._recall(key)
+        if cached is not None:
+            return cached
+        validate_constraints(self.dtd, [*self.sigma, parsed])
+        consistency = self._warm_probe if self.mode == "warm" else None
+        result = implies_validated(self.dtd, self.sigma, parsed, effective, consistency)
+        return self._remember(key, self._implication_payload(result))
+
+    def _warm_probe(
+        self, dtd: DTD, constraints: list[Constraint], config: CheckerConfig
+    ) -> ConsistencyResult:
+        """Negation-consistency probe served from warm per-query state.
+
+        Keyed by the probe's final constraint (the negated query — the
+        rest is always the session's Sigma), so a repeated query lands
+        on its own warm workspace and re-solves by bound patches.
+        """
+        marker = str(constraints[-1]) if constraints else ""
+        return self._warm_consistency(
+            dtd, constraints, config, workspace_key=("implies", marker)
+        )
+
+    def _warm_consistency(
+        self,
+        dtd: DTD,
+        constraints: list[Constraint],
+        config: CheckerConfig,
+        workspace_key: tuple,
+    ) -> ConsistencyResult:
+        """Consistency with per-query workspace + session cut carry-over."""
+        cls = classify(constraints)
+        if cls in (ConstraintClass.EMPTY, ConstraintClass.K, ConstraintClass.K_FK):
+            # Linear-time fragments and the undecidable refusal: nothing
+            # for a workspace to amortize — take the one-shot path.
+            return check_consistency(dtd, constraints, config)
+        key = (*workspace_key, config.max_setrep_attrs)
+        entry = self._workspaces.get(key)
+        if entry is None:
+            encoding = build_encoding(
+                dtd, constraints, max_setrep_attrs=config.max_setrep_attrs
+            )
+            workspace = SolveWorkspace(encoding.condsys.base)
+            accepted, _ = workspace.adopt_cuts(self._cut_records.values())
+            self.stats.cuts_carried += accepted
+            self.stats.workspaces_built += 1
+            self._workspaces[key] = entry = (encoding, workspace)
+            while len(self._workspaces) > self._max_workspaces:
+                self._workspaces.popitem(last=False)
+                self.stats.workspaces_dropped += 1
+        else:
+            self._workspaces.move_to_end(key)
+            self.stats.workspaces_reused += 1
+        encoding, workspace = entry
+        with workspace.checkout():
+            result = check_consistency_encoded(encoding, config, workspace)
+        for record in workspace.export_cuts():
+            self._cut_records.setdefault(record.key, record)
+        return result

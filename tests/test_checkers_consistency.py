@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.checkers.config import CheckerConfig
 from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
 from repro.checkers.primary import check_consistency_primary
 from repro.constraints.parser import parse_constraints

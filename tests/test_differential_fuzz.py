@@ -33,6 +33,7 @@ import pytest
 from repro.checkers.config import CheckerConfig
 from repro.checkers.consistency import check_consistency
 from repro.errors import InvalidConstraintError
+from repro.ilp.condsys import parallel_sweep_allowed
 from repro.workloads.generators import random_dtd, random_unary_constraints
 
 #: The four configurations under differential test.  Witnesses are
@@ -142,8 +143,15 @@ def test_configs_cover_the_advertised_matrix():
 # ---------------------------------------------------------------------------
 
 #: Worker counts under differential test — the parallel path must return
-#: the sequential verdict for every one of them.
-JOBS_SWEEP = (1, 2, 4)
+#: the sequential verdict for every one of them.  Counts that are pure
+#: oversubscription for this container's cores are dropped by the shared
+#: guard (the same ``effective_parallelism`` arithmetic the benchmark
+#: timing gates in ``benchmarks/conftest.py`` use, so local and CI runs
+#: skip identically; ``jobs=2`` always stays for pool-engagement
+#: coverage).
+JOBS_SWEEP = tuple(
+    jobs for jobs in (1, 2, 4) if parallel_sweep_allowed(jobs)
+)
 
 
 def _branchy_cases():

@@ -5,8 +5,6 @@ these are the "ground truth" anchors of the reproduction, independent of
 our own abstractions.
 """
 
-import pytest
-
 from repro.checkers.consistency import check_consistency
 from repro.constraints.parser import parse_constraints
 from repro.dtd.simplify import simplify_dtd
@@ -14,11 +12,6 @@ from repro.encoding.combined import build_encoding
 from repro.encoding.dtd_system import encode_dtd, ext_var
 from repro.ilp.condsys import solve_conditional_system
 from repro.ilp.scipy_backend import solve_milp
-from repro.workloads.examples import (
-    recursive_dtd_d2,
-    sigma1_constraints,
-    teachers_dtd_d1,
-)
 
 
 class TestSection1Cardinalities:

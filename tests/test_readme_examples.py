@@ -57,6 +57,19 @@ def test_readme_flags_exist_in_cli():
     assert args.jobs == 4
 
 
+def test_readme_serving_section_is_executable():
+    """The Serving quickstart is a real doctest session (started server,
+    two clients, cache-hit stats), executed by the doctest runner above;
+    this guard keeps its load-bearing pieces from being edited away."""
+    text = README.read_text()
+    assert "## Serving" in text
+    assert "start_background()" in text
+    assert "ServiceClient" in text
+    assert "session_hits" in text
+    assert "repro serve" in text
+    assert "--session" in text
+
+
 def test_readme_scaling_section_is_executable():
     """The Scaling quickstart is a real doctest session: the README must
     keep a `--jobs` shell example and a `jobs=` Python example, and the

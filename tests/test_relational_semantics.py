@@ -7,7 +7,7 @@ counterexample to the key implication (by populating the fresh ``Rnew``
 relations exactly as the proof prescribes), and conversely.
 """
 
-from repro.relational.constraints import FD, RelKey, rel_satisfies, rel_satisfies_all
+from repro.relational.constraints import FD, rel_satisfies, rel_satisfies_all
 from repro.relational.model import Instance, RelationSchema, Schema
 from repro.relational.reductions import encode_fd_implication
 

@@ -1,0 +1,219 @@
+"""Service-vs-direct differential: the byte-identity contract.
+
+Every request type replayed through the ``repro serve`` front end must
+return byte-identical verdicts, witnesses and solver stats to the direct
+:class:`~repro.checkers.config.CheckerConfig` path — including repeats
+(served from the response cache) and requests issued after a session was
+LRU-evicted and re-admitted.  Expected payloads are built here from
+direct checker calls, independently of the session layer's own
+serialization, so a drift on either side fails the comparison.
+"""
+
+import asyncio
+import json
+
+from repro.analysis.diagnostics import diagnose
+from repro.checkers.consistency import check_consistency
+from repro.checkers.implication import implies
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.satisfaction import violations
+from repro.dtd.serializer import dtd_to_string
+from repro.service.registry import SessionRegistry
+from repro.service.server import CheckingServer
+from repro.workloads.examples import figure1_tree, teachers_dtd_d1
+from repro.workloads.generators import wide_flat_dtd
+from repro.xmltree.parse import parse_xml
+from repro.xmltree.serialize import tree_to_string
+from repro.xmltree.validate import conforms
+
+SIGMA1 = (
+    "teacher.name -> teacher\n"
+    "subject.taught_by -> subject\n"
+    "subject.taught_by => teacher.name"
+)
+KEYS = "teacher.name -> teacher\nsubject.taught_by -> subject"
+CHAIN = "t0.x <= t1.x\nt1.x <= t2.x"
+
+
+def _specs():
+    d1 = teachers_dtd_d1()
+    wide = wide_flat_dtd(4)
+    return {
+        "inconsistent": (d1, SIGMA1),
+        "consistent": (d1, KEYS),
+        "chain": (wide, CHAIN),
+    }
+
+
+def _tree_text(tree):
+    return tree_to_string(tree) if tree is not None else None
+
+
+def _expected_check(dtd, sigma_text):
+    result = check_consistency(dtd, parse_constraints(sigma_text))
+    return {
+        "consistent": result.consistent,
+        "method": result.method,
+        "message": result.message,
+        "stats": dict(result.stats),
+        "witness": _tree_text(result.witness),
+    }
+
+
+def _expected_implies(dtd, sigma_text, phi_text):
+    result = implies(
+        dtd, parse_constraints(sigma_text), parse_constraint(phi_text)
+    )
+    return {
+        "implied": result.implied,
+        "method": result.method,
+        "message": result.message,
+        "stats": dict(result.stats),
+        "counterexample": _tree_text(result.counterexample),
+    }
+
+
+def _expected_diagnose(dtd, sigma_text):
+    report = diagnose(dtd, parse_constraints(sigma_text))
+    return {
+        "consistent": report.consistent,
+        "dtd_satisfiable": report.dtd_satisfiable,
+        "mus": [str(phi) for phi in report.mus],
+        "redundant": [str(phi) for phi in report.redundant],
+        "summary": report.summary(),
+        "stats": report.stats.as_dict(),
+    }
+
+
+def _expected_validate(dtd, sigma_text, document):
+    tree = parse_xml(document)
+    report = conforms(tree, dtd)
+    violated = violations(tree, parse_constraints(sigma_text))
+    return {
+        "conforms": bool(report),
+        "errors": list(report.errors),
+        "satisfies": not violated,
+        "violations": [str(phi) for phi in violated],
+    }
+
+
+def _request_suite():
+    """(request, expected-payload) pairs covering every request type."""
+    suite = []
+    doc = tree_to_string(figure1_tree())
+    for name, (dtd, sigma_text) in _specs().items():
+        dtd_text = dtd_to_string(dtd)
+        spec = {"dtd": dtd_text, "constraints": sigma_text}
+        suite.append(
+            ({"op": "check", **spec}, _expected_check(dtd, sigma_text))
+        )
+        suite.append(
+            ({"op": "diagnose", **spec}, _expected_diagnose(dtd, sigma_text))
+        )
+        if name == "chain":
+            for phi in ("t0.x <= t2.x", "t2.x <= t0.x"):
+                suite.append(
+                    (
+                        {"op": "implies", **spec, "phi": phi},
+                        _expected_implies(dtd, sigma_text, phi),
+                    )
+                )
+        else:
+            phi = "subject.taught_by <= teacher.name"
+            suite.append(
+                (
+                    {"op": "implies", **spec, "phi": phi},
+                    _expected_implies(dtd, sigma_text, phi),
+                )
+            )
+            suite.append(
+                (
+                    {"op": "validate", **spec, "document": doc},
+                    _expected_validate(dtd, sigma_text, doc),
+                )
+            )
+    return suite
+
+
+def _replay(server, requests):
+    """Feed request dicts through the server's dispatch; return responses."""
+
+    async def run():
+        responses = []
+        for index, request in enumerate(requests):
+            line = json.dumps({"id": index, **request})
+            responses.append(await server.handle_request(line))
+        return responses
+
+    return asyncio.run(run())
+
+
+def _canon(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_every_request_type_is_byte_identical_to_direct():
+    suite = _request_suite()
+    server = CheckingServer(SessionRegistry())
+    # Each request twice: novel (a real solve) and repeated (the response
+    # cache) must both be byte-identical to the direct path.
+    requests = [request for request, _ in suite] * 2
+    responses = _replay(server, requests)
+    expectations = [expected for _, expected in suite] * 2
+    for request, response, expected in zip(
+        requests, responses, expectations
+    ):
+        assert response["ok"], response
+        assert _canon(response["result"]) == _canon(expected), request["op"]
+    hits = sum(
+        session["cache_hits"]
+        for session in server.stats_payload()["sessions"].values()
+    )
+    assert hits == len(suite), "second round must come from the cache"
+    server.executor.shutdown(wait=False)
+
+
+def test_byte_identity_survives_eviction_and_readmission():
+    suite = [
+        (request, expected)
+        for request, expected in _request_suite()
+        if request["op"] in ("check", "implies")
+    ]
+    server = CheckingServer(SessionRegistry(max_sessions=1))
+    # Interleave specs so every request evicts the previous session, then
+    # replay the whole sequence once more: each re-admission is a cold
+    # session whose answers must still match the direct path.
+    requests = [request for request, _ in suite] * 2
+    responses = _replay(server, requests)
+    expectations = [expected for _, expected in suite] * 2
+    for request, response, expected in zip(
+        requests, responses, expectations
+    ):
+        assert response["ok"], response
+        assert _canon(response["result"]) == _canon(expected), request["op"]
+    stats = server.registry.stats()
+    assert stats["sessions"] == 1
+    # Three specs rotate through a one-slot registry twice: every
+    # admission beyond the first evicted the previous resident.
+    assert stats["sessions_opened"] >= 6
+    assert stats["sessions_evicted"] == stats["sessions_opened"] - 1
+    server.executor.shutdown(wait=False)
+
+
+def test_errors_are_identical_alone_and_inside_batches():
+    dtd_text = dtd_to_string(teachers_dtd_d1())
+    spec = {"dtd": dtd_text, "constraints": KEYS}
+    bad_phi = "nosuch.attr -> nosuch"
+    server = CheckingServer(SessionRegistry())
+    single, batch = _replay(
+        server,
+        [
+            {"op": "implies", **spec, "phi": bad_phi},
+            {"op": "implies_all", **spec, "phis": [bad_phi, KEYS.splitlines()[0]]},
+        ],
+    )
+    assert not single["ok"]
+    inline = batch["result"]["results"][0]
+    assert single["error"] == inline["error"]
+    assert batch["result"]["results"][1]["implied"] is True
+    server.executor.shutdown(wait=False)

@@ -1,0 +1,195 @@
+"""Unit tests for the session layer: fingerprints, caches, eviction.
+
+The end-to-end guarantees (byte-identity with the direct path, batcher
+coalescing) live in ``test_service_differential.py`` and
+``test_service_stress.py``; this file pins the mechanisms they rest on.
+"""
+
+import pytest
+
+from repro.checkers.config import CheckerConfig
+from repro.constraints.parser import parse_constraints
+from repro.dtd.model import DTD
+from repro.encoding.combined import spec_fingerprint
+from repro.errors import ReproError, SolverError
+from repro.ilp.condsys import SolveWorkspace, effective_parallelism
+from repro.ilp.model import LinearSystem
+from repro.service.registry import SessionRegistry, default_registry
+from repro.service.session import SpecSession, merge_config
+from repro.workloads.generators import wide_flat_dtd
+
+
+def _spec(tag: str = "a"):
+    dtd = DTD.build(
+        "db",
+        {"db": f"({tag}*)", tag: "EMPTY"},
+        attrs={tag: ["id"]},
+    )
+    return dtd, parse_constraints(f"{tag}.id -> {tag}")
+
+
+class TestFingerprint:
+    def test_stable_across_equal_specs(self):
+        dtd_a, sigma_a = _spec()
+        dtd_b, sigma_b = _spec()
+        assert spec_fingerprint(dtd_a, sigma_a) == spec_fingerprint(
+            dtd_b, sigma_b
+        )
+
+    def test_sensitive_to_constraints_and_order(self):
+        dtd = wide_flat_dtd(3)
+        sigma = parse_constraints("t0.x <= t1.x\nt1.x <= t2.x")
+        reordered = [sigma[1], sigma[0]]
+        assert spec_fingerprint(dtd, sigma) != spec_fingerprint(dtd, [])
+        # Order is part of the identity: order-sensitive consumers (MUS
+        # filters, row ids) must never see another ordering's session.
+        assert spec_fingerprint(dtd, sigma) != spec_fingerprint(dtd, reordered)
+
+    def test_sensitive_to_dtd(self):
+        dtd_a, sigma = _spec()
+        dtd_b = DTD.build("db", {"db": "(a+)", "a": "EMPTY"}, attrs={"a": ["id"]})
+        assert spec_fingerprint(dtd_a, sigma) != spec_fingerprint(dtd_b, sigma)
+
+
+class TestResponseCache:
+    def test_repeat_requests_hit_the_cache(self):
+        dtd, sigma = _spec()
+        session = SpecSession(dtd, sigma)
+        first = session.check()
+        again = session.check()
+        assert first == again
+        assert session.stats.cache_hits == 1
+        assert session.stats.requests == 2
+
+    def test_different_config_is_a_different_entry(self):
+        dtd, sigma = _spec()
+        session = SpecSession(dtd, sigma)
+        session.check()
+        session.check({"want_witness": False})
+        assert session.stats.cache_hits == 0
+
+    def test_cache_is_bounded(self):
+        dtd, sigma = _spec()
+        session = SpecSession(dtd, sigma, max_cached_responses=2)
+        documents = [f"<db><a id='{i}'/></db>" for i in range(4)]
+        for document in documents:
+            session.validate(document)
+        assert len(session._responses) == 2
+        # The evicted entry recomputes (same bytes), no crash.
+        assert session.validate(documents[0])["conforms"] is True
+
+    def test_merge_config_rejects_unknown_keys(self):
+        with pytest.raises(ReproError, match="unknown config override"):
+            merge_config(CheckerConfig(), {"no_such_knob": 1})
+
+    def test_unknown_mode_rejected(self):
+        dtd, sigma = _spec()
+        with pytest.raises(ReproError, match="unknown session mode"):
+            SpecSession(dtd, sigma, mode="turbo")
+
+
+class TestBatch:
+    def test_batch_equals_singles_and_caches(self):
+        dtd = wide_flat_dtd(4)
+        sigma = parse_constraints("t0.x <= t1.x\nt1.x <= t2.x")
+        phis = ["t0.x <= t2.x", "t2.x <= t0.x", "t0.x <= t1.x"]
+        batch_session = SpecSession(dtd, sigma)
+        single_session = SpecSession(dtd, sigma)
+        batch = batch_session.implies_batch(phis)
+        singles = [single_session.implies(phi) for phi in phis]
+        assert batch == singles
+        # A repeat batch is served fully from the response cache.
+        assert batch_session.implies_batch(phis) == batch
+        assert batch_session.stats.cache_hits == len(phis)
+
+    def test_batch_isolates_per_query_errors(self):
+        dtd, sigma = _spec()
+        batch = SpecSession(dtd, sigma).implies_batch(
+            ["a.id -> a", "nosuch.attr -> nosuch", "not ( a constraint"]
+        )
+        assert batch[0]["implied"] is True
+        assert batch[1]["error"]["type"] == "InvalidConstraintError"
+        assert batch[2]["error"]["type"] == "ParseError"
+
+
+class TestWarmMode:
+    def test_warm_reuses_workspaces_and_matches_verdicts(self):
+        dtd = wide_flat_dtd(5)
+        sigma = parse_constraints(
+            "\n".join(f"t{i}.x <= t{i + 1}.x" for i in range(3))
+        )
+        phis = [
+            f"t{i}.x <= t{j}.x" for i in range(3) for j in range(4) if i != j
+        ]
+        warm = SpecSession(dtd, sigma, mode="warm")
+        replay = SpecSession(dtd, sigma)
+        for phi in phis:
+            assert warm.implies(phi)["implied"] == replay.implies(phi)["implied"]
+        assert warm.stats.workspaces_built == len(phis)
+        # Force re-solves on the warm workspaces (drop only responses).
+        warm._responses.clear()
+        warm._response_bytes = 0
+        for phi in phis:
+            assert warm.implies(phi)["implied"] == replay.implies(phi)["implied"]
+        assert warm.stats.workspaces_reused == len(phis)
+        assert warm.stats.workspaces_built == len(phis)
+
+    def test_workspace_checkout_is_single_owner(self):
+        base = LinearSystem()
+        base.add_ge({("ext", "r"): 1}, 1)
+        workspace = SolveWorkspace(base)
+        with workspace.checkout():
+            with pytest.raises(SolverError, match="already checked out"):
+                with workspace.checkout():
+                    pass  # pragma: no cover - the claim must raise
+        with workspace.checkout():
+            pass  # released after exit
+
+
+class TestRegistry:
+    def test_lru_eviction_by_count(self):
+        registry = SessionRegistry(max_sessions=2)
+        sessions = [
+            registry.session_for(*_spec(tag)) for tag in ("a", "b", "c")
+        ]
+        stats = registry.stats()
+        assert stats["sessions"] == 2
+        assert stats["sessions_evicted"] == 1
+        assert registry.get(sessions[0].fingerprint) is None
+        assert registry.get(sessions[2].fingerprint) is sessions[2]
+
+    def test_hit_moves_to_front(self):
+        registry = SessionRegistry(max_sessions=2)
+        first = registry.session_for(*_spec("a"))
+        registry.session_for(*_spec("b"))
+        assert registry.session_for(*_spec("a")) is first  # refresh LRU
+        registry.session_for(*_spec("c"))  # evicts b, not a
+        assert registry.get(first.fingerprint) is first
+        assert registry.stats()["session_hits"] >= 2
+
+    def test_byte_budget_eviction(self):
+        registry = SessionRegistry(max_sessions=8, max_bytes=1)
+        registry.session_for(*_spec("a"))
+        registry.session_for(*_spec("b"))
+        stats = registry.stats()
+        # Over budget: everything but the newest admission is evicted.
+        assert stats["sessions"] == 1
+        assert stats["sessions_evicted"] == 1
+
+    def test_readmission_after_eviction(self):
+        registry = SessionRegistry(max_sessions=1)
+        first = registry.session_for(*_spec("a"))
+        answer = first.check()
+        registry.session_for(*_spec("b"))
+        assert registry.get(first.fingerprint) is None
+        readmitted = registry.session_for(*_spec("a"))
+        assert readmitted is not first
+        assert readmitted.fingerprint == first.fingerprint
+        assert readmitted.check() == answer
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()
+
+
+def test_effective_parallelism_is_positive():
+    assert effective_parallelism() >= 1

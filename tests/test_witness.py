@@ -6,7 +6,7 @@ from repro.dtd.analysis import has_valid_tree
 from repro.dtd.model import DTD
 from repro.dtd.simplify import simplify_dtd
 from repro.encoding.combined import build_encoding
-from repro.encoding.dtd_system import encode_dtd, ext_var, occ_var
+from repro.encoding.dtd_system import encode_dtd, ext_var
 from repro.errors import SolverError
 from repro.ilp.condsys import solve_conditional_system
 from repro.ilp.scipy_backend import solve_milp
