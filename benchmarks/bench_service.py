@@ -21,6 +21,14 @@ Two claims of the long-lived checking service are gated here:
    response cache), not a parallelism claim, so it runs on any core
    count.
 
+3. **Shedding keeps admitted requests fast.**  (ISSUE 6.)  With a tiny
+   in-flight cap and a flood of concurrent clients, over-limit requests
+   are shed immediately with a structured ``overloaded`` answer — so
+   the requests that *are* admitted never wait behind an unbounded
+   backlog.  Gate: the shed-mode p50 for admitted requests stays within
+   2x of the uncontended warm p50 (an unbounded queue would multiply it
+   by the backlog depth instead).
+
 Every benchmark asserts the correctness of the answers it times, per
 the suite's fast-nonsense policy.
 """
@@ -206,3 +214,122 @@ def test_coalesced_batch_throughput_vs_sequential_one_shots():
         f"batch {coalesced * 1000:.0f}ms: {throughput_gain:.2f}x < "
         f"{_BATCH_GATE}x aggregate throughput"
     )
+
+
+#: Shed-mode admitted-request p50 must stay within this factor of the
+#: uncontended warm p50 (plus a 5ms floor absorbing event-loop noise on
+#: sub-millisecond baselines).
+_OVERLOAD_GATE = 2.0
+
+
+def test_shed_mode_keeps_admitted_request_latency_bounded():
+    """Gate 3: under a client flood with ``max_inflight=1``, admitted
+    requests answer at uncontended speed (within 2x) while the rest shed
+    with structured ``overloaded`` + ``retry_after`` answers."""
+    dtd = wide_flat_dtd(9)
+    sigma_text = "\n".join(f"t{i}.x <= t{i + 1}.x" for i in range(7))
+    dtd_text = dtd_to_string(dtd)
+    # 56 distinct queries (every ordered pair), each a genuine solve on
+    # first ask; verdict is "implied" exactly when j > i on the chain.
+    pairs = [
+        (f"t{i}.x <= t{j}.x", j > i)
+        for i in range(8)
+        for j in range(8)
+        if i != j
+    ]
+
+    server = CheckingServer(
+        SessionRegistry(), max_inflight=1, queue_depth=1
+    )
+    host, port = server.start_background()
+
+    def request_for(index: int) -> tuple[dict, bool]:
+        phi, expected = pairs[index % len(pairs)]
+        return (
+            {
+                "id": index,
+                "op": "implies",
+                "dtd": dtd_text,
+                "constraints": sigma_text,
+                "phi": phi,
+            },
+            expected,
+        )
+
+    async def timed_call(reader, writer, request):
+        start = time.perf_counter()
+        writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        line = await reader.readline()
+        return time.perf_counter() - start, json.loads(line)
+
+    async def uncontended(indices):
+        reader, writer = await asyncio.open_connection(host, port)
+        samples = []
+        for index in indices:
+            request, expected = request_for(index)
+            elapsed, response = await timed_call(reader, writer, request)
+            assert response["ok"], response
+            assert response["result"]["implied"] is expected
+            samples.append(elapsed)
+        writer.close()
+        return samples
+
+    async def flood(indices):
+        connections = [
+            await asyncio.open_connection(host, port) for _ in indices
+        ]
+
+        async def one(connection, index):
+            reader, writer = connection
+            request, expected = request_for(index)
+            elapsed, response = await timed_call(reader, writer, request)
+            writer.close()
+            if response["ok"]:
+                assert response["result"]["implied"] is expected
+                return ("admitted", elapsed)
+            assert response["error"]["type"] == "overloaded", response
+            assert response["error"]["retry_after"] > 0
+            return ("shed", elapsed)
+
+        return await asyncio.gather(
+            *(one(conn, idx) for conn, idx in zip(connections, indices))
+        )
+
+    try:
+        # Uncontended warm p50: sequential distinct solves after warmup.
+        server.registry.session_for(dtd_text, sigma_text)
+        warm_samples = asyncio.run(uncontended(range(12)))
+        warm_p50 = statistics.median(warm_samples[2:])
+
+        # Shed mode: bursts of 8 simultaneous clients against cap 1.
+        admitted, shed = [], 0
+        next_index = 12
+        for _ in range(20):
+            outcomes = asyncio.run(
+                flood(range(next_index, next_index + 8))
+            )
+            next_index += 8
+            for kind, elapsed in outcomes:
+                if kind == "admitted":
+                    admitted.append(elapsed)
+                else:
+                    shed += 1
+            if len(admitted) >= 8:
+                break
+        assert shed > 0, "the flood never triggered shedding"
+        assert admitted, "shedding starved every request"
+        stats = server.stats_payload()["server"]
+        assert stats["requests_shed"] == shed
+        assert stats["errors"] == 0, "sheds must not count as errors"
+
+        admitted_p50 = statistics.median(admitted)
+        bound = _OVERLOAD_GATE * max(warm_p50, 0.005)
+        assert admitted_p50 <= bound, (
+            f"shed-mode admitted p50 {admitted_p50 * 1000:.1f}ms vs "
+            f"uncontended warm p50 {warm_p50 * 1000:.1f}ms: exceeds "
+            f"{_OVERLOAD_GATE}x (+5ms floor) — admission control is not "
+            "keeping the queue ahead of admitted requests short"
+        )
+    finally:
+        server.close()

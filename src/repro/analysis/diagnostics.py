@@ -61,7 +61,11 @@ from repro.checkers.consistency import check_consistency, dtd_has_valid_tree
 from repro.checkers.implication import _negate, implies
 from repro.dtd.model import DTD
 from repro.encoding.combined import build_encoding
-from repro.errors import ComplexityLimitError, InvalidConstraintError
+from repro.errors import (
+    ComplexityLimitError,
+    InvalidConstraintError,
+    WorkerCrashError,
+)
 from repro.ilp.condsys import (
     CondSolveStats,
     SolveWorkspace,
@@ -449,13 +453,18 @@ def _redundancy_filter_parallel(
     chunks = [tuple(range(start, len(sigma), jobs)) for start in range(jobs)]
     worker_config = replace(config, jobs=1)
     stats.workers_spawned += jobs
-    results = fanout_map(
-        _diagnostics_task,
-        chunks,
-        jobs,
-        _init_diagnostics_worker,
-        (dtd, sigma, worker_config),
-    )
+    try:
+        results = fanout_map(
+            _diagnostics_task,
+            chunks,
+            jobs,
+            _init_diagnostics_worker,
+            (dtd, sigma, worker_config),
+        )
+    except WorkerCrashError:
+        # Pool lost beyond recovery: the parent's probe answers the
+        # whole audit sequentially (identical verdicts by construction).
+        return _redundancy_filter(probe, sigma)
     redundant_indices: set[int] = set()
     for chunk, (flags, worker_stats) in zip(chunks, results):
         stats.absorb(worker_stats)

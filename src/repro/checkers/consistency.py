@@ -196,6 +196,10 @@ def check_consistency_encoded(
         "parallel_waves": stats.parallel_waves,
         "cuts_merged": stats.cuts_merged,
         "cut_merge_duplicates": stats.cut_merge_duplicates,
+        "workers_crashed": stats.workers_crashed,
+        "workers_respawned": stats.workers_respawned,
+        "tasks_requeued": stats.tasks_requeued,
+        "parallel_degraded": stats.parallel_degraded,
     }
     method = f"ilp-encoding ({cls.value})"
     if not result.feasible:

@@ -45,7 +45,7 @@ from repro.checkers.results import ImplicationResult
 from repro.dtd.model import DTD
 from repro.encoding.combined import build_encoding
 from repro.encoding.dtd_system import ext_var
-from repro.errors import SolverError, UndecidableProblemError
+from repro.errors import SolverError, UndecidableProblemError, WorkerCrashError
 from repro.ilp.condsys import WorkerPool, fanout_map, solve_conditional_system
 from repro.witness.synthesize import synthesize_witness
 from repro.witness.values import make_all_values_distinct
@@ -272,11 +272,16 @@ def implies_all(
     validate_constraints(dtd, [*sigma, *phis])
     if config.jobs > 1 and len(phis) > 1 and WorkerPool.available():
         worker_config = replace(config, jobs=1)
-        return fanout_map(
-            _implication_task,
-            list(range(len(phis))),
-            config.jobs,
-            _init_implication_worker,
-            (dtd, sigma, phis, worker_config),
-        )
+        try:
+            return fanout_map(
+                _implication_task,
+                list(range(len(phis))),
+                config.jobs,
+                _init_implication_worker,
+                (dtd, sigma, phis, worker_config),
+            )
+        except WorkerCrashError:
+            # Pool lost beyond recovery: fall through to the sequential
+            # loop, whose results the fan-out is pinned to anyway.
+            config = replace(config, jobs=1)
     return [implies_validated(dtd, sigma, phi, config) for phi in phis]

@@ -180,7 +180,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mode=args.mode,
         config=config,
     )
-    server = CheckingServer(registry)
+    server = CheckingServer(
+        registry,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        max_connections=args.max_connections,
+        default_deadline=args.deadline,
+        state_file=args.state_file,
+        autosave_interval=args.autosave_interval,
+    )
 
     async def run_tcp() -> None:
         serving = asyncio.ensure_future(
@@ -367,6 +375,57 @@ def build_parser() -> argparse.ArgumentParser:
         "additionally keeps per-query solver workspaces and carries "
         "the connectivity-cut pool across requests (same verdicts, "
         "warm work counters)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        metavar="N",
+        help="global admission cap: requests admitted but not yet "
+        "answered; beyond it requests shed with a structured "
+        "'overloaded' error and a retry_after hint (default: 256)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        metavar="N",
+        help="per-session pending-queue bound; over-limit submits shed "
+        "instead of queueing without bound (default: 128)",
+    )
+    p_serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent TCP connection cap; over-limit connects get "
+        "one structured shed response and are closed (default: 64)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline; expired work answers "
+        "'budget_exceeded' via cooperative cancellation instead of "
+        "running on (requests may override with their own 'deadline' "
+        "field; default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--state-file",
+        default=None,
+        metavar="PATH",
+        help="crash-safe session snapshot: restored on start, written "
+        "atomically on shutdown; a corrupt or version-skewed file is a "
+        "cold start, never an error (default: no persistence)",
+    )
+    p_serve.add_argument(
+        "--autosave-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="additionally snapshot every N seconds while serving "
+        "(requires --state-file; default: only at shutdown)",
     )
     add_solver_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)

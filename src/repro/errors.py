@@ -80,3 +80,52 @@ class SolverError(ReproError):
     signals numerical failure, an unbounded relaxation where boundedness was
     required, or a missing optional backend.
     """
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a request's wall-clock deadline expires mid-solve.
+
+    Cooperative cancellation: the solver checks the ambient deadline
+    (:mod:`repro.budget`) at its search loops and raises this instead of
+    running on, so a pathological specification times out with a
+    structured answer rather than wedging its caller.  The service
+    renders it with wire type ``budget_exceeded`` and never caches it —
+    a retry with a larger budget re-runs the solve.
+    """
+
+    #: The service's structured error type for this failure mode.
+    wire_type = "budget_exceeded"
+
+
+class OverloadedError(ReproError):
+    """Raised when the service sheds a request instead of queueing it.
+
+    Admission control (bounded per-session queues, a global in-flight
+    cap, a connection cap) answers over-limit work immediately with this
+    error rather than letting queues grow without bound.  The service
+    renders it with wire type ``overloaded`` plus a ``retry_after`` hint
+    in seconds; it is load feedback, not a verdict, and is never cached.
+    """
+
+    #: The service's structured error type for this failure mode.
+    wire_type = "overloaded"
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class WorkerCrashError(SolverError):
+    """Raised when the parallel worker pool is lost beyond recovery.
+
+    The pool detects dead workers by exitcode, requeues their in-flight
+    tasks and respawns replacements; only when crashes exhaust the
+    respawn budget *and* no live worker remains does this escape — and
+    then callers degrade to the sequential ``jobs=1`` path, whose
+    verdicts the parallel path is differentially pinned to.
+    """
+
+    def __init__(self, message: str, crashes: int = 0, respawns: int = 0):
+        super().__init__(message)
+        self.crashes = crashes
+        self.respawns = respawns

@@ -74,10 +74,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
+import time
 from dataclasses import asdict, dataclass, field, replace
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
-from repro.errors import ComplexityLimitError, SolverError
+from repro.budget import check_deadline
+from repro.errors import (
+    BudgetExceededError,
+    ComplexityLimitError,
+    SolverError,
+    WorkerCrashError,
+)
+from repro.service.faults import fault_active, fault_seconds
 from repro.ilp.assembled import AssembledSystem
 from repro.ilp.exact import ExactAssembledSystem, ExactStats, solve_exact
 from repro.ilp.model import (
@@ -190,6 +199,16 @@ class CondSolveStats:
     cuts_merged: int = 0
     #: Worker-discovered cuts dropped as duplicates during merges.
     cut_merge_duplicates: int = 0
+    #: Worker processes that died mid-solve (detected by exitcode).
+    workers_crashed: int = 0
+    #: Replacement workers forked after a crash (bounded by the pool's
+    #: respawn budget).
+    workers_respawned: int = 0
+    #: Tasks requeued because the worker running them died.
+    tasks_requeued: int = 0
+    #: The pool was lost beyond recovery and the solve re-ran on the
+    #: sequential ``jobs=1`` path (verdict byte-identical by construction).
+    parallel_degraded: bool = False
 
     def absorb(self, worker: "CondSolveStats | Mapping[str, int | bool]") -> None:
         """Fold a worker's counters into this (parent) stats object.
@@ -689,11 +708,77 @@ class _WorkspaceLease:
         self._workspace._checked_out = False
 
 
-class WorkerPool:
-    """Fork-based pool of solver worker processes (DESIGN.md section 7).
+def _pool_worker(
+    task_queue, result_queue, initializer: Callable, payload: object
+) -> None:
+    """Worker main loop (the fork target of :class:`WorkerPool`).
 
-    A thin wrapper around ``multiprocessing``'s *fork* context that pins
-    the process-ownership rules of the parallel executor:
+    Initializes once, then serves ``(index, fn, task)`` items from its
+    *own* task queue until the ``None`` sentinel.  Task attribution is
+    parent-side (the parent records what it assigned to whom before the
+    worker ever sees it), so a worker that dies without answering leaves
+    no ambiguity about which task it took down — even when it dies too
+    abruptly to flush any message (``os._exit``, SIGKILL, segfault).
+    """
+    try:
+        initializer(payload)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        result_queue.put(
+            ("init_failed", os.getpid(), type(exc).__name__, str(exc))
+        )
+        return
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, fn, task = item
+        try:
+            value = fn(task)
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            result_queue.put(
+                ("failed", os.getpid(), index, type(exc).__name__, str(exc))
+            )
+        else:
+            result_queue.put(("done", os.getpid(), index, value))
+
+
+def _rebuild_exception(kind: str, message: str) -> Exception:
+    """A worker exception, reconstructed by class name on the parent side.
+
+    Library exception types round-trip (so callers' ``except`` clauses
+    behave as they would have under in-process execution); anything else
+    is wrapped in :class:`SolverError`.
+    """
+    from repro import errors as errors_module
+
+    cls = getattr(errors_module, kind, None)
+    if isinstance(cls, type) and issubclass(cls, Exception):
+        try:
+            return cls(message)
+        except Exception:  # noqa: BLE001 - exotic signature
+            pass
+    return SolverError(f"worker task failed: {kind}: {message}")
+
+
+class _WorkerSlot:
+    """One pool slot: its process, its private task queue, and the index
+    of the task currently assigned to it (``None`` when idle)."""
+
+    __slots__ = ("process", "tasks", "busy")
+
+    def __init__(self, process, tasks):
+        self.process = process
+        self.tasks = tasks
+        self.busy: int | None = None
+
+
+class WorkerPool:
+    """Fork-based pool of solver worker processes (DESIGN.md sections 7/9).
+
+    Owns raw ``fork``-context processes, one private task queue each —
+    not ``multiprocessing.Pool``, whose ``map`` blocks forever when a
+    worker dies mid-task — and pins the process-ownership rules of the
+    parallel executor:
 
     * every worker is initialized exactly once with a pickled payload
       (``initializer(payload)``) and builds its own single-owner solver
@@ -702,21 +787,53 @@ class WorkerPool:
       the live exact factorization are safe to share across processes;
     * tasks are dispatched with :meth:`map`, which preserves task order
       in its results, so callers get deterministic result alignment
-      regardless of which worker ran which task.
+      regardless of which worker ran which task;
+    * a worker that dies (any exitcode: segfault, OOM kill, ``os._exit``)
+      is detected by reaping its exitcode.  Attribution is parent-side
+      — the parent assigns one task at a time per worker and remembers
+      the assignment — so the lost task is known without relying on any
+      message the dying worker managed to flush; it is requeued for the
+      surviving workers, and a replacement is forked while the respawn
+      budget (one respawn per original slot) lasts.  Only when every
+      worker is dead with work still outstanding does :meth:`map` raise
+      :class:`~repro.errors.WorkerCrashError` — the signal for callers
+      to degrade to their sequential path.  ``crashes``, ``respawns``
+      and ``requeues`` count the recovery work for the stats surface.
 
     Fork is required (workers must inherit the imported solver stack
     cheaply); on platforms without it callers degrade to the sequential
     path — :meth:`available` is the gate.
     """
 
-    def __init__(self, jobs: int, initializer: Callable, payload: object):
+    def __init__(
+        self,
+        jobs: int,
+        initializer: Callable,
+        payload: object,
+        respawn_limit: int | None = None,
+    ):
         if jobs < 2:
             raise SolverError("WorkerPool needs at least 2 workers")
-        context = multiprocessing.get_context("fork")
         self.jobs = jobs
-        self._pool = context.Pool(
-            processes=jobs, initializer=initializer, initargs=(payload,)
+        self.crashes = 0
+        self.respawns = 0
+        self.requeues = 0
+        self._respawn_limit = jobs if respawn_limit is None else respawn_limit
+        self._ctx = multiprocessing.get_context("fork")
+        self._initializer = initializer
+        self._payload = payload
+        self._results = self._ctx.Queue()
+        self._slots = [self._spawn() for _ in range(jobs)]
+
+    def _spawn(self) -> _WorkerSlot:
+        tasks = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_pool_worker,
+            args=(tasks, self._results, self._initializer, self._payload),
+            daemon=True,
         )
+        process.start()
+        return _WorkerSlot(process, tasks)
 
     @staticmethod
     def available() -> bool:
@@ -727,12 +844,112 @@ class WorkerPool:
         )
 
     def map(self, fn: Callable, tasks: Sequence) -> list:
-        """Run ``fn`` over ``tasks``; results come back in task order."""
-        return self._pool.map(fn, list(tasks))
+        """Run ``fn`` over ``tasks``; results come back in task order.
+
+        Survives worker deaths per the class recovery policy; raises
+        :class:`~repro.errors.WorkerCrashError` only when the pool is
+        lost beyond recovery (every verdict already collected stays
+        collected — the caller's sequential fallback recomputes, it
+        never double-counts).
+        """
+        tasks = list(tasks)
+        if not self._slots:
+            raise WorkerCrashError(
+                "worker pool has no live workers", self.crashes, self.respawns
+            )
+        results: list = [None] * len(tasks)
+        finished: set[int] = set()
+        pending: list[int] = list(reversed(range(len(tasks))))
+        self._dispatch(fn, tasks, pending)
+        while len(finished) < len(tasks):
+            try:
+                message = self._results.get(timeout=0.05)
+            except queue.Empty:
+                self._reap(pending)
+                self._dispatch(fn, tasks, pending)
+                continue
+            tag = message[0]
+            if tag == "done":
+                _, pid, index, value = message
+                self._release(pid)
+                # A task can legitimately complete twice: its first
+                # worker died *after* answering but before the answer
+                # was read, so the task was conservatively requeued.
+                # First answer wins (both are the same deterministic
+                # computation).
+                if index not in finished:
+                    finished.add(index)
+                    results[index] = value
+                self._dispatch(fn, tasks, pending)
+            elif tag == "failed":
+                _, pid, _, kind, text = message
+                self._release(pid)
+                raise _rebuild_exception(kind, text)
+            elif tag == "init_failed":
+                _, _, kind, text = message
+                raise SolverError(
+                    f"worker initialization failed: {kind}: {text}"
+                )
+        return results
+
+    def _dispatch(self, fn: Callable, tasks: list, pending: list[int]) -> None:
+        """Hand each idle worker its next task (one at a time per worker,
+        so a crash forfeits at most one task)."""
+        for slot in self._slots:
+            if not pending:
+                return
+            if slot.busy is None:
+                index = pending.pop()
+                slot.busy = index
+                slot.tasks.put((index, fn, tasks[index]))
+
+    def _release(self, pid: int) -> None:
+        """Mark the slot that answered from ``pid`` idle again."""
+        for slot in self._slots:
+            if slot.process.pid == pid:
+                slot.busy = None
+                return
+
+    def _reap(self, pending: list[int]) -> None:
+        """Collect dead workers: requeue their tasks, respawn replacements.
+
+        Raises :class:`WorkerCrashError` when no worker survives and the
+        respawn budget is spent — the unrecoverable case.
+        """
+        survivors = []
+        for slot in self._slots:
+            if slot.process.exitcode is None:
+                survivors.append(slot)
+                continue
+            slot.process.join()
+            self.crashes += 1
+            if slot.busy is not None:
+                self.requeues += 1
+                pending.append(slot.busy)
+            slot.tasks.close()
+            slot.tasks.cancel_join_thread()
+            if self.respawns < self._respawn_limit:
+                self.respawns += 1
+                survivors.append(self._spawn())
+        self._slots = survivors
+        if not survivors:
+            raise WorkerCrashError(
+                f"all workers died ({self.crashes} crash(es); "
+                "respawn budget spent)",
+                self.crashes,
+                self.respawns,
+            )
 
     def close(self) -> None:
-        self._pool.terminate()
-        self._pool.join()
+        for slot in self._slots:
+            slot.process.terminate()
+        for slot in self._slots:
+            slot.process.join(timeout=5.0)
+            slot.tasks.close()
+            slot.tasks.cancel_join_thread()
+        self._slots = []
+        self._results.close()
+        self._results.cancel_join_thread()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -816,6 +1033,7 @@ def _init_branch_worker(payload: tuple) -> None:
 _RAISABLE = {
     "ComplexityLimitError": ComplexityLimitError,
     "SolverError": SolverError,
+    "BudgetExceededError": BudgetExceededError,
 }
 
 
@@ -834,6 +1052,8 @@ def _branch_task(task: tuple) -> tuple:
     parent must see the whole wave before deciding, because a sibling's
     exact-checked feasible answer outranks this subtree's failure.
     """
+    if fault_active("worker.kill"):
+        os._exit(113)
     cs = _BRANCH_WORKER["cs"]
     params = _BRANCH_WORKER["params"]
     workspace = _BRANCH_WORKER["workspace"]
@@ -861,7 +1081,7 @@ def _branch_task(task: tuple) -> tuple:
         )
         status, values, message = result.status, result.values, result.message
         kind = ""
-    except (ComplexityLimitError, SolverError) as exc:
+    except (ComplexityLimitError, SolverError, BudgetExceededError) as exc:
         status, values, message = "raised", {}, str(exc)
         kind = type(exc).__name__
     discovered = workspace.pool.export()[watermark:]
@@ -1244,11 +1464,34 @@ def solve_conditional_system(
     assignment[cs.root] = True
 
     if incremental:
-        return _solve_incremental(
-            cs, assignment, backend, max_support_nodes, max_cut_rounds,
-            lp_prune, stats, exact_warm, inactive_rows, workspace,
-            inactive_clauses, jobs,
-        )
+        try:
+            return _solve_incremental(
+                cs, assignment, backend, max_support_nodes, max_cut_rounds,
+                lp_prune, stats, exact_warm, inactive_rows, workspace,
+                inactive_clauses, jobs,
+            )
+        except WorkerCrashError as crash:
+            # The pool was lost beyond recovery.  Degrade to the
+            # sequential path *from scratch* (partial wave results and
+            # merged cuts are discarded — re-deriving them is the cheap
+            # price of the byte-identical-to-``jobs=1`` guarantee).
+            result, seq_stats = solve_conditional_system(
+                cs,
+                backend=backend,
+                max_support_nodes=max_support_nodes,
+                max_cut_rounds=max_cut_rounds,
+                lp_prune=lp_prune,
+                incremental=incremental,
+                exact_warm=exact_warm,
+                active_rows=active_rows,
+                workspace=workspace,
+                inactive_clauses=inactive_clauses,
+                jobs=1,
+            )
+            seq_stats.parallel_degraded = True
+            seq_stats.workers_crashed += crash.crashes
+            seq_stats.workers_respawned += crash.respawns
+            return result, seq_stats
     # The from-scratch reference path stays sequential regardless of
     # ``jobs`` — it exists to be the simplest possible oracle.
     return _solve_rebuild(
@@ -1513,6 +1756,10 @@ def _dfs_search(
             raise ComplexityLimitError(
                 f"support search exceeded {max_support_nodes} nodes"
             )
+        delay = fault_seconds("solve.delay")
+        if delay:
+            time.sleep(delay)
+        check_deadline()
         seeds = (
             [decided]
             if decided is not None
@@ -1659,13 +1906,18 @@ def _solve_parallel(
     pending_error: tuple[str, str] | None = None
     with WorkerPool(workers, _init_branch_worker, (cs, params)) as executor:
         for start in range(0, len(frontier), workers):
+            check_deadline()
             wave = frontier[start:start + workers]
             stats.parallel_waves += 1
             seed = pool.export()
             tasks = [(tuple(entry.items()), seed) for entry in wave]
-            for status, values, message, worker_stats, fresh, kind in (
-                executor.map(_branch_task, tasks)
-            ):
+            try:
+                outcomes = executor.map(_branch_task, tasks)
+            finally:
+                stats.workers_crashed = executor.crashes
+                stats.workers_respawned = executor.respawns
+                stats.tasks_requeued = executor.requeues
+            for status, values, message, worker_stats, fresh, kind in outcomes:
                 stats.absorb(worker_stats)
                 accepted, duplicates = pool.merge(fresh)
                 stats.cuts_merged += accepted
@@ -1744,6 +1996,7 @@ def _solve_rebuild(
             raise ComplexityLimitError(
                 f"support search exceeded {max_support_nodes} nodes"
             )
+        check_deadline()
         if not _propagate(cs, current):
             continue
         if lp_prune:

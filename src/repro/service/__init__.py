@@ -17,7 +17,11 @@ change rarely.  This package turns the pipeline into a resident engine
   socket, with a per-session batcher that coalesces concurrent
   ``implies`` requests into single ``implies_all`` fan-outs;
 * :class:`~repro.service.client.ServiceClient` — a small synchronous
-  client for scripts, benchmarks and the README quickstart.
+  client for scripts, benchmarks and the README quickstart;
+* :mod:`~repro.service.persist` — crash-safe session snapshots
+  (atomic writes, self-verifying envelope, corrupt file = cold start);
+* :mod:`~repro.service.faults` — the deterministic fault-injection
+  registry behind the chaos suite (DESIGN.md section 9).
 
 The CLI's ``check``/``implies``/``diagnose`` commands are thin clients
 of the same session API, so the service and the one-shot path cannot
@@ -32,6 +36,8 @@ __all__ = [
     "ServiceClient",
     "SessionRegistry",
     "SpecSession",
+    "load_snapshot",
+    "save_snapshot",
 ]
 
 #: Exported name -> defining submodule.  Resolution is lazy (PEP 562) so
@@ -44,6 +50,8 @@ _EXPORTS = {
     "ServiceClient": "repro.service.client",
     "SessionRegistry": "repro.service.registry",
     "SpecSession": "repro.service.session",
+    "load_snapshot": "repro.service.persist",
+    "save_snapshot": "repro.service.persist",
 }
 
 

@@ -23,6 +23,14 @@ list, answered as one coalesced batch), ``diagnose``, ``validate`` (a
 ``document``), ``stats`` (registry + server counters) and ``shutdown``.
 Responses may arrive out of request order when requests from one
 connection overlap — the ``id`` is the correlation key.
+
+Any session operation may carry ``"deadline": <seconds>`` — a
+wall-clock budget for that request.  Work that outlives its budget is
+cancelled cooperatively and answered with error type
+``budget_exceeded`` (the server may also apply a default deadline).
+Under overload the server sheds rather than queueing without bound:
+shed requests are answered with error type ``overloaded`` plus a
+``retry_after`` hint in seconds — a load signal, not a verdict.
 """
 
 from __future__ import annotations

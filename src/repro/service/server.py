@@ -1,4 +1,4 @@
-"""The asyncio front end: ``repro serve`` (DESIGN.md section 8).
+"""The asyncio front end: ``repro serve`` (DESIGN.md sections 8 and 9).
 
 Line-delimited JSON requests arrive over stdio or a localhost TCP
 socket; each is dispatched against the shared
@@ -10,12 +10,36 @@ scheduling rules:
   operation in flight at a time (a single drainer task per session
   feeds the executor), so single-owner workspace state never races;
 * **batch coalescing** — while a session is busy, newly arrived
-  ``implies`` requests with the same config pile up in its queue; the
-  drainer pops them *together* and answers them with one
+  ``implies`` requests with the same config (and deadline) pile up in
+  its queue; the drainer pops them *together* and answers them with one
   ``implies_batch`` call (which validates once, shares the encoding
   block, and fans across the PR-4 worker pool when ``jobs > 1``).
   ``batches_coalesced`` counts multi-request batches and
-  ``batch_width`` the widest one.
+  ``batch_width`` the widest one.  Batch width adapts to observed
+  drain latency (the AutoThrottle shape): when batches take longer
+  than ``batch_target_latency`` per drain, the width limit shrinks
+  toward keeping each drain responsive, and grows back when drains are
+  fast — so a slow spec cannot turn coalescing into head-of-line
+  blocking.
+
+Production hardening (DESIGN.md section 9):
+
+* **admission control** — a global in-flight cap and bounded
+  per-session queues; over-limit requests are answered immediately
+  with a structured ``overloaded`` error carrying a ``retry_after``
+  hint instead of queueing without bound, and a connection cap sheds
+  over-limit TCP connects the same way;
+* **deadlines** — a request may carry ``deadline`` seconds (or inherit
+  the server default); expired work answers ``budget_exceeded``
+  through the solver's cooperative cancellation (:mod:`repro.budget`)
+  instead of wedging the drainer, and queued requests whose deadline
+  passed are answered without solving at all;
+* **deterministic shutdown** — ``shutdown`` stops admitting, waits for
+  every in-flight response to be written, snapshots sessions (when a
+  state file is configured), then stops: no grace-period timers;
+* **crash-safe persistence** — with ``state_file`` set, sessions are
+  restored on start and snapshotted on shutdown (plus every
+  ``autosave_interval`` seconds); see :mod:`repro.service.persist`.
 
 Responses may complete out of request order across a connection; the
 echoed ``id`` is the correlation key.  ``shutdown`` stops the server —
@@ -25,14 +49,19 @@ the trust model is a localhost/stdio tool, not an internet service.
 from __future__ import annotations
 
 import asyncio
+import copy
 import sys
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.budget import Deadline, deadline_scope
+from repro.errors import BudgetExceededError, OverloadedError
 from repro.ilp.condsys import effective_parallelism
-from repro.service import protocol
+from repro.service import persist, protocol
+from repro.service.faults import fault_active, fault_seconds
 from repro.service.registry import SessionRegistry
 from repro.service.session import SpecSession
 
@@ -48,6 +77,11 @@ class ServerStats:
     batches_coalesced: int = 0
     batch_width: int = 0
     batch_width_sum: int = 0
+    requests_shed: int = 0
+    connections_shed: int = 0
+    deadline_expired: int = 0
+    sessions_restored: int = 0
+    snapshots_saved: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -58,11 +92,22 @@ class ServerStats:
             "batches_coalesced": self.batches_coalesced,
             "batch_width": self.batch_width,
             "batch_width_sum": self.batch_width_sum,
+            "requests_shed": self.requests_shed,
+            "connections_shed": self.connections_shed,
+            "deadline_expired": self.deadline_expired,
+            "sessions_restored": self.sessions_restored,
+            "snapshots_saved": self.snapshots_saved,
         }
 
 
 class _SessionQueue:
-    """Pending operations for one session, drained one batch at a time."""
+    """Pending operations for one session, drained one batch at a time.
+
+    The queue is bounded (``server.queue_depth``): a submit against a
+    full queue sheds with :class:`~repro.errors.OverloadedError` rather
+    than queueing without bound — the per-session half of admission
+    control (the global half is the server's in-flight cap).
+    """
 
     def __init__(self, server: "CheckingServer", session: SpecSession):
         self.server = server
@@ -71,6 +116,11 @@ class _SessionQueue:
         self.draining = False
 
     def submit(self, request: dict) -> "asyncio.Future":
+        if len(self.pending) >= self.server.queue_depth:
+            raise OverloadedError(
+                f"session queue full ({self.server.queue_depth} pending)",
+                retry_after=self.server.retry_hint(),
+            )
         future = asyncio.get_running_loop().create_future()
         self.pending.append((request, future))
         if not self.draining:
@@ -82,52 +132,97 @@ class _SessionQueue:
         """The next unit of work: a coalesced ``implies`` run or one op.
 
         When the head is an ``implies``, every pending ``implies`` with
-        the same config joins it (requests are independent, so pulling
-        them forward past other queued ops only changes completion
-        order, which the protocol does not promise).
+        the same config *and* deadline joins it — up to the adaptive
+        width limit — (requests are independent, so pulling them
+        forward past other queued ops only changes completion order,
+        which the protocol does not promise).
         """
         head, head_future = self.pending.popleft()
         if head.get("op") != "implies":
             return [(head, head_future)]
         batch = [(head, head_future)]
         config = head.get("config")
+        budget = head.get("deadline")
+        limit = self.server.batch_limit()
         rest = deque()
         while self.pending:
             request, future = self.pending.popleft()
-            if request.get("op") == "implies" and request.get("config") == config:
+            if (
+                len(batch) < limit
+                and request.get("op") == "implies"
+                and request.get("config") == config
+                and request.get("deadline") == budget
+            ):
                 batch.append((request, future))
             else:
                 rest.append((request, future))
         self.pending = rest
         return batch
 
+    def _run_one(self, request: dict, deadline: Deadline | None) -> dict:
+        with deadline_scope(deadline):
+            return protocol.perform(self.session, request)
+
+    def _run_batch(
+        self, phis: list, config: dict | None, deadline: Deadline | None
+    ) -> list[dict]:
+        with deadline_scope(deadline):
+            return self.session.implies_batch(phis, config)
+
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
         try:
             while self.pending:
+                delay = fault_seconds("drain.delay")
+                if delay:
+                    await asyncio.sleep(delay)
                 batch = self._take_batch()
+                # A deadline that expired while queued is answered
+                # without solving: the client already stopped waiting,
+                # and the drainer owes its time to requests that can
+                # still make their budgets.
+                live = []
+                for request, future in batch:
+                    deadline = request.get("_deadline")
+                    if deadline is not None and deadline.expired():
+                        if not future.done():
+                            future.set_exception(deadline.exceeded())
+                    else:
+                        live.append((request, future))
+                batch = live
+                if not batch:
+                    continue
                 stats = self.server.stats
                 stats.batches += 1
                 if len(batch) > 1:
                     stats.batches_coalesced += 1
                 stats.batch_width = max(stats.batch_width, len(batch))
                 stats.batch_width_sum += len(batch)
+                deadline = min(
+                    (
+                        request["_deadline"]
+                        for request, _ in batch
+                        if request.get("_deadline") is not None
+                    ),
+                    key=lambda d: d.expires_at,
+                    default=None,
+                )
+                started = time.monotonic()
                 try:
                     if len(batch) > 1:
                         phis = [request["phi"] for request, _ in batch]
                         config = batch[0][0].get("config")
                         payloads = await loop.run_in_executor(
                             self.server.executor,
-                            lambda: self.session.implies_batch(phis, config),
+                            lambda: self._run_batch(phis, config, deadline),
                         )
                     else:
                         request = batch[0][0]
-                        payloads = [
-                            await loop.run_in_executor(
-                                self.server.executor,
-                                lambda: protocol.perform(self.session, request),
-                            )
-                        ]
+                        payload = await loop.run_in_executor(
+                            self.server.executor,
+                            lambda: self._run_one(request, deadline),
+                        )
+                        payloads = [payload]
                 except Exception as exc:  # noqa: BLE001 - per-request delivery
                     for _, future in batch:
                         if not future.done():
@@ -136,6 +231,7 @@ class _SessionQueue:
                     for (_, future), payload in zip(batch, payloads):
                         if not future.done():
                             future.set_result(payload)
+                self.server.observe_drain(time.monotonic() - started, len(batch))
         finally:
             self.draining = False
             if not self.pending:
@@ -147,31 +243,128 @@ def _copy_exception(exc: Exception) -> Exception:
     several futures: tracebacks would chain confusingly)."""
     try:
         return type(exc)(str(exc))
-    except Exception:  # noqa: BLE001 - exotic signature; reuse the original
-        return exc
+    except Exception:  # noqa: BLE001 - exotic signature; shallow-copy it
+        try:
+            clone = copy.copy(exc)
+            clone.__traceback__ = None
+            return clone
+        except Exception:  # noqa: BLE001 - uncopyable; reuse the original
+            return exc
 
 
 class CheckingServer:
-    """The resident checking service over a :class:`SessionRegistry`."""
+    """The resident checking service over a :class:`SessionRegistry`.
+
+    Admission, deadline and persistence knobs (all optional):
+
+    ``max_inflight``
+        Global cap on requests admitted but not yet answered; beyond it
+        requests shed with ``overloaded`` + ``retry_after``.
+    ``queue_depth``
+        Per-session pending-queue bound (the second shedding layer).
+    ``max_connections``
+        Concurrent TCP connection cap; over-limit connects receive one
+        structured shed response and are closed.
+    ``default_deadline``
+        Seconds granted to requests that do not carry their own
+        ``deadline`` field (``None`` = unbounded).
+    ``state_file``
+        Path for crash-safe session snapshots: loaded on serve start,
+        written on shutdown and every ``autosave_interval`` seconds.
+    ``batch_target_latency`` / ``max_batch_width``
+        The adaptive coalescing controller's target per-drain latency
+        and hard width ceiling.
+    """
 
     def __init__(
         self,
         registry: SessionRegistry | None = None,
         executor_threads: int | None = None,
+        max_inflight: int = 256,
+        queue_depth: int = 128,
+        max_connections: int = 64,
+        default_deadline: float | None = None,
+        state_file: str | None = None,
+        autosave_interval: float | None = None,
+        batch_target_latency: float = 0.5,
+        max_batch_width: int = 32,
     ):
         self.registry = registry or SessionRegistry()
         self.stats = ServerStats()
         self.executor = ThreadPoolExecutor(
-            max_workers=executor_threads
-            or max(2, min(8, effective_parallelism())),
+            max_workers=executor_threads or max(2, min(8, effective_parallelism())),
             thread_name_prefix="repro-serve",
         )
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self.max_connections = max_connections
+        self.default_deadline = default_deadline
+        self.state_file = state_file
+        self.autosave_interval = autosave_interval
+        self.batch_target_latency = batch_target_latency
+        self.max_batch_width = max_batch_width
+        self._batch_limit = float(max_batch_width)
+        self._per_item_latency = 0.05
+        self._inflight = 0
+        self._connections = 0
+        self._accepting = True
+        self._draining = False
+        self._state_loaded = False
+        self._answers: set = set()
         self._queues: dict[str, _SessionQueue] = {}
         self._stop: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
         self._thread_loop: asyncio.AbstractEventLoop | None = None
         self._thread_ready = threading.Event()
         self.address: tuple[str, int] | None = None
+
+    # -- admission and adaptation -------------------------------------------
+
+    def retry_hint(self) -> float:
+        """``retry_after`` seconds for shed responses: roughly one
+        observed per-request drain latency, floored at 50ms."""
+        return round(max(0.05, self._per_item_latency), 3)
+
+    def batch_limit(self) -> int:
+        """The adaptive coalescing width limit, as an integer >= 1."""
+        return max(1, int(self._batch_limit))
+
+    def observe_drain(self, elapsed: float, width: int) -> None:
+        """Feed one drain's latency into the width controller.
+
+        The AutoThrottle averaging shape: the next limit is the mean of
+        the current limit and the width that would hit the target
+        latency at the observed per-item cost — fast drains grow the
+        window toward ``max_batch_width``, slow drains shrink it toward
+        answering each request promptly.
+        """
+        per_item = max(elapsed / max(width, 1), 1e-6)
+        self._per_item_latency = 0.5 * self._per_item_latency + 0.5 * per_item
+        proposed = (self._batch_limit + self.batch_target_latency / per_item) / 2.0
+        self._batch_limit = min(float(self.max_batch_width), max(1.0, proposed))
+
+    def _admit(self) -> None:
+        """Admission control: raise :class:`OverloadedError` to shed."""
+        if not self._accepting:
+            raise OverloadedError(
+                "server is draining for shutdown",
+                retry_after=self.retry_hint(),
+            )
+        if self._inflight >= self.max_inflight:
+            raise OverloadedError(
+                f"server at capacity ({self.max_inflight} requests in flight)",
+                retry_after=self.retry_hint(),
+            )
+
+    def _deadline_for(self, request: dict) -> Deadline | None:
+        seconds = request.get("deadline", self.default_deadline)
+        if seconds is None:
+            return None
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+            raise protocol.ProtocolError("'deadline' must be a number of seconds")
+        if seconds < 0:
+            raise protocol.ProtocolError("'deadline' cannot be negative")
+        return Deadline.after(float(seconds))
 
     # -- request handling ---------------------------------------------------
 
@@ -187,25 +380,31 @@ class CheckingServer:
                 response = protocol.ok_response(request, self.stats_payload(), None)
             elif op == "shutdown":
                 response = protocol.ok_response(request, {"stopping": True}, None)
-                if self._stop is not None:
-                    # Stop on the next tick-ish so responses already in
-                    # flight (including this one) can still be written.
-                    asyncio.get_running_loop().call_later(
-                        0.05, self._stop.set
-                    )
+                self._begin_shutdown()
             else:
-                loop = asyncio.get_running_loop()
-                session = await loop.run_in_executor(
-                    self.executor,
-                    lambda: protocol.resolve_session(self.registry, request),
-                )
-                queue = self._queues.get(session.fingerprint)
-                if queue is None or queue.session is not session:
-                    queue = _SessionQueue(self, session)
-                    self._queues[session.fingerprint] = queue
-                payload = await queue.submit(request)
+                # _admit reserves the in-flight slot before the first
+                # await: concurrent arrivals must not all pass the cap
+                # check while none has yet been counted.
+                self._admit()
+                self._inflight += 1
+                try:
+                    request["_deadline"] = self._deadline_for(request)
+                    loop = asyncio.get_running_loop()
+                    session = await loop.run_in_executor(
+                        self.executor,
+                        lambda: protocol.resolve_session(self.registry, request),
+                    )
+                    queue = self._queues.get(session.fingerprint)
+                    if queue is None or queue.session is not session:
+                        queue = _SessionQueue(self, session)
+                        self._queues[session.fingerprint] = queue
+                    payload = await queue.submit(request)
+                finally:
+                    self._inflight -= 1
                 if "error" in payload:
                     self.stats.errors += 1
+                    if payload["error"].get("type") == "budget_exceeded":
+                        self.stats.deadline_expired += 1
                     response = {
                         "id": request_id,
                         "ok": False,
@@ -213,8 +412,13 @@ class CheckingServer:
                     }
                 else:
                     response = protocol.ok_response(request, payload, session)
+        except OverloadedError as exc:
+            self.stats.requests_shed += 1
+            response = protocol.error_response(request_id, exc)
         except Exception as exc:  # noqa: BLE001 - every request gets an answer
             self.stats.errors += 1
+            if isinstance(exc, BudgetExceededError):
+                self.stats.deadline_expired += 1
             response = protocol.error_response(request_id, exc)
         self.stats.responses += 1
         return response
@@ -226,11 +430,75 @@ class CheckingServer:
             session = self.registry._sessions.get(fingerprint)
             if session is not None:
                 sessions[fingerprint] = session.service_stats()
+        server_stats = self.stats.as_dict()
+        server_stats["inflight"] = self._inflight
+        server_stats["connections"] = self._connections
+        server_stats["batch_limit"] = self.batch_limit()
+        server_stats["accepting"] = self._accepting
         return {
             "registry": self.registry.stats(),
-            "server": self.stats.as_dict(),
+            "server": server_stats,
             "sessions": sessions,
         }
+
+    # -- persistence --------------------------------------------------------
+
+    def _load_state(self) -> None:
+        """Restore sessions from the snapshot, once per server lifetime."""
+        if self.state_file is None or self._state_loaded:
+            return
+        self._state_loaded = True
+        self.stats.sessions_restored += persist.load_snapshot(
+            self.registry, self.state_file
+        )
+
+    def _save_state(self) -> None:
+        """Write the snapshot; a failed save never takes the service down."""
+        if self.state_file is None:
+            return
+        try:
+            persist.save_snapshot(self.registry, self.state_file)
+            self.stats.snapshots_saved += 1
+        except Exception:  # noqa: BLE001 - serving outranks snapshotting
+            pass
+
+    async def _autosave_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.autosave_interval)
+            await loop.run_in_executor(self.executor, self._save_state)
+
+    # -- shutdown -----------------------------------------------------------
+
+    def _register_answer(self, task: "asyncio.Task") -> None:
+        self._answers.add(task)
+        task.add_done_callback(self._answers.discard)
+
+    def _begin_shutdown(self) -> None:
+        """Deterministic drain: refuse new work, flush queued futures and
+        pending response writes, snapshot, then stop — no timers."""
+        if self._draining:
+            return
+        self._draining = True
+        self._accepting = False
+        asyncio.get_running_loop().create_task(self._drain_then_stop())
+
+    async def _drain_then_stop(self) -> None:
+        current = asyncio.current_task()
+        while True:
+            pending = [
+                task
+                for task in self._answers
+                if not task.done() and task is not current
+            ]
+            if not pending:
+                break
+            await asyncio.gather(*pending, return_exceptions=True)
+        await asyncio.get_running_loop().run_in_executor(
+            self.executor, self._save_state
+        )
+        if self._stop is not None:
+            self._stop.set()
 
     # -- transports ---------------------------------------------------------
 
@@ -241,18 +509,50 @@ class CheckingServer:
         listening (``port=0`` binds an ephemeral port).
         """
         self._stop = asyncio.Event()
+        self._load_state()
+        autosave = (
+            asyncio.ensure_future(self._autosave_loop())
+            if self.state_file and self.autosave_interval
+            else None
+        )
         server = await asyncio.start_server(self._handle_connection, host, port)
         sockname = server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
-        async with server:
-            await self._stop.wait()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            if autosave is not None:
+                autosave.cancel()
+            if not self._draining:
+                # Stopped without a shutdown op (embedder called
+                # ``close``): still snapshot before the loop dies.
+                self._save_state()
 
     async def _handle_connection(self, reader, writer) -> None:
+        if self._connections >= self.max_connections:
+            self.stats.connections_shed += 1
+            shed = OverloadedError(
+                f"connection limit reached ({self.max_connections})",
+                retry_after=self.retry_hint(),
+            )
+            try:
+                line = protocol.encode(protocol.error_response(None, shed))
+                writer.write((line + "\n").encode("utf-8"))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        self._connections += 1
         write_lock = asyncio.Lock()
         tasks = []
 
         async def answer(line: str) -> None:
             response = await self.handle_request(line)
+            if fault_active("conn.drop"):
+                writer.close()
+                return
             try:
                 async with write_lock:
                     writer.write((protocol.encode(response) + "\n").encode("utf-8"))
@@ -268,15 +568,17 @@ class CheckingServer:
                 text = line.decode("utf-8").strip()
                 if not text:
                     continue
-                tasks.append(asyncio.ensure_future(answer(text)))
+                task = asyncio.ensure_future(answer(text))
+                self._register_answer(task)
+                tasks.append(task)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
         except asyncio.CancelledError:
             # Server shutdown cancels connection handlers mid-read; the
-            # 0.05s grace period in the shutdown op already let queued
-            # responses flush.
+            # deterministic drain already flushed queued responses.
             pass
         finally:
+            self._connections -= 1
             writer.close()
 
     async def serve_stdio(self, stdin=None, stdout=None) -> None:
@@ -291,6 +593,12 @@ class CheckingServer:
         stdin = stdin or sys.stdin
         stdout = stdout or sys.stdout
         self._stop = asyncio.Event()
+        self._load_state()
+        autosave = (
+            asyncio.ensure_future(self._autosave_loop())
+            if self.state_file and self.autosave_interval
+            else None
+        )
         loop = asyncio.get_running_loop()
         lines: asyncio.Queue = asyncio.Queue()
         write_lock = asyncio.Lock()
@@ -328,9 +636,15 @@ class CheckingServer:
             if not line:
                 break
             if line.strip():
-                tasks.append(asyncio.ensure_future(answer(line.strip())))
+                task = asyncio.ensure_future(answer(line.strip()))
+                self._register_answer(task)
+                tasks.append(task)
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+        if autosave is not None:
+            autosave.cancel()
+        if not self._draining:
+            self._save_state()
 
     # -- background lifecycle (tests, benchmarks, the README quickstart) ----
 
@@ -371,16 +685,16 @@ class CheckingServer:
         return self.address
 
     def close(self) -> None:
-        """Stop a background server and release the executor."""
+        """Stop a background server and release the executor.
+
+        Routes through the same deterministic drain as the ``shutdown``
+        op (answer everything received, snapshot, then stop) — setting
+        the stop event directly would race a drain already in flight
+        and could cancel its snapshot mid-write.
+        """
         if self._thread is not None and self._thread_loop is not None:
-            stop = self._stop
-
-            def signal() -> None:
-                if stop is not None:
-                    stop.set()
-
             try:
-                self._thread_loop.call_soon_threadsafe(signal)
+                self._thread_loop.call_soon_threadsafe(self._begin_shutdown)
             except RuntimeError:
                 pass  # loop already closed
             self._thread.join(timeout=10.0)

@@ -117,11 +117,19 @@ def _error_payload(exc: Exception) -> dict:
 
     The protocol layer wraps the same body into error responses, so a
     query that fails inside a coalesced batch answers byte-identically
-    to the same query sent alone.
+    to the same query sent alone.  Failure modes with a stable wire
+    contract (deadlines, load shedding) carry a ``wire_type`` class
+    attribute that replaces the Python class name, and an optional
+    ``retry_after`` hint (seconds) rides along for shed requests.
     """
-    return {
-        "error": {"type": type(exc).__name__, "message": str(exc)},
+    error: dict = {
+        "type": getattr(exc, "wire_type", None) or type(exc).__name__,
+        "message": str(exc),
     }
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"error": error}
 
 
 class SpecSession:
@@ -330,9 +338,7 @@ class SpecSession:
                     for index, parsed in misses:
                         payload = first.pop(str(parsed), None)
                         if payload is None:  # an intra-batch repeat
-                            payload = self._recall(
-                                ("implies", str(parsed), effective)
-                            )
+                            payload = self._recall(("implies", str(parsed), effective))
                         responses[index] = payload
                     misses = []
             for index, parsed in misses:
@@ -401,6 +407,41 @@ class SpecSession:
             "constraints": len(self.sigma),
             "mode": self.mode,
         }
+
+    # -- persistence (repro.service.persist) --------------------------------
+
+    def export_persistent(self) -> tuple[list[tuple[tuple, str]], list]:
+        """The session state worth surviving a restart, in insertion order.
+
+        Two pieces: the rendered response cache (the byte-identity store
+        — replaying a rendered string is what makes a restored session's
+        answers byte-identical) and the portable cut records (so a warm
+        session's accumulated connectivity cuts keep pruning after the
+        restart).  Warm workspaces are deliberately *not* exported: they
+        hold live solver handles (HiGHS instances, exact factorizations)
+        that cannot meaningfully cross a process boundary, and rebuilding
+        one from the restored cut records is exactly the cold-start path
+        the differential suite pins.
+        """
+        with self._lock:
+            return (
+                list(self._responses.items()),
+                list(self._cut_records.values()),
+            )
+
+    def restore_persistent(
+        self, responses: list[tuple[tuple, str]], cuts: list
+    ) -> None:
+        """Adopt a snapshot's response cache and cut records (cold caches
+        only — never called on a session that has already answered)."""
+        with self._lock:
+            for key, rendered in responses:
+                if key in self._responses:
+                    continue
+                self._responses[key] = rendered
+                self._response_bytes += self._entry_bytes(key, rendered)
+            for record in cuts:
+                self._cut_records.setdefault(record.key, record)
 
     # -- internals ----------------------------------------------------------
 

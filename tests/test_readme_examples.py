@@ -70,6 +70,44 @@ def test_readme_serving_section_is_executable():
     assert "--session" in text
 
 
+def test_readme_operating_section_is_executable():
+    """The operations quickstart is a real doctest session (deadline
+    shed, restart from a snapshot) plus the shell knobs; this guard
+    keeps its load-bearing pieces from being edited away."""
+    text = README.read_text()
+    assert "### Operating the service" in text
+    assert "budget_exceeded" in text
+    assert "sessions_restored" in text
+    assert "REPRO_FAULTS" in text
+    for flag in (
+        "--max-inflight",
+        "--queue-depth",
+        "--max-connections",
+        "--deadline",
+        "--state-file",
+        "--autosave-interval",
+    ):
+        assert flag in text, f"README lost the {flag} knob"
+
+
+def test_readme_serve_knobs_parse_in_cli():
+    """Every operations flag the README documents parses on `serve`."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--max-inflight", "256", "--queue-depth", "128",
+         "--max-connections", "64", "--deadline", "30",
+         "--state-file", "sessions.json", "--autosave-interval", "300"]
+    )
+    assert args.max_inflight == 256
+    assert args.queue_depth == 128
+    assert args.max_connections == 64
+    assert args.deadline == 30.0
+    assert args.state_file == "sessions.json"
+    assert args.autosave_interval == 300.0
+
+
 def test_readme_scaling_section_is_executable():
     """The Scaling quickstart is a real doctest session: the README must
     keep a `--jobs` shell example and a `jobs=` Python example, and the

@@ -97,6 +97,72 @@ async def _client(host, port, spec, client_id):
     return len(responses)
 
 
+def test_shutdown_drains_deterministically():
+    """Shutdown mid-burst: every request already received is answered
+    (solved or shed — always structured), then the server stops on its
+    own.  No grace-period timer is involved, so this cannot flake on a
+    loaded machine: the stop is gated on the drain, not on a clock."""
+    dtd_text, sigma_text, fingerprint, verdicts = _specs()[0]
+    server = CheckingServer(SessionRegistry())
+    host, port = server.start_background()
+
+    async def burst():
+        reader, writer = await asyncio.open_connection(host, port)
+        requests = [
+            {
+                "id": f"pre-{index}",
+                "op": "implies",
+                "dtd": dtd_text,
+                "constraints": sigma_text,
+                "phi": PHI_FORWARD,
+            }
+            for index in range(5)
+        ]
+        requests.append({"id": "bye", "op": "shutdown"})
+        requests.append(
+            {
+                "id": "late",
+                "op": "implies",
+                "dtd": dtd_text,
+                "constraints": sigma_text,
+                "phi": PHI_FORWARD,
+            }
+        )
+        for request in requests:
+            writer.write((json.dumps(request) + "\n").encode())
+        await writer.drain()
+        responses = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            response = json.loads(line)
+            responses[response["id"]] = response
+        writer.close()
+        return responses
+
+    try:
+        responses = asyncio.run(burst())
+        # Every line the server read before stopping got an answer.
+        for index in range(5):
+            response = responses[f"pre-{index}"]
+            assert response["ok"], response
+            assert response["result"]["implied"] == verdicts[PHI_FORWARD]
+        assert responses["bye"]["ok"]
+        assert responses["bye"]["result"] == {"stopping": True}
+        # A request read after shutdown is shed with structure, never
+        # silently dropped mid-drain.
+        if "late" in responses:
+            late = responses["late"]
+            assert not late["ok"]
+            assert late["error"]["type"] == "overloaded"
+        # The drain gates the stop: the serving thread exits by itself.
+        server._thread.join(timeout=30)
+        assert not server._thread.is_alive()
+    finally:
+        server.close()
+
+
 @pytest.mark.parametrize("mode", ["replay", "warm"])
 def test_concurrent_clients_coalesce_without_leaking(mode):
     server = CheckingServer(SessionRegistry(mode=mode))
