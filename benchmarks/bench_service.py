@@ -29,6 +29,17 @@ Two claims of the long-lived checking service are gated here:
    2x of the uncontended warm p50 (an unbounded queue would multiply it
    by the backlog depth instead).
 
+4. **The HTTP front end is a thin skin.**  (ISSUE 8.)  Both transports
+   share the same dispatch and the same live session; on cache-hit
+   repeats (transport overhead isolated from solving) the warm HTTP
+   p50 stays within 2x of the warm line-protocol p50 (+1ms floor).
+
+5. **Scrapes don't perturb serving.**  (ISSUE 8.)  A continuous
+   ``GET /metrics`` scraper hammering the collector while 32 concurrent
+   clients replay cached queries moves the admitted p50 by at most 10%
+   (best-of-N on both sides, small floor) — the collector snapshot is
+   a lock-scoped copy, never a pause of the serving path.
+
 Every benchmark asserts the correctness of the answers it times, per
 the suite's fast-nonsense policy.
 """
@@ -333,3 +344,194 @@ def test_shed_mode_keeps_admitted_request_latency_bounded():
         )
     finally:
         server.close()
+
+
+#: Warm HTTP p50 must stay within this factor of the warm line p50
+#: (plus a 1ms floor absorbing scheduler noise on sub-millisecond
+#: cache-hit roundtrips).
+_HTTP_GATE = 2.0
+
+#: A concurrent scraper may move the admitted p50 by at most this factor
+#: (again with a small floor: at cache-hit speed a single descheduling
+#: is a larger fraction than any real perturbation).
+_SCRAPE_GATE = 1.10
+
+
+def test_warm_http_p50_within_2x_of_warm_line_p50():
+    """Gate 4: cache-hit repeats over both transports against ONE live
+    server; the HTTP skin (head parse, body frame, answer task) must not
+    double the line protocol's roundtrip."""
+    import http.client
+
+    from repro.service.http import HTTPFrontend
+
+    dtd, sigma_text, _ = _chain_workload()
+    dtd_text = dtd_to_string(dtd)
+    request = {
+        "id": 0,
+        "op": "implies",
+        "dtd": dtd_text,
+        "constraints": sigma_text,
+        "phi": "t0.x <= t1.x",
+    }
+    body = json.dumps(request)
+
+    server = CheckingServer(SessionRegistry())
+    front = HTTPFrontend(server)
+    http_address = front.start_background(line_port=0)
+    try:
+        host, port = server.address
+
+        async def line_samples(repeats: int) -> list:
+            reader, writer = await asyncio.open_connection(host, port)
+            samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                writer.write((body + "\n").encode())
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                samples.append(time.perf_counter() - start)
+                assert response["ok"] and response["result"]["implied"] is True
+            writer.close()
+            return samples
+
+        # First ask pays the solve; everything timed after it is a
+        # response-cache hit, so both medians measure transport overhead.
+        asyncio.run(line_samples(1))
+        line_p50 = statistics.median(asyncio.run(line_samples(21)))
+
+        connection = http.client.HTTPConnection(*http_address, timeout=30)
+        try:
+            samples = []
+            for _ in range(21):
+                start = time.perf_counter()
+                connection.request("POST", "/v1/implies", body=body)
+                response = connection.getresponse()
+                payload = json.loads(response.read())
+                samples.append(time.perf_counter() - start)
+                assert response.status == 200
+                assert payload["ok"] and payload["result"]["implied"] is True
+            http_p50 = statistics.median(samples)
+        finally:
+            connection.close()
+
+        bound = _HTTP_GATE * max(line_p50, 0.001)
+        assert http_p50 <= bound, (
+            f"warm HTTP p50 {http_p50 * 1000:.2f}ms vs warm line p50 "
+            f"{line_p50 * 1000:.2f}ms: exceeds {_HTTP_GATE}x (+1ms floor) — "
+            "the HTTP skin is no longer thin"
+        )
+    finally:
+        front.close()
+
+
+def test_metrics_scrape_does_not_perturb_admitted_latency():
+    """Gate 5: a continuous ``/metrics`` scraper beside 32 concurrent
+    cached-query clients moves the admitted p50 by <= 10% (best-of-N)."""
+    from repro.service.http import HTTPFrontend
+
+    dtd, sigma_text, stream = _chain_workload()
+    dtd_text = dtd_to_string(dtd)
+
+    server = CheckingServer(SessionRegistry())
+    front = HTTPFrontend(server)
+    http_address = front.start_background(line_port=0)
+    try:
+        host, port = server.address
+
+        async def warm() -> None:
+            reader, writer = await asyncio.open_connection(host, port)
+            for index, (phi, expected) in enumerate(stream):
+                request = {
+                    "id": index,
+                    "op": "implies",
+                    "dtd": dtd_text,
+                    "constraints": sigma_text,
+                    "phi": phi,
+                }
+                writer.write((json.dumps(request) + "\n").encode())
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"], response
+                assert response["result"]["implied"] is expected
+            writer.close()
+
+        async def scraper(http_host: str, http_port: int) -> None:
+            # ~50 scrapes/sec: orders of magnitude above any production
+            # cadence, but paced — a busy loop would measure CPU theft on
+            # a small container, not collector interference.
+            reader, writer = await asyncio.open_connection(http_host, http_port)
+            try:
+                while True:
+                    writer.write(b"GET /metrics HTTP/1.1\r\n\r\n")
+                    await writer.drain()
+                    length = 0
+                    while True:
+                        header = await reader.readline()
+                        if header.lower().startswith(b"content-length:"):
+                            length = int(header.split(b":", 1)[1])
+                        if header in (b"\r\n", b"\n"):
+                            break
+                    page = await reader.readexactly(length)
+                    assert b"repro_server_requests_total" in page
+                    await asyncio.sleep(0.02)
+            except asyncio.CancelledError:
+                writer.close()
+                raise
+
+        async def admitted_p50(with_scraper: bool) -> float:
+            scrape_task = None
+            if with_scraper:
+                scrape_task = asyncio.ensure_future(scraper(*http_address))
+            samples = []
+
+            async def client(offset: int) -> None:
+                reader, writer = await asyncio.open_connection(host, port)
+                for round_number in range(6):
+                    phi, expected = stream[(offset + round_number) % len(stream)]
+                    request = {
+                        "id": offset,
+                        "op": "implies",
+                        "dtd": dtd_text,
+                        "constraints": sigma_text,
+                        "phi": phi,
+                    }
+                    start = time.perf_counter()
+                    writer.write((json.dumps(request) + "\n").encode())
+                    await writer.drain()
+                    response = json.loads(await reader.readline())
+                    samples.append(time.perf_counter() - start)
+                    assert response["ok"], response
+                    assert response["result"]["implied"] is expected
+                writer.close()
+
+            try:
+                await asyncio.gather(*(client(i) for i in range(_CLIENTS)))
+            finally:
+                if scrape_task is not None:
+                    scrape_task.cancel()
+                    await asyncio.gather(scrape_task, return_exceptions=True)
+            return statistics.median(samples)
+
+        asyncio.run(warm())
+        # Best-of-N on both sides, rounds interleaved so machine drift
+        # (page cache, thermal, CI neighbours) cancels instead of biasing
+        # one mode.
+        quiet_rounds, scraped_rounds = [], []
+        for _ in range(5):
+            quiet_rounds.append(asyncio.run(admitted_p50(False)))
+            scraped_rounds.append(asyncio.run(admitted_p50(True)))
+        quiet = min(quiet_rounds)
+        scraped = min(scraped_rounds)
+
+        # 10% relative plus a 2ms absolute floor: at single-digit-ms
+        # baselines on a shared container, one descheduling is already
+        # larger than any genuine collector interference.
+        bound = _SCRAPE_GATE * quiet + 0.002
+        assert scraped <= bound, (
+            f"admitted p50 under scrape {scraped * 1000:.2f}ms vs quiet "
+            f"{quiet * 1000:.2f}ms: scraping perturbs serving beyond "
+            f"{(_SCRAPE_GATE - 1) * 100:.0f}% (+2ms floor)"
+        )
+    finally:
+        front.close()

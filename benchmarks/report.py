@@ -22,6 +22,7 @@ regressions are visible.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import statistics
 import sys
@@ -476,6 +477,50 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
         )
         return [_ServiceResult(payload) for payload in payloads]
 
+    # Metrics case (ISSUE 8): the same 32-request stream answered through
+    # the *full* server dispatch — admission control, deadline plumbing,
+    # per-op latency histograms and the namespaced collector — followed
+    # by one Prometheus render.  Search counters stay byte-identical to
+    # the `service` entry (the collector observes, it never steers), so
+    # this entry isolates the observability overhead on the serving hot
+    # path: a collector regression shows up as wall time against the
+    # same counters.
+    from repro.dtd.serializer import dtd_to_string
+    from repro.service.registry import SessionRegistry
+    from repro.service.server import CheckingServer
+
+    metrics_dtd_text = dtd_to_string(service_dtd)
+    metrics_sigma_text = "\n".join(str(phi) for phi in service_sigma)
+
+    def _metrics_workload() -> list:
+        server = CheckingServer(SessionRegistry())
+
+        async def replay():
+            responses = []
+            for index, phi in enumerate(service_stream):
+                line = json.dumps(
+                    {
+                        "id": index,
+                        "op": "implies",
+                        "dtd": metrics_dtd_text,
+                        "constraints": metrics_sigma_text,
+                        "phi": phi,
+                    }
+                )
+                responses.append(await server.handle_request(line))
+            return responses
+
+        responses = asyncio.run(replay())
+        rendered = server.render_metrics()
+        assert (
+            f"repro_server_requests_total {len(service_stream)}" in rendered
+        ), "the scrape lost the request counter"
+        assert 'op="implies"' in rendered, "per-op histograms regressed"
+        server.executor.shutdown(wait=False)
+        for response in responses:
+            assert response["ok"], response
+        return [_ServiceResult(response["result"]) for response in responses]
+
     return {
         "figure5_implication": lambda: [
             result
@@ -498,6 +543,7 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
         "parallel": lambda: implies_all(par_dtd, par_sigma, par_phis, par_config),
         "quickxplain": lambda: [_MusResult(qx_dtd, qx_sigma)],
         "service": _service_workload,
+        "metrics": _metrics_workload,
     }
 
 

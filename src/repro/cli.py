@@ -79,8 +79,17 @@ def _config_overrides(args: argparse.Namespace) -> dict | None:
     if getattr(args, "cold", False):
         overrides["exact_warm"] = False
     if getattr(args, "jobs", 1) != 1:
+        # "auto" rides through as the adaptive marker; the session
+        # resolves it to a concrete level per request.
         overrides["jobs"] = args.jobs
     return overrides or None
+
+
+def _jobs_value(text: str) -> "int | str":
+    """``--jobs`` accepts a worker count or the adaptive ``auto``."""
+    if text == "auto":
+        return "auto"
+    return int(text)
 
 
 def _session_for(args: argparse.Namespace) -> SpecSession:
@@ -169,16 +178,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.server import CheckingServer
 
+    auto_jobs = args.jobs == "auto"
     config = CheckerConfig(
         backend=args.backend,
         exact_warm=not args.cold,
-        jobs=args.jobs,
+        jobs=1 if auto_jobs else args.jobs,
     )
     registry = SessionRegistry(
         max_sessions=args.max_sessions,
         max_bytes=args.max_bytes,
         mode=args.mode,
         config=config,
+        auto_jobs=auto_jobs,
     )
     server = CheckingServer(
         registry,
@@ -190,25 +201,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         autosave_interval=args.autosave_interval,
     )
 
-    async def run_tcp() -> None:
-        serving = asyncio.ensure_future(
-            server.serve_tcp(args.host, args.port)
-        )
-        while server.address is None and not serving.done():
-            await asyncio.sleep(0.001)
-        if server.address is not None:
-            # Announce the bound port (``--port 0`` binds ephemerally).
-            print(
-                f"listening on {server.address[0]}:{server.address[1]}",
-                flush=True,
+    async def run_transports() -> None:
+        # Any mix of front ends shares one loop, one stop event, one
+        # snapshot lifecycle: line TCP (--port), HTTP/JSON (--http), a
+        # scrape-only metrics listener (--metrics-port), or stdio when
+        # no ports were requested.
+        from repro.service.http import HTTPFrontend
+
+        transports = []
+        fronts: list = []
+        if args.port is not None:
+            transports.append(
+                asyncio.ensure_future(server.serve_tcp(args.host, args.port))
             )
-        await serving
+            fronts.append(("listening", server))
+        if args.http is not None:
+            front = HTTPFrontend(server)
+            transports.append(
+                asyncio.ensure_future(front.serve(args.host, args.http))
+            )
+            fronts.append(("http", front))
+        if args.metrics_port is not None:
+            front = HTTPFrontend(server, metrics_only=True)
+            transports.append(
+                asyncio.ensure_future(front.serve(args.host, args.metrics_port))
+            )
+            fronts.append(("metrics", front))
+        if args.port is None and args.http is None:
+            transports.append(asyncio.ensure_future(server.serve_stdio()))
+
+        def pending() -> list:
+            return [
+                (kind, owner)
+                for kind, owner in fronts
+                if owner.address is None
+            ]
+
+        while pending() and not any(task.done() for task in transports):
+            await asyncio.sleep(0.001)
+        for kind, owner in fronts:
+            if owner.address is not None:
+                # Announce each bound port (0 binds ephemerally).
+                print(
+                    f"{kind} on {owner.address[0]}:{owner.address[1]}",
+                    flush=True,
+                )
+        await asyncio.gather(*transports)
 
     try:
-        if args.port is None:
-            asyncio.run(server.serve_stdio())
-        else:
-            asyncio.run(run_tcp())
+        asyncio.run(run_transports())
     except KeyboardInterrupt:
         pass
     return 0
@@ -262,12 +303,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         command.add_argument(
             "--jobs",
-            type=int,
+            type=_jobs_value,
             default=1,
             metavar="N",
             help="worker processes for the parallel executor (independent "
             "support branches and diagnostics probes fan across N "
-            "fork-based workers; verdicts are identical to --jobs 1)",
+            "fork-based workers; verdicts are identical to --jobs 1), "
+            "or 'auto' to grow/shrink the level from observed solve "
+            "and wave latency (never beyond the effective CPU count)",
         )
 
     p_check = sub.add_parser("check", help="consistency of (DTD, constraints)")
@@ -349,6 +392,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="serve on a TCP port instead of stdio (0 binds an "
         "ephemeral port; the bound address is announced on stdout)",
+    )
+    p_serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally serve HTTP/JSON on this port: POST /v1/{op} "
+        "answers the line protocol's exact response bytes (429 + "
+        "Retry-After when shed, 504 on budget_exceeded), GET /metrics "
+        "serves the Prometheus text exposition (0 binds ephemerally)",
+    )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve GET /metrics alone on a separate port (a scrape-only "
+        "listener outside the serving connection cap)",
     )
     p_serve.add_argument(
         "--max-sessions",

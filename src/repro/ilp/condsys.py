@@ -72,10 +72,12 @@ worker is exact-checked like every other leaf.
 
 from __future__ import annotations
 
+import contextvars
 import multiprocessing
 import os
 import queue
 import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
@@ -972,6 +974,47 @@ def effective_parallelism() -> int:
     if hasattr(os, "sched_getaffinity"):
         return len(os.sched_getaffinity(0)) or 1
     return os.cpu_count() or 1
+
+
+#: The ambient per-wave latency observer (None = nobody watching).  Set
+#: by the service layer around a solve so the parallel dispatcher can
+#: report wave timings without the solver depending on the metrics
+#: module; travels through a ContextVar for the same reason the request
+#: deadline does (per-executor-thread, no parameter threading).
+_WAVE_OBSERVER: contextvars.ContextVar[Callable[[float, int], None] | None] = (
+    contextvars.ContextVar("repro_wave_observer", default=None)
+)
+
+
+@contextmanager
+def wave_observer_scope(observer: Callable[[float, int], None] | None):
+    """Run a block with ``observer(elapsed_seconds, wave_width)`` called
+    after every parallel wave dispatched inside it.
+
+    The hook feeds the service's :class:`~repro.service.metrics.StatsCollector`
+    (wave-latency histogram) and the ``--jobs auto`` controller; it is
+    observational only — observer exceptions are swallowed, and solver
+    results and :class:`CondSolveStats` are byte-identical with or
+    without a scope open.
+    """
+    if observer is None:
+        yield
+        return
+    token = _WAVE_OBSERVER.set(observer)
+    try:
+        yield
+    finally:
+        _WAVE_OBSERVER.reset(token)
+
+
+def _notify_wave(elapsed: float, width: int) -> None:
+    observer = _WAVE_OBSERVER.get()
+    if observer is None:
+        return
+    try:
+        observer(elapsed, width)
+    except Exception:  # pragma: no cover - observers must not break solves
+        pass
 
 
 def parallel_sweep_allowed(jobs: int) -> bool:
@@ -1911,12 +1954,14 @@ def _solve_parallel(
             stats.parallel_waves += 1
             seed = pool.export()
             tasks = [(tuple(entry.items()), seed) for entry in wave]
+            wave_started = time.monotonic()
             try:
                 outcomes = executor.map(_branch_task, tasks)
             finally:
                 stats.workers_crashed = executor.crashes
                 stats.workers_respawned = executor.respawns
                 stats.tasks_requeued = executor.requeues
+                _notify_wave(time.monotonic() - wave_started, len(wave))
             for status, values, message, worker_stats, fresh, kind in outcomes:
                 stats.absorb(worker_stats)
                 accepted, duplicates = pool.merge(fresh)

@@ -1,0 +1,471 @@
+"""Central metrics: one collector for every counter the service emits.
+
+Before this module, observability counters were scattered across three
+stats dicts — :class:`~repro.service.server.ServerStats`, the registry's
+``stats()`` payload (which *merged* registry counters with per-session
+aggregates into one flat dict), and the solver's
+:class:`~repro.ilp.condsys.CondSolveStats` riding on responses.  The
+:class:`StatsCollector` absorbs them behind namespaced keys —
+``server.*``, ``registry.*``, ``session.*``, ``pool.*`` — so no key can
+shadow another, and adds the two things a scrape surface needs that
+point-in-time dicts cannot give:
+
+* **latency histograms** — fixed-bucket per-op request latency plus the
+  parallel pool's per-wave latency (:class:`LatencyHistogram`);
+* **monotone session aggregates** — evicted sessions are *retired* into
+  the collector (:meth:`StatsCollector.retire_session`), so
+  ``session.requests`` and friends never step backwards when the LRU
+  sheds a resident session.
+
+The rendered surface is the Prometheus text exposition format
+(:func:`render_prometheus`), served at ``GET /metrics`` by the HTTP
+front end; the scrape is a pure read (no locks shared with the solver
+hot path beyond the collector's own mutex).  The shape follows scrapy's
+engine/stats split: components push increments into one process-wide
+collector; the exporter only ever reads.
+
+This module also closes the adaptive-parallelism loop
+(:class:`AdaptiveJobsController`): observed per-wave latency grows or
+shrinks a session's effective ``jobs``, complementing the server's
+adaptive batch width (DESIGN.md section 10).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.ilp.condsys import effective_parallelism
+
+#: Histogram bucket upper bounds, in seconds.  Spaced for a service whose
+#: warm cache hits answer in well under a millisecond and whose cold
+#: branch-and-bound solves run seconds: sub-ms resolution at the fast
+#: end, coarse decades at the slow end, ``+Inf`` implied.
+HISTOGRAM_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One documented metric: wire key, exposition name, type, help."""
+
+    key: str
+    name: str
+    kind: str
+    help: str
+
+
+def _spec(key: str, kind: str, help_text: str) -> MetricSpec:
+    name = "repro_" + key.replace(".", "_")
+    if kind == COUNTER:
+        name += "_total"
+    return MetricSpec(key=key, name=name, kind=kind, help=help_text)
+
+
+#: Every documented scalar metric, keyed by its namespaced wire name.
+#: The ``stats`` op's ``counters`` payload and the ``/metrics`` scrape
+#: are both generated from (supersets of) this table, and
+#: ``tests/test_service_metrics.py`` round-trips it: each entry must be
+#: present in a scrape, carry this type, and — for counters — be
+#: monotone across scrapes.
+METRICS: dict[str, MetricSpec] = {
+    spec.key: spec
+    for spec in (
+        # -- server.*: the front end (admission, batching, lifecycle) --
+        _spec("server.requests", COUNTER, "Requests received (all ops)."),
+        _spec("server.responses", COUNTER, "Responses written."),
+        _spec("server.errors", COUNTER, "Responses carrying ok=false."),
+        _spec("server.batches", COUNTER, "Session-queue drains dispatched."),
+        _spec(
+            "server.batches_coalesced",
+            COUNTER,
+            "Drains that coalesced 2+ implies into one implies_all.",
+        ),
+        _spec(
+            "server.batch_width_sum",
+            COUNTER,
+            "Total requests across all drained batches.",
+        ),
+        _spec(
+            "server.requests_shed",
+            COUNTER,
+            "Requests answered overloaded by admission control.",
+        ),
+        _spec(
+            "server.connections_shed",
+            COUNTER,
+            "Connections shed at the connection cap.",
+        ),
+        _spec(
+            "server.deadline_expired",
+            COUNTER,
+            "Requests answered budget_exceeded.",
+        ),
+        _spec(
+            "server.sessions_restored",
+            COUNTER,
+            "Sessions restored from a state snapshot.",
+        ),
+        _spec("server.snapshots_saved", COUNTER, "State snapshots written."),
+        _spec(
+            "server.batch_width",
+            GAUGE,
+            "Widest batch drained so far (high-water mark).",
+        ),
+        _spec("server.inflight", GAUGE, "Requests currently admitted."),
+        _spec("server.connections", GAUGE, "Open client connections."),
+        _spec(
+            "server.batch_limit",
+            GAUGE,
+            "Current adaptive batch width limit.",
+        ),
+        _spec(
+            "server.accepting",
+            GAUGE,
+            "1 while admitting requests, 0 once shutdown began.",
+        ),
+        # -- registry.*: the cross-request session cache ---------------
+        _spec("registry.sessions_opened", COUNTER, "Sessions built (cache misses)."),
+        _spec("registry.session_hits", COUNTER, "Fingerprint cache hits."),
+        _spec("registry.sessions_evicted", COUNTER, "Sessions evicted (LRU/bytes)."),
+        _spec("registry.sessions", GAUGE, "Resident sessions."),
+        _spec("registry.approx_bytes", GAUGE, "Approximate resident bytes."),
+        _spec("registry.max_sessions", GAUGE, "Session cap."),
+        _spec("registry.max_bytes", GAUGE, "Byte budget."),
+        # -- session.*: aggregated across live AND retired sessions ----
+        _spec("session.requests", COUNTER, "Session-level operations served."),
+        _spec("session.cache_hits", COUNTER, "Response-cache hits (byte replays)."),
+        _spec("session.workspaces_built", COUNTER, "Warm workspaces assembled."),
+        _spec("session.workspaces_reused", COUNTER, "Warm workspace reuses."),
+        _spec("session.workspaces_dropped", COUNTER, "Warm workspaces evicted."),
+        _spec("session.cuts_carried", COUNTER, "Cuts carried across requests."),
+        _spec(
+            "session.batch_requests",
+            COUNTER,
+            "Requests answered through coalesced implies_batch.",
+        ),
+        _spec("session.cached_responses", GAUGE, "Resident response-cache entries."),
+        # -- pool.*: the fork-based solver pool + adaptive jobs --------
+        _spec("pool.workers_spawned", COUNTER, "Worker processes forked."),
+        _spec("pool.parallel_waves", COUNTER, "Support-branch waves dispatched."),
+        _spec("pool.cuts_merged", COUNTER, "Worker cuts merged at wave edges."),
+        _spec(
+            "pool.cut_merge_duplicates",
+            COUNTER,
+            "Worker cuts dropped as duplicates at merge.",
+        ),
+        _spec("pool.workers_crashed", COUNTER, "Worker crashes detected."),
+        _spec("pool.workers_respawned", COUNTER, "Workers respawned after a crash."),
+        _spec("pool.tasks_requeued", COUNTER, "Tasks requeued after a crash."),
+        _spec(
+            "pool.parallel_degraded",
+            COUNTER,
+            "Solves that degraded to jobs=1 after repeated crashes.",
+        ),
+        _spec("pool.jobs_grown", COUNTER, "Adaptive-jobs growth steps."),
+        _spec("pool.jobs_shrunk", COUNTER, "Adaptive-jobs shrink steps."),
+        _spec(
+            "pool.effective_jobs",
+            GAUGE,
+            "Current adaptive jobs level (auto sessions; 0 = never engaged).",
+        ),
+    )
+}
+
+#: The solver counters a session forwards into ``pool.*`` after each
+#: genuinely-solved request (cache hits carry no new solver work).
+_POOL_STAT_KEYS = (
+    "workers_spawned",
+    "parallel_waves",
+    "cuts_merged",
+    "cut_merge_duplicates",
+    "workers_crashed",
+    "workers_respawned",
+    "tasks_requeued",
+)
+
+#: Histogram families (rendered after the scalars).
+OP_LATENCY = MetricSpec(
+    key="op_latency",
+    name="repro_request_latency_seconds",
+    kind=HISTOGRAM,
+    help="Wire-request latency by op (admission to response payload).",
+)
+WAVE_LATENCY = MetricSpec(
+    key="wave_latency",
+    name="repro_pool_wave_latency_seconds",
+    kind=HISTOGRAM,
+    help="Parallel support-branch wave latency.",
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (Prometheus ``histogram`` shape).
+
+    ``counts[i]`` is the number of observations <= ``buckets[i]``
+    (*non*-cumulative storage; :meth:`snapshot` cumulates), plus one
+    overflow slot for ``+Inf``.  Mutation is O(log buckets) and is done
+    under the owning collector's lock.
+
+    >>> h = LatencyHistogram()
+    >>> h.observe(0.0007); h.observe(0.3); h.observe(999.0)
+    >>> h.count, [b for b, _ in h.snapshot()][:2]
+    (3, [0.0005, 0.001])
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = HISTOGRAM_BUCKETS):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect_left(self.buckets, seconds)] += 1
+        self.total += seconds
+        self.count += 1
+
+    def snapshot(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out, running = [], 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+class StatsCollector:
+    """The process-wide sink for pushed counters and histograms.
+
+    Components *push* (``inc``/``set_gauge``/``observe_op``/
+    ``observe_wave``/``absorb_solver_stats``/``retire_session``); the
+    exporter *pulls* (:meth:`counters`, :meth:`render`).  All methods
+    are thread-safe: sessions mutate from executor threads while the
+    event loop renders a scrape.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._op_latency: dict[str, LatencyHistogram] = {}
+        self._wave_latency = LatencyHistogram()
+
+    # -- pushes --------------------------------------------------------
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        """Add ``amount`` to the namespaced counter ``key``."""
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, key: str, value: float) -> None:
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe_op(self, op: str, seconds: float) -> None:
+        """Record one wire request's latency under its op label."""
+        with self._lock:
+            histogram = self._op_latency.get(op)
+            if histogram is None:
+                histogram = self._op_latency[op] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def observe_wave(self, seconds: float) -> None:
+        """Record one parallel wave's latency (condsys hook)."""
+        with self._lock:
+            self._wave_latency.observe(seconds)
+
+    def absorb_solver_stats(self, stats: dict | None) -> None:
+        """Fold one response's solver stats into the ``pool.*`` counters."""
+        if not stats:
+            return
+        with self._lock:
+            for key in _POOL_STAT_KEYS:
+                value = stats.get(key, 0)
+                if value:
+                    pool_key = f"pool.{key}"
+                    self._counters[pool_key] = self._counters.get(pool_key, 0) + value
+            if stats.get("parallel_degraded"):
+                self._counters["pool.parallel_degraded"] = (
+                    self._counters.get("pool.parallel_degraded", 0) + 1
+                )
+
+    def retire_session(self, stats: dict[str, int]) -> None:
+        """Accumulate an evicted session's counters so ``session.*``
+        aggregates stay monotone after the LRU drops it."""
+        with self._lock:
+            for key, value in stats.items():
+                if value:
+                    full = f"session.{key}"
+                    self._counters[full] = self._counters.get(full, 0) + value
+
+    # -- pulls ---------------------------------------------------------
+
+    def counters(self) -> dict[str, float]:
+        """A point-in-time copy of the pushed counters and gauges."""
+        with self._lock:
+            merged = dict(self._counters)
+            merged.update(self._gauges)
+            return merged
+
+    def _histograms_snapshot(self):
+        with self._lock:
+            ops = {
+                op: (h.snapshot(), h.total, h.count)
+                for op, h in sorted(self._op_latency.items())
+            }
+            wave = (
+                self._wave_latency.snapshot(),
+                self._wave_latency.total,
+                self._wave_latency.count,
+            )
+        return ops, wave
+
+    def render(self, counters: dict[str, float] | None = None) -> str:
+        """The Prometheus text exposition for ``counters`` (defaulting
+        to the collector's own pushed state) plus the histograms."""
+        if counters is None:
+            counters = self.counters()
+        ops, wave = self._histograms_snapshot()
+        return render_prometheus(counters, ops, wave)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(bound)
+
+
+def render_prometheus(counters, op_histograms=None, wave_histogram=None) -> str:
+    """Render the documented metrics in text exposition format 0.0.4.
+
+    Every entry of :data:`METRICS` is emitted (absent keys as 0, so a
+    scraper sees a stable series set from the first scrape); undocumented
+    ``counters`` keys are ignored rather than exported untyped.
+    """
+    lines: list[str] = []
+    for spec in METRICS.values():
+        value = counters.get(spec.key, 0)
+        lines.append(f"# HELP {spec.name} {spec.help}")
+        lines.append(f"# TYPE {spec.name} {spec.kind}")
+        lines.append(f"{spec.name} {_format_value(value)}")
+    for spec, families in (
+        (OP_LATENCY, op_histograms or {}),
+        (WAVE_LATENCY, {None: wave_histogram} if wave_histogram else {}),
+    ):
+        lines.append(f"# HELP {spec.name} {spec.help}")
+        lines.append(f"# TYPE {spec.name} {spec.kind}")
+        for label, (snapshot, total, count) in families.items():
+            suffix = f'{{op="{label}"}}' if label is not None else ""
+            for bound, cumulative in snapshot:
+                le = f'le="{_format_bound(bound)}"'
+                labels = f'{{op="{label}", {le}}}' if label is not None else f"{{{le}}}"
+                lines.append(f"{spec.name}_bucket{labels} {cumulative}")
+            lines.append(f"{spec.name}_sum{suffix} {_format_value(total)}")
+            lines.append(f"{spec.name}_count{suffix} {count}")
+    return "\n".join(lines) + "\n"
+
+
+class AdaptiveJobsController:
+    """Latency-driven ``jobs`` tuning for one session (``--jobs auto``).
+
+    The AutoThrottle-shaped AIMD loop, one level up from the server's
+    adaptive batch width: when a solve (or a parallel wave) runs longer
+    than ``target_latency``, there is enough work outstanding to justify
+    another worker — grow additively.  When solves come back fast, the
+    spec is cheap and forked workers are overhead — decay multiplicatively
+    toward 1.  The level is clamped to ``[1, ceiling]`` where ``ceiling``
+    is :func:`~repro.ilp.condsys.effective_parallelism` (the CPUs this
+    process may actually use), so auto mode can never oversubscribe.
+
+    The controller only ever *suggests* a concrete integer
+    (:meth:`current`); sessions resolve it into the per-request
+    ``CheckerConfig`` before cache keys are formed, so the fixed-jobs
+    path and response byte-identity are untouched.
+
+    >>> ctl = AdaptiveJobsController(target_latency=0.1, ceiling=4)
+    >>> for _ in range(8):
+    ...     ctl.observe_solve(1.0)
+    >>> ctl.current()
+    4
+    >>> for _ in range(8):
+    ...     ctl.observe_solve(0.001)
+    >>> ctl.current()
+    1
+    """
+
+    def __init__(
+        self,
+        target_latency: float = 0.25,
+        ceiling: int | None = None,
+        collector: StatsCollector | None = None,
+    ):
+        if target_latency < 0:
+            raise ValueError("target_latency cannot be negative")
+        self.target_latency = target_latency
+        self.ceiling = max(1, ceiling if ceiling is not None else effective_parallelism())
+        self.collector = collector
+        self._lock = threading.Lock()
+        self._level = 1.0
+        self.grown = 0
+        self.shrunk = 0
+
+    def current(self) -> int:
+        """The jobs level a new request should solve with (in ``[1, ceiling]``)."""
+        with self._lock:
+            return max(1, min(self.ceiling, int(self._level)))
+
+    def _adjust(self, slow: bool) -> None:
+        with self._lock:
+            before = max(1, min(self.ceiling, int(self._level)))
+            if slow:
+                self._level = min(float(self.ceiling), self._level + 1.0)
+            else:
+                self._level = max(1.0, self._level * 0.75)
+            after = max(1, min(self.ceiling, int(self._level)))
+            if after > before:
+                self.grown += 1
+            elif after < before:
+                self.shrunk += 1
+        if self.collector is not None:
+            if after > before:
+                self.collector.inc("pool.jobs_grown")
+            elif after < before:
+                self.collector.inc("pool.jobs_shrunk")
+            self.collector.set_gauge("pool.effective_jobs", self.current())
+
+    def observe_wave(self, seconds: float, width: int) -> None:
+        """One parallel wave completed: grow while waves run slow."""
+        del width
+        self._adjust(slow=seconds > self.target_latency)
+
+    def observe_solve(self, seconds: float) -> None:
+        """One full solve completed (any jobs level)."""
+        self._adjust(slow=seconds > self.target_latency)

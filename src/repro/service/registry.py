@@ -68,6 +68,7 @@ class SessionRegistry:
         config: CheckerConfig | None = None,
         max_cached_responses: int = 512,
         max_workspaces: int = 32,
+        auto_jobs: bool = False,
     ):
         if mode not in MODES:
             raise ReproError(f"unknown session mode {mode!r} (use one of {MODES})")
@@ -77,6 +78,8 @@ class SessionRegistry:
         self.max_bytes = max_bytes
         self.mode = mode
         self.config = config
+        self.auto_jobs = auto_jobs
+        self.collector = None
         self._max_cached_responses = max_cached_responses
         self._max_workspaces = max_workspaces
         self._lock = threading.Lock()
@@ -84,6 +87,10 @@ class SessionRegistry:
         self._hits = 0
         self._opened = 0
         self._evicted = 0
+        #: Folded counters of evicted sessions, so the ``session.*``
+        #: aggregates (:meth:`session_counters`) stay monotone when the
+        #: LRU sheds a resident session (ISSUE 8).
+        self._retired: dict[str, int] = {}
 
     # -- resolution ---------------------------------------------------------
 
@@ -118,6 +125,8 @@ class SessionRegistry:
                 mode=self.mode,
                 max_cached_responses=self._max_cached_responses,
                 max_workspaces=self._max_workspaces,
+                auto_jobs=self.auto_jobs,
+                collector=self.collector,
             )
             self._opened += 1
             self._sessions[fingerprint] = session
@@ -136,11 +145,20 @@ class SessionRegistry:
     def evict(self, fingerprint: str) -> bool:
         """Drop one session by fingerprint; ``True`` if it was resident."""
         with self._lock:
-            if fingerprint not in self._sessions:
+            session = self._sessions.pop(fingerprint, None)
+            if session is None:
                 return False
-            del self._sessions[fingerprint]
+            self._retire_locked(session)
             self._evicted += 1
             return True
+
+    def _retire_locked(self, session: SpecSession) -> None:
+        """Fold an evicted session's counters into the retired totals
+        (same critical section as the eviction, so :meth:`session_counters`
+        can never observe the drop)."""
+        for key, value in session.stats.as_dict().items():
+            if value:
+                self._retired[key] = self._retired.get(key, 0) + value
 
     def _shrink_locked(self) -> None:
         """Evict LRU sessions while over the count or byte budget.
@@ -150,11 +168,25 @@ class SessionRegistry:
         leaves no room for neighbours.
         """
         while len(self._sessions) > self.max_sessions:
-            self._sessions.popitem(last=False)
+            _, session = self._sessions.popitem(last=False)
+            self._retire_locked(session)
             self._evicted += 1
         while len(self._sessions) > 1 and self.approx_bytes() > self.max_bytes:
-            self._sessions.popitem(last=False)
+            _, session = self._sessions.popitem(last=False)
+            self._retire_locked(session)
             self._evicted += 1
+
+    def attach_collector(self, collector) -> None:
+        """Adopt a :class:`~repro.service.metrics.StatsCollector`.
+
+        Future *and* resident sessions push into it (the server calls
+        this at construction; a registry built first stays collector-free
+        and pays nothing).
+        """
+        with self._lock:
+            self.collector = collector
+            for session in self._sessions.values():
+                session.collector = collector
 
     # -- introspection ------------------------------------------------------
 
@@ -186,3 +218,46 @@ class SessionRegistry:
                 session.stats.cache_hits for session in self._sessions.values()
             )
             return payload
+
+    def core_stats(self) -> dict[str, int]:
+        """Registry-only counters (no session aggregates mixed in).
+
+        The legacy :meth:`stats` payload merges session aggregates into
+        the same flat dict — the key-shadowing hazard ISSUE 8 fixes; the
+        namespaced wire surface (``registry.*``) is built from this
+        instead.
+        """
+        with self._lock:
+            return {
+                "sessions": len(self._sessions),
+                "sessions_opened": self._opened,
+                "session_hits": self._hits,
+                "sessions_evicted": self._evicted,
+                "approx_bytes": self.approx_bytes(),
+                "max_sessions": self.max_sessions,
+                "max_bytes": self.max_bytes,
+            }
+
+    def session_counters(self) -> dict[str, int]:
+        """Aggregate ``session.*`` counters: live sessions plus retired
+        (evicted) totals — monotone across eviction — and the live-only
+        ``cached_responses`` occupancy gauge."""
+        with self._lock:
+            totals = dict(self._retired)
+            cached = 0
+            for session in self._sessions.values():
+                for key, value in session.stats.as_dict().items():
+                    totals[key] = totals.get(key, 0) + value
+                cached += len(session._responses)  # single-read, GIL-atomic
+            for key in (
+                "requests",
+                "cache_hits",
+                "workspaces_built",
+                "workspaces_reused",
+                "workspaces_dropped",
+                "cuts_carried",
+                "batch_requests",
+            ):
+                totals.setdefault(key, 0)
+            totals["cached_responses"] = cached
+            return totals

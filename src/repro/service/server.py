@@ -62,6 +62,7 @@ from repro.errors import BudgetExceededError, OverloadedError
 from repro.ilp.condsys import effective_parallelism
 from repro.service import persist, protocol
 from repro.service.faults import fault_active, fault_seconds
+from repro.service.metrics import StatsCollector
 from repro.service.registry import SessionRegistry
 from repro.service.session import SpecSession
 
@@ -288,9 +289,16 @@ class CheckingServer:
         autosave_interval: float | None = None,
         batch_target_latency: float = 0.5,
         max_batch_width: int = 32,
+        collector: StatsCollector | None = None,
     ):
         self.registry = registry or SessionRegistry()
         self.stats = ServerStats()
+        #: The process-wide metrics sink (DESIGN.md section 10): sessions
+        #: push wave latencies and pool counters into it, the server adds
+        #: per-op request latency, and ``GET /metrics`` / the ``stats``
+        #: op's ``counters`` payload read from it.
+        self.collector = collector or self.registry.collector or StatsCollector()
+        self.registry.attach_collector(self.collector)
         self.executor = ThreadPoolExecutor(
             max_workers=executor_threads or max(2, min(8, effective_parallelism())),
             thread_name_prefix="repro-serve",
@@ -312,6 +320,8 @@ class CheckingServer:
         self._state_loaded = False
         self._answers: set = set()
         self._queues: dict[str, _SessionQueue] = {}
+        self._serving = 0
+        self._autosave: "asyncio.Future | None" = None
         self._stop: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
         self._thread_loop: asyncio.AbstractEventLoop | None = None
@@ -372,6 +382,8 @@ class CheckingServer:
         """Decode, dispatch and answer one request line."""
         self.stats.requests += 1
         request_id = None
+        op = None
+        started = time.monotonic()
         try:
             request = protocol.parse_request(line)
             request_id = request.get("id")
@@ -421,10 +433,21 @@ class CheckingServer:
                 self.stats.deadline_expired += 1
             response = protocol.error_response(request_id, exc)
         self.stats.responses += 1
+        if op in protocol.SESSION_OPS:
+            # Wire-request latency by op, shed and errored requests
+            # included — the scrape measures what clients experienced,
+            # not just what the solver solved.
+            self.collector.observe_op(op, time.monotonic() - started)
         return response
 
     def stats_payload(self) -> dict:
-        """Registry, server and per-session counters (the ``stats`` op)."""
+        """Registry, server and per-session counters (the ``stats`` op).
+
+        The nested sections are the original wire shape; ``counters`` is
+        the ISSUE-8 namespaced flat view (``server.*``, ``registry.*``,
+        ``session.*``, ``pool.*``) in which no key can shadow another —
+        the same dict a ``/metrics`` scrape renders.
+        """
         sessions = {}
         for fingerprint in self.registry.fingerprints():
             session = self.registry._sessions.get(fingerprint)
@@ -439,7 +462,35 @@ class CheckingServer:
             "registry": self.registry.stats(),
             "server": server_stats,
             "sessions": sessions,
+            "counters": self.metrics_snapshot(),
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Every counter the service owns, flat and namespaced.
+
+        ``server.*`` from :class:`ServerStats` plus the live gauges,
+        ``registry.*`` from the registry's own counters (no session
+        aggregates mixed in), ``session.*`` aggregated monotonically
+        across live *and* evicted sessions, and ``pool.*`` / gauges from
+        the pushed collector state.
+        """
+        snapshot = dict(self.collector.counters())
+        server_stats = self.stats.as_dict()
+        server_stats["inflight"] = self._inflight
+        server_stats["connections"] = self._connections
+        server_stats["batch_limit"] = self.batch_limit()
+        server_stats["accepting"] = int(self._accepting)
+        for key, value in server_stats.items():
+            snapshot[f"server.{key}"] = value
+        for key, value in self.registry.core_stats().items():
+            snapshot[f"registry.{key}"] = value
+        for key, value in self.registry.session_counters().items():
+            snapshot[f"session.{key}"] = value
+        return snapshot
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition (``GET /metrics``)."""
+        return self.collector.render(self.metrics_snapshot())
 
     # -- persistence --------------------------------------------------------
 
@@ -502,32 +553,49 @@ class CheckingServer:
 
     # -- transports ---------------------------------------------------------
 
+    def _serving_setup(self) -> asyncio.Event:
+        """Shared transport bring-up: one stop event, one state restore,
+        one autosave task — however many front ends (line TCP, stdio,
+        HTTP, metrics-only HTTP) serve on this loop."""
+        if self._stop is None:
+            self._stop = asyncio.Event()
+        self._serving += 1
+        self._load_state()
+        if self.state_file and self.autosave_interval and self._autosave is None:
+            self._autosave = asyncio.ensure_future(self._autosave_loop())
+        return self._stop
+
+    def _serving_teardown(self) -> None:
+        """Reference-counted shutdown of the shared serving state; the
+        last transport out cancels autosave and snapshots (unless the
+        deterministic drain already did)."""
+        self._serving -= 1
+        if self._serving > 0:
+            return
+        if self._autosave is not None:
+            self._autosave.cancel()
+            self._autosave = None
+        if not self._draining:
+            # Stopped without a shutdown op (embedder called ``close``
+            # or stdin hit EOF): still snapshot before the loop dies.
+            self._save_state()
+        self._stop = None
+
     async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> None:
         """Serve on a localhost TCP socket until ``shutdown`` arrives.
 
         ``self.address`` carries the bound ``(host, port)`` once
         listening (``port=0`` binds an ephemeral port).
         """
-        self._stop = asyncio.Event()
-        self._load_state()
-        autosave = (
-            asyncio.ensure_future(self._autosave_loop())
-            if self.state_file and self.autosave_interval
-            else None
-        )
+        stop = self._serving_setup()
         server = await asyncio.start_server(self._handle_connection, host, port)
         sockname = server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
         try:
             async with server:
-                await self._stop.wait()
+                await stop.wait()
         finally:
-            if autosave is not None:
-                autosave.cancel()
-            if not self._draining:
-                # Stopped without a shutdown op (embedder called
-                # ``close``): still snapshot before the loop dies.
-                self._save_state()
+            self._serving_teardown()
 
     async def _handle_connection(self, reader, writer) -> None:
         if self._connections >= self.max_connections:
@@ -592,13 +660,7 @@ class CheckingServer:
         """
         stdin = stdin or sys.stdin
         stdout = stdout or sys.stdout
-        self._stop = asyncio.Event()
-        self._load_state()
-        autosave = (
-            asyncio.ensure_future(self._autosave_loop())
-            if self.state_file and self.autosave_interval
-            else None
-        )
+        stop = self._serving_setup()
         loop = asyncio.get_running_loop()
         lines: asyncio.Queue = asyncio.Queue()
         write_lock = asyncio.Lock()
@@ -622,29 +684,28 @@ class CheckingServer:
                 stdout.write(protocol.encode(response) + "\n")
                 stdout.flush()
 
-        while not self._stop.is_set():
-            read = asyncio.ensure_future(lines.get())
-            stop = asyncio.ensure_future(self._stop.wait())
-            done, _ = await asyncio.wait(
-                {read, stop}, return_when=asyncio.FIRST_COMPLETED
-            )
-            stop.cancel()
-            if read not in done:
-                read.cancel()
-                break
-            line = read.result()
-            if not line:
-                break
-            if line.strip():
-                task = asyncio.ensure_future(answer(line.strip()))
-                self._register_answer(task)
-                tasks.append(task)
-        if tasks:
-            await asyncio.gather(*tasks, return_exceptions=True)
-        if autosave is not None:
-            autosave.cancel()
-        if not self._draining:
-            self._save_state()
+        try:
+            while not stop.is_set():
+                read = asyncio.ensure_future(lines.get())
+                stopped = asyncio.ensure_future(stop.wait())
+                done, _ = await asyncio.wait(
+                    {read, stopped}, return_when=asyncio.FIRST_COMPLETED
+                )
+                stopped.cancel()
+                if read not in done:
+                    read.cancel()
+                    break
+                line = read.result()
+                if not line:
+                    break
+                if line.strip():
+                    task = asyncio.ensure_future(answer(line.strip()))
+                    self._register_answer(task)
+                    tasks.append(task)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            self._serving_teardown()
 
     # -- background lifecycle (tests, benchmarks, the README quickstart) ----
 

@@ -37,7 +37,9 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
 
 from repro.checkers.config import DEFAULT_CONFIG, CheckerConfig
@@ -60,7 +62,8 @@ from repro.encoding.combined import (
     spec_fingerprint,
 )
 from repro.errors import ReproError
-from repro.ilp.condsys import SolveWorkspace
+from repro.ilp.condsys import SolveWorkspace, wave_observer_scope
+from repro.service.metrics import AdaptiveJobsController, StatsCollector
 from repro.xmltree.parse import parse_xml
 from repro.xmltree.serialize import tree_to_string
 from repro.xmltree.validate import conforms
@@ -160,6 +163,8 @@ class SpecSession:
         max_cached_responses: int = 512,
         max_workspaces: int = 32,
         max_response_bytes: int = 64 * 1024 * 1024,
+        auto_jobs: bool = False,
+        collector: StatsCollector | None = None,
     ):
         if mode not in MODES:
             raise ReproError(f"unknown session mode {mode!r} (use one of {MODES})")
@@ -170,6 +175,15 @@ class SpecSession:
         self.mode = mode
         self.fingerprint = spec_fingerprint(dtd, self.sigma)
         self.stats = SessionStats()
+        #: ``--jobs auto``: requests without an explicit jobs override
+        #: solve at the controller's current level (see
+        #: :meth:`_effective_config`); ``False`` leaves the fixed-jobs
+        #: path byte-for-byte untouched.
+        self.auto_jobs = bool(auto_jobs)
+        #: Optional :class:`~repro.service.metrics.StatsCollector` the
+        #: session pushes wave latencies and pool counters into.
+        self.collector = collector
+        self._jobs_controller: AdaptiveJobsController | None = None
         self._spec_bytes = len(canonical_spec(dtd, self.sigma).encode("utf-8"))
         self._max_cached_responses = max_cached_responses
         self._max_workspaces = max_workspaces
@@ -216,7 +230,72 @@ class SpecSession:
             payload["warm_workspaces"] = len(self._workspaces)
             payload["cut_records"] = len(self._cut_records)
             payload["approx_bytes"] = self.approx_bytes()
+            if self._jobs_controller is not None:
+                payload["effective_jobs"] = self._jobs_controller.current()
             return payload
+
+    @property
+    def jobs_controller(self) -> AdaptiveJobsController:
+        """The session's adaptive-jobs controller (created on first use)."""
+        if self._jobs_controller is None:
+            self._jobs_controller = AdaptiveJobsController(collector=self.collector)
+        return self._jobs_controller
+
+    def _effective_config(self, overrides: dict | None) -> CheckerConfig:
+        """:func:`merge_config` plus resolution of ``"jobs": "auto"``.
+
+        The adaptive marker — from a per-request override or the
+        session-wide ``auto_jobs`` flag — becomes the controller's
+        *current* concrete level before the config object is built, so
+        :class:`~repro.checkers.config.CheckerConfig` (and every response
+        cache key derived from it) only ever holds plain ints and the
+        fixed-jobs path is untouched.
+        """
+        auto = bool(overrides) and overrides.get("jobs") == "auto"
+        if auto:
+            overrides = dict(overrides)
+        elif self.auto_jobs and not (overrides and "jobs" in overrides):
+            overrides = dict(overrides or {})
+            auto = True
+        if auto:
+            overrides["jobs"] = self.jobs_controller.current()
+        return merge_config(self.config, overrides)
+
+    @contextmanager
+    def _solve_scope(self):
+        """Instrument one genuinely-solved request (cache hits skip this).
+
+        Opens a :func:`~repro.ilp.condsys.wave_observer_scope` so parallel
+        waves report their latency, and times the whole solve for the
+        adaptive-jobs controller — on every exit path, including solver
+        errors (a budget-exceeded solve was slow; the controller should
+        hear about it).
+        """
+        controller = self._jobs_controller
+        collector = self.collector
+        if controller is None and collector is None:
+            yield
+            return
+
+        def observe(seconds: float, width: int) -> None:
+            if controller is not None:
+                controller.observe_wave(seconds, width)
+            if collector is not None:
+                collector.observe_wave(seconds)
+
+        started = time.perf_counter()
+        try:
+            with wave_observer_scope(observe):
+                yield
+        finally:
+            if controller is not None:
+                controller.observe_solve(time.perf_counter() - started)
+
+    def _absorb(self, payload: dict) -> dict:
+        """Forward a solved payload's pool counters to the collector."""
+        if self.collector is not None:
+            self.collector.absorb_solver_stats(payload.get("stats"))
+        return payload
 
     @staticmethod
     def _entry_bytes(key: tuple, rendered: str) -> int:
@@ -251,17 +330,18 @@ class SpecSession:
         """Consistency of the session's specification."""
         with self._lock:
             self.stats.requests += 1
-            effective = merge_config(self.config, config)
+            effective = self._effective_config(config)
             key = ("check", effective)
             cached = self._recall(key)
             if cached is not None:
                 return cached
-            if self.mode == "warm":
-                result = self._warm_consistency(
-                    self.dtd, self.sigma, effective, workspace_key=("check",)
-                )
-            else:
-                result = check_consistency(self.dtd, self.sigma, effective)
+            with self._solve_scope():
+                if self.mode == "warm":
+                    result = self._warm_consistency(
+                        self.dtd, self.sigma, effective, workspace_key=("check",)
+                    )
+                else:
+                    result = check_consistency(self.dtd, self.sigma, effective)
             payload = {
                 "consistent": result.consistent,
                 "method": result.method,
@@ -273,13 +353,13 @@ class SpecSession:
                     else None
                 ),
             }
-            return self._remember(key, payload)
+            return self._absorb(self._remember(key, payload))
 
     def implies(self, phi: str | Constraint, config: dict | None = None) -> dict:
         """Is ``phi`` implied by the session's specification?"""
         with self._lock:
             self.stats.requests += 1
-            return self._implies_locked(phi, merge_config(self.config, config))
+            return self._implies_locked(phi, self._effective_config(config))
 
     def implies_batch(self, phis: list, config: dict | None = None) -> list[dict]:
         """Batch implication — the coalesced form the server's batcher uses.
@@ -293,7 +373,7 @@ class SpecSession:
         with self._lock:
             self.stats.requests += 1
             self.stats.batch_requests += 1
-            effective = merge_config(self.config, config)
+            effective = self._effective_config(config)
             responses: list[dict] = []
             misses: list[tuple[int, Constraint]] = []
             for phi in phis:
@@ -323,17 +403,18 @@ class SpecSession:
                 for _, parsed in misses:
                     unique.setdefault(str(parsed), parsed)
                 try:
-                    results = implies_all(
-                        self.dtd, self.sigma, list(unique.values()), effective
-                    )
+                    with self._solve_scope():
+                        results = implies_all(
+                            self.dtd, self.sigma, list(unique.values()), effective
+                        )
                 except ReproError:
                     pass
                 else:
                     first: dict[str, dict] = {}
                     for parsed, result in zip(unique.values(), results):
                         key = ("implies", str(parsed), effective)
-                        first[str(parsed)] = self._remember(
-                            key, self._implication_payload(result)
+                        first[str(parsed)] = self._absorb(
+                            self._remember(key, self._implication_payload(result))
                         )
                     for index, parsed in misses:
                         payload = first.pop(str(parsed), None)
@@ -357,18 +438,19 @@ class SpecSession:
         """Specification health report (MUS / redundancy audit)."""
         with self._lock:
             self.stats.requests += 1
-            effective = merge_config(self.config, config)
+            effective = self._effective_config(config)
             key = ("diagnose", bool(rebuild), mus_method, effective)
             cached = self._recall(key)
             if cached is not None:
                 return cached
-            report = diagnose(
-                self.dtd,
-                self.sigma,
-                effective,
-                toggled=not rebuild,
-                mus_method=mus_method,
-            )
+            with self._solve_scope():
+                report = diagnose(
+                    self.dtd,
+                    self.sigma,
+                    effective,
+                    toggled=not rebuild,
+                    mus_method=mus_method,
+                )
             payload = {
                 "consistent": report.consistent,
                 "dtd_satisfiable": report.dtd_satisfiable,
@@ -377,7 +459,7 @@ class SpecSession:
                 "summary": report.summary(),
                 "stats": report.stats.as_dict(),
             }
-            return self._remember(key, payload)
+            return self._absorb(self._remember(key, payload))
 
     def validate(self, document: str) -> dict:
         """Does a concrete document conform to the DTD and satisfy Sigma?"""
@@ -469,8 +551,11 @@ class SpecSession:
             return cached
         validate_constraints(self.dtd, [*self.sigma, parsed])
         consistency = self._warm_probe if self.mode == "warm" else None
-        result = implies_validated(self.dtd, self.sigma, parsed, effective, consistency)
-        return self._remember(key, self._implication_payload(result))
+        with self._solve_scope():
+            result = implies_validated(
+                self.dtd, self.sigma, parsed, effective, consistency
+            )
+        return self._absorb(self._remember(key, self._implication_payload(result)))
 
     def _warm_probe(
         self, dtd: DTD, constraints: list[Constraint], config: CheckerConfig

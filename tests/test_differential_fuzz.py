@@ -245,3 +245,88 @@ def test_implies_all_jobs_sweep_verdicts_and_stats_identical():
             assert par.stats == seq.stats, (
                 f"jobs={jobs} query={query}: stats diverged from sequential"
             )
+
+
+# ---------------------------------------------------------------------------
+# ``--jobs auto``: the adaptive level never changes an answer (ISSUE 8)
+# ---------------------------------------------------------------------------
+
+
+def test_auto_jobs_sessions_match_jobs1_and_stay_clamped():
+    """The ``--jobs auto`` property: adaptive sessions return the jobs=1
+    verdicts across branchy and random fuzz instances, and the
+    controller's level stays inside ``[1, effective_parallelism()]``
+    throughout.  Levels resolve to concrete ints per request, so while
+    the controller sits at 1 the response is *byte-identical* to the
+    fixed jobs=1 session (same cache key, same stats block); above 1 the
+    jobs-sweep contract applies (same verdict and method — a worker may
+    surface a different branch's witness)."""
+    from repro.ilp.condsys import effective_parallelism
+    from repro.service.metrics import AdaptiveJobsController
+    from repro.service.registry import SessionRegistry
+
+    base = CheckerConfig(
+        want_witness=False, backend="exact", lp_prune=False, jobs=1
+    )
+    baseline = SessionRegistry(config=base)
+    adaptive = SessionRegistry(config=base, auto_jobs=True)
+    ceiling = max(1, effective_parallelism())
+    cases = _branchy_cases() + [_instance(seed) for seed in (1, 3, 5, 9, 14)]
+    compared = 0
+    for dtd, sigma in cases:
+        try:
+            ref = baseline.session_for(dtd, sigma)
+        except InvalidConstraintError:
+            # Out-of-class draws are rejected uniformly on both sides,
+            # before any controller is consulted.
+            with pytest.raises(InvalidConstraintError):
+                adaptive.session_for(dtd, sigma)
+            continue
+        session = adaptive.session_for(dtd, sigma)
+        # A zero target marks every solve slow, so the controller climbs
+        # as far as this container's CPU ceiling allows during the sweep.
+        session._jobs_controller = AdaptiveJobsController(target_latency=0.0)
+        for _ in range(3):
+            level = session.jobs_controller.current()
+            assert 1 <= level <= ceiling
+            expected = ref.check()
+            got = session.check()
+            if level == 1:
+                assert json.dumps(got, sort_keys=True) == json.dumps(
+                    expected, sort_keys=True
+                )
+            else:
+                assert got["consistent"] == expected["consistent"]
+                assert got["method"] == expected["method"]
+            compared += 1
+        assert 1 <= session.jobs_controller.current() <= ceiling
+    assert compared > 0
+
+
+def test_auto_jobs_controller_moves_and_keeps_the_verdict():
+    """Movement, independent of this container's CPU count: a two-level
+    ceiling with a hair-trigger target must actually grow the controller
+    after the first solve, and the jobs=2 re-solve (a distinct cache
+    key) still returns the jobs=1 verdict — the jobs-sweep contract,
+    reached adaptively instead of by a fixed flag."""
+    from repro.service.metrics import AdaptiveJobsController
+    from repro.service.registry import SessionRegistry
+
+    base = CheckerConfig(
+        want_witness=False, backend="exact", lp_prune=False, jobs=1
+    )
+    dtd, sigma = _branchy_cases()[0]
+    registry = SessionRegistry(config=base, auto_jobs=True)
+    session = registry.session_for(dtd, sigma)
+    session._jobs_controller = AdaptiveJobsController(
+        target_latency=0.0, ceiling=2
+    )
+    first = session.check()
+    assert session.jobs_controller.grown >= 1
+    assert session.jobs_controller.current() == 2
+    second = session.check()
+    assert session.stats.cache_hits == 0, "each level is a distinct solve"
+    baseline = check_consistency(dtd, sigma, base)
+    assert first["consistent"] == baseline.consistent
+    assert second["consistent"] == baseline.consistent
+    assert second["method"] == first["method"]

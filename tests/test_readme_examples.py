@@ -108,6 +108,37 @@ def test_readme_serve_knobs_parse_in_cli():
     assert args.autosave_interval == 300.0
 
 
+def test_readme_observability_section_is_executable():
+    """The Observability quickstart is a real doctest session (HTTP
+    front end, POST /v1/implies, a /metrics scrape) plus the multi-
+    listener shell block; this guard keeps its load-bearing pieces from
+    being edited away."""
+    text = README.read_text()
+    assert "## Observability" in text
+    assert "HTTPFrontend" in text
+    assert "/v1/implies" in text
+    assert "/metrics" in text
+    assert "metrics_golden.prom" in text
+    for flag in ("--http", "--metrics-port", "--jobs auto"):
+        assert flag in text, f"README lost the {flag} knob"
+
+
+def test_readme_observability_knobs_parse_in_cli():
+    """The HTTP/metrics/adaptive-jobs flags the README documents parse
+    on `serve` (and a numeric --jobs still parses as an int)."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--port", "7801", "--http", "8080",
+         "--metrics-port", "9102", "--jobs", "auto"]
+    )
+    assert args.http == 8080
+    assert args.metrics_port == 9102
+    assert args.jobs == "auto"
+    assert parser.parse_args(["serve", "--jobs", "4"]).jobs == 4
+
+
 def test_readme_scaling_section_is_executable():
     """The Scaling quickstart is a real doctest session: the README must
     keep a `--jobs` shell example and a `jobs=` Python example, and the

@@ -10,7 +10,9 @@ serialization, so a drift on either side fails the comparison.
 """
 
 import asyncio
+import http.client
 import json
+import math
 
 from repro.analysis.diagnostics import diagnose
 from repro.checkers.consistency import check_consistency
@@ -18,6 +20,7 @@ from repro.checkers.implication import implies
 from repro.constraints.parser import parse_constraint, parse_constraints
 from repro.constraints.satisfaction import violations
 from repro.dtd.serializer import dtd_to_string
+from repro.service.http import HTTPFrontend
 from repro.service.registry import SessionRegistry
 from repro.service.server import CheckingServer
 from repro.workloads.examples import figure1_tree, teachers_dtd_d1
@@ -217,3 +220,254 @@ def test_errors_are_identical_alone_and_inside_batches():
     assert single["error"] == inline["error"]
     assert batch["result"]["results"][1]["implied"] is True
     server.executor.shutdown(wait=False)
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end: the body IS the line protocol's response line
+# ---------------------------------------------------------------------------
+
+
+def _http_exchange(address, request):
+    """POST one request dict to ``/v1/{op}``: (status, headers, raw body)."""
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(
+            "POST",
+            f"/v1/{request['op']}",
+            body=json.dumps(request),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+def _line_exchange(address, requests):
+    """Raw response lines (bytes) over the line protocol, one connection."""
+
+    async def run():
+        reader, writer = await asyncio.open_connection(*address)
+        lines = []
+        for request in requests:
+            writer.write((json.dumps(request) + "\n").encode("utf-8"))
+            await writer.drain()
+            lines.append(await reader.readline())
+        writer.close()
+        return lines
+
+    return asyncio.run(run())
+
+
+def test_http_body_is_byte_identical_to_line_protocol_for_every_op():
+    """Both transports against ONE live server: the HTTP response body
+    for every request type equals the line protocol's raw response line
+    for the same request (same id), byte for byte — including the stats
+    block, because the second transport is served from the session's
+    response cache."""
+    server = CheckingServer(SessionRegistry())
+    front = HTTPFrontend(server)
+    http_address = front.start_background(line_port=0)
+    try:
+        suite = _request_suite()
+        requests = [
+            {"id": index, **request}
+            for index, (request, _) in enumerate(suite)
+        ]
+        line_bytes = _line_exchange(server.address, requests)
+        for request, raw, (_, expected) in zip(requests, line_bytes, suite):
+            status, headers, body = _http_exchange(http_address, request)
+            assert status == 200, body
+            assert headers["Content-Type"] == "application/json"
+            assert body == raw, request["op"]
+            payload = json.loads(body)
+            assert payload["ok"], payload
+            assert _canon(payload["result"]) == _canon(expected), request["op"]
+    finally:
+        front.close()
+
+
+def test_http_overload_shed_is_byte_identical_and_answers_429():
+    """A shed request carries the same ``overloaded`` envelope on both
+    transports; HTTP additionally maps it to 429 with a ``Retry-After``
+    header derived from the in-band ``retry_after`` hint."""
+    dtd, sigma_text = _specs()["consistent"]
+    server = CheckingServer(SessionRegistry(), max_inflight=0)
+    front = HTTPFrontend(server)
+    http_address = front.start_background(line_port=0)
+    try:
+        request = {
+            "id": "shed",
+            "op": "check",
+            "dtd": dtd_to_string(dtd),
+            "constraints": sigma_text,
+        }
+        [raw] = _line_exchange(server.address, [request])
+        status, headers, body = _http_exchange(http_address, request)
+        assert status == 429
+        assert body == raw
+        payload = json.loads(body)
+        assert payload["ok"] is False
+        assert payload["error"]["type"] == "overloaded"
+        assert int(headers["Retry-After"]) == max(
+            1, math.ceil(payload["error"]["retry_after"])
+        )
+    finally:
+        front.close()
+
+
+def test_http_budget_exceeded_is_byte_identical_and_answers_504():
+    dtd, sigma_text = _specs()["consistent"]
+    server = CheckingServer(SessionRegistry())
+    front = HTTPFrontend(server)
+    http_address = front.start_background(line_port=0)
+    try:
+        request = {
+            "id": "late",
+            "op": "check",
+            "dtd": dtd_to_string(dtd),
+            "constraints": sigma_text,
+            "deadline": 0.0,
+        }
+        [raw] = _line_exchange(server.address, [request])
+        status, _, body = _http_exchange(http_address, request)
+        assert status == 504
+        assert body == raw
+        payload = json.loads(body)
+        assert payload["error"]["type"] == "budget_exceeded"
+    finally:
+        front.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP protocol edges: every refusal is structured, correct, non-fatal
+# ---------------------------------------------------------------------------
+
+
+def _raw_http(address, blob: bytes) -> bytes:
+    """One raw exchange: send ``blob``, read until the server closes."""
+    import socket
+
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(blob)
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks)
+
+
+def _refusal(address, method, path, body=None, headers=None):
+    conn = http.client.HTTPConnection(*address, timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def test_http_refusals_are_structured_and_leave_the_server_serving():
+    """Every HTTP-layer refusal (unknown route/op, wrong method, bad
+    JSON, contradictory body op) answers the structured ``protocol``
+    error envelope with the right status — and the server keeps
+    answering real requests afterwards."""
+    server = CheckingServer(SessionRegistry())
+    front = HTTPFrontend(server)
+    address = front.start_background()
+    try:
+        cases = [
+            ("POST", "/nope", None, 404),
+            ("POST", "/v1/frobnicate", None, 404),
+            ("GET", "/v1/check", None, 405),
+            ("PUT", "/metrics", None, 405),
+            ("POST", "/v1/check", b"not json", 400),
+            ("POST", "/v1/check", b'["a list"]', 400),
+            ("POST", "/v1/check", b'{"op": "implies"}', 400),
+        ]
+        for method, path, body, expected_status in cases:
+            status, payload = _refusal(address, method, path, body=body)
+            assert status == expected_status, (method, path, payload)
+            assert payload["ok"] is False
+            assert payload["error"]["type"] == "protocol"
+            assert payload["error"]["message"]
+        # None of those reached the session API, and serving still works.
+        status, payload = _refusal(
+            address, "POST", "/v1/stats", body=b"{}"
+        )
+        assert status == 200 and payload["ok"], payload
+        assert payload["result"]["server"]["errors"] == 0
+    finally:
+        front.close()
+
+
+def test_http_framing_errors_answer_then_close():
+    """Framing errors (oversized/chunked/garbled Content-Length, bad
+    request line) leave the stream position unknown: the server answers
+    one structured refusal and closes the connection."""
+    from repro.service.http import MAX_BODY_BYTES
+
+    server = CheckingServer(SessionRegistry())
+    front = HTTPFrontend(server)
+    address = front.start_background()
+    try:
+        blobs = [
+            (
+                f"POST /v1/check HTTP/1.1\r\nContent-Length: "
+                f"{MAX_BODY_BYTES + 1}\r\n\r\n".encode(),
+                b"413",
+            ),
+            (
+                b"POST /v1/check HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                b"400",
+            ),
+            (
+                b"POST /v1/check HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+                b"400",
+            ),
+            (
+                b"POST /v1/check HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+                b"400",
+            ),
+            (b"garbage\r\n\r\n", b"400"),
+        ]
+        for blob, status in blobs:
+            raw = _raw_http(address, blob)
+            assert raw.startswith(b"HTTP/1.1 " + status), (blob, raw[:60])
+            head, _, body = raw.partition(b"\r\n\r\n")
+            assert b"Connection: close" in head
+            payload = json.loads(body)
+            assert payload["ok"] is False
+            assert payload["error"]["type"] == "protocol"
+    finally:
+        front.close()
+
+
+def test_http_head_metrics_and_metrics_only_listener():
+    """``HEAD /metrics`` answers headers only; a ``metrics_only`` front
+    end (the ``--metrics-port`` listener) scrapes but refuses ``/v1``."""
+    server = CheckingServer(SessionRegistry())
+    front = HTTPFrontend(server, metrics_only=True)
+    address = front.start_background()
+    try:
+        conn = http.client.HTTPConnection(*address, timeout=10)
+        try:
+            conn.request("HEAD", "/metrics")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert int(response.getheader("Content-Length")) > 0
+            assert response.read() == b""
+            conn.request("GET", "/metrics")
+            scrape = conn.getresponse()
+            assert scrape.status == 200
+            assert b"repro_server_requests_total" in scrape.read()
+        finally:
+            conn.close()
+        status, payload = _refusal(address, "POST", "/v1/check", body=b"{}")
+        assert status == 404
+        assert payload["error"]["type"] == "protocol"
+    finally:
+        front.close()

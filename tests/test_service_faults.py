@@ -327,6 +327,50 @@ def test_dropped_connection_loses_bytes_not_the_server(arm):
         server.close()
 
 
+def test_dropped_http_connection_loses_bytes_not_the_server(arm):
+    """The same ``conn.drop`` story over the HTTP front end: the armed
+    drop closes the socket before the response bytes, and a retry on a
+    fresh connection answers normally."""
+    import http.client
+
+    from repro.service.http import HTTPFrontend
+
+    dtd, sigma = _branchy_spec()
+    request = {
+        "id": 1,
+        "op": "open",
+        "dtd": dtd_to_string(dtd),
+        "constraints": "\n".join(str(phi) for phi in sigma),
+    }
+    server = CheckingServer(SessionRegistry())
+    front = HTTPFrontend(server)
+    host, port = front.start_background()
+    arm("conn.drop*1")
+    try:
+        first = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            first.request("POST", "/v1/open", body=json.dumps(request))
+            with pytest.raises((ConnectionError, http.client.BadStatusLine)):
+                first.getresponse()
+        finally:
+            first.close()
+        # The client's recovery story: reconnect and retry.
+        retry = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            retry.request(
+                "POST", "/v1/open", body=json.dumps({**request, "id": 2})
+            )
+            response = retry.getresponse()
+            assert response.status == 200
+            payload = json.loads(response.read())
+            assert payload["ok"] is True
+        finally:
+            retry.close()
+    finally:
+        faults.reset()
+        front.close()
+
+
 def test_corrupt_snapshot_is_a_cold_start_that_still_answers(arm, tmp_path):
     from repro.service.persist import load_snapshot, save_snapshot
 
