@@ -521,6 +521,91 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
             assert response["ok"], response
         return [_ServiceResult(response["result"]) for response in responses]
 
+    # Fleet case (ISSUE 9): the routed serving path — eight disjoint
+    # sessions sharded over two live backends plus one fanned
+    # ``implies_all`` batch (wave dispatch, chunk merge, cut sync).
+    # Search counters stay deterministic (the ring split is a pure
+    # function of the fingerprints), so this entry isolates the
+    # router's wire overhead: a routing regression shows up as wall
+    # time against unchanged counters.
+    from repro.service.fleet import FleetRouter
+
+    fleet_specs = []
+    for index in range(8):
+        chain = [f"t{i}.x <= t{i + 1}.x" for i in range(7)]
+        chain.append(f"t{index}.x <= t{(index + 2) % 8}.x")
+        fleet_specs.append("\n".join(chain))
+    fleet_batch = [f"t0.x <= t{j}.x" for j in range(2, 8)]
+
+    def _fleet_workload() -> list:
+        backends = [CheckingServer(SessionRegistry()) for _ in range(2)]
+        addresses = [
+            "%s:%d" % backend.start_background() for backend in backends
+        ]
+        router = FleetRouter(addresses, wave_chunk=2)
+        router.start_background()
+        try:
+
+            async def replay():
+                host, port = router.address
+                reader, writer = await asyncio.open_connection(host, port)
+                responses = []
+                for index, sigma_text in enumerate(fleet_specs):
+                    writer.write(
+                        (
+                            json.dumps(
+                                {
+                                    "id": index,
+                                    "op": "implies",
+                                    "dtd": metrics_dtd_text,
+                                    "constraints": sigma_text,
+                                    "phi": "t0.x <= t4.x",
+                                }
+                            )
+                            + "\n"
+                        ).encode()
+                    )
+                    await writer.drain()
+                    responses.append(json.loads(await reader.readline()))
+                writer.write(
+                    (
+                        json.dumps(
+                            {
+                                "id": "batch",
+                                "op": "implies_all",
+                                "dtd": metrics_dtd_text,
+                                "constraints": fleet_specs[0],
+                                "phis": fleet_batch,
+                            }
+                        )
+                        + "\n"
+                    ).encode()
+                )
+                await writer.drain()
+                responses.append(json.loads(await reader.readline()))
+                writer.close()
+                return responses
+
+            responses = asyncio.run(replay())
+            assert router.stats.waves >= 1, "the batch never fanned out"
+            assert router.stats.backends_lost == 0
+        finally:
+            router.close()
+            for backend in backends:
+                backend.close()
+        results = []
+        for response in responses:
+            assert response["ok"], response
+            result = response["result"]
+            if "results" in result:
+                for item in result["results"]:
+                    assert item["implied"] is True
+                    results.append(_ServiceResult(item))
+            else:
+                assert result["implied"] is True
+                results.append(_ServiceResult(result))
+        return results
+
     return {
         "figure5_implication": lambda: [
             result
@@ -544,6 +629,7 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
         "quickxplain": lambda: [_MusResult(qx_dtd, qx_sigma)],
         "service": _service_workload,
         "metrics": _metrics_workload,
+        "fleet": _fleet_workload,
     }
 
 

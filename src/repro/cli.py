@@ -17,7 +17,16 @@ Subcommands (also available as ``python -m repro``):
 * ``serve`` — the long-lived checking service: line-delimited JSON over
   stdio (default) or a localhost TCP socket (``--port``), with
   cross-request session caching and request batching (DESIGN.md
-  section 8).
+  section 8);
+* ``fleet`` — a shard router over N ``repro serve`` backends
+  (``--backends HOST:PORT,...`` and/or ``--spawn N``): the same line
+  and HTTP protocols, sessions consistent-hashed by spec fingerprint,
+  ``implies_all`` batches fanned across the fleet in waves (DESIGN.md
+  section 11).
+
+``check``/``implies``/``diagnose``/``validate`` accept
+``--via HOST:PORT`` to route through a running ``serve`` or ``fleet``
+endpoint instead of solving in-process.
 
 ``check``/``implies``/``diagnose``/``validate`` are thin clients of the
 same session API the server runs on: each command resolves its
@@ -99,6 +108,46 @@ def _session_for(args: argparse.Namespace) -> SpecSession:
     return default_registry().session_for(dtd, sigma)
 
 
+def _wire_spec(args: argparse.Namespace) -> dict:
+    """The inline-spec fields of a wire request (``--via`` routing)."""
+    request: dict = {"dtd": Path(args.dtd).read_text()}
+    constraints = getattr(args, "constraints", None)
+    if constraints is not None:
+        request["constraints"] = Path(constraints).read_text()
+    if args.root is not None:
+        request["root"] = args.root
+    return request
+
+
+def _via_payload(args: argparse.Namespace, request: dict) -> tuple[dict, str]:
+    """Run one wire request against the ``--via`` service.
+
+    Returns ``(result, session_fingerprint)``; a structured error
+    answer is surfaced as a :class:`ReproError` (exit code 2), the same
+    contract as a local parse or solve failure.
+    """
+    from repro.service.client import ServiceClient
+
+    host, _, port = args.via.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"--via must be HOST:PORT, got {args.via!r}")
+    config = _config_overrides(args)
+    if config:
+        request["config"] = config
+    try:
+        with ServiceClient(host, int(port)) as client:
+            response = client.call(request)
+    except (ConnectionError, OSError) as exc:
+        raise ReproError(f"cannot reach service at {args.via}: {exc}") from None
+    if not response.get("ok", False):
+        error = response.get("error", {})
+        raise ReproError(
+            f"service answered {error.get('type', 'error')}: "
+            f"{error.get('message', 'remote call failed')}"
+        )
+    return response["result"], response.get("service", {}).get("session", "")
+
+
 def _print_session(session: SpecSession) -> None:
     """The ``--session`` line: fingerprint plus cross-request counters."""
     stats = session.stats
@@ -109,15 +158,21 @@ def _print_session(session: SpecSession) -> None:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    session = _session_for(args)
-    payload = session.check(_config_overrides(args))
+    if args.via:
+        payload, fingerprint = _via_payload(args, {**_wire_spec(args), "op": "check"})
+    else:
+        session = _session_for(args)
+        payload = session.check(_config_overrides(args))
     print(f"consistent: {payload['consistent']}   [{payload['method']}]")
     if payload["message"]:
         print(f"note: {payload['message']}")
     if args.stats:
         _print_stats(payload["stats"])
     if args.session_info:
-        _print_session(session)
+        if args.via:
+            print(f"session: {fingerprint}  [via={args.via}]")
+        else:
+            _print_session(session)
     if payload["consistent"] and args.witness:
         assert payload["witness"] is not None
         Path(args.witness).write_text(payload["witness"] + "\n")
@@ -126,12 +181,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    session = _session_for(args)
-    payload = session.validate(Path(args.document).read_text())
+    document = Path(args.document).read_text()
+    if args.via:
+        payload, _ = _via_payload(
+            args, {**_wire_spec(args), "op": "validate", "document": document}
+        )
+        has_sigma = args.constraints is not None
+    else:
+        session = _session_for(args)
+        payload = session.validate(document)
+        has_sigma = bool(session.sigma)
     print(f"conforms to DTD: {payload['conforms']}")
     for error in payload["errors"]:
         print(f"  - {error}")
-    if session.sigma:
+    if has_sigma:
         print(f"satisfies constraints: {payload['satisfies']}")
         for phi in payload["violations"]:
             print(f"  - violated: {phi}")
@@ -139,15 +202,23 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_implies(args: argparse.Namespace) -> int:
-    session = _session_for(args)
-    payload = session.implies(args.phi, _config_overrides(args))
+    if args.via:
+        payload, fingerprint = _via_payload(
+            args, {**_wire_spec(args), "op": "implies", "phi": args.phi}
+        )
+    else:
+        session = _session_for(args)
+        payload = session.implies(args.phi, _config_overrides(args))
     print(f"implied: {payload['implied']}   [{payload['method']}]")
     if payload["message"]:
         print(f"note: {payload['message']}")
     if args.stats:
         _print_stats(payload["stats"])
     if args.session_info:
-        _print_session(session)
+        if args.via:
+            print(f"session: {fingerprint}  [via={args.via}]")
+        else:
+            _print_session(session)
     if not payload["implied"] and payload["counterexample"] is not None:
         if args.counterexample:
             Path(args.counterexample).write_text(
@@ -161,21 +232,91 @@ def _cmd_implies(args: argparse.Namespace) -> int:
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
-    session = _session_for(args)
-    payload = session.diagnose(_config_overrides(args), rebuild=args.rebuild)
+    if args.via:
+        payload, fingerprint = _via_payload(
+            args,
+            {**_wire_spec(args), "op": "diagnose", "rebuild": args.rebuild},
+        )
+    else:
+        session = _session_for(args)
+        payload = session.diagnose(_config_overrides(args), rebuild=args.rebuild)
     print(payload["summary"])
     if args.stats:
         _print_stats(payload["stats"])
     if args.session_info:
-        _print_session(session)
+        if args.via:
+            print(f"session: {fingerprint}  [via={args.via}]")
+        else:
+            _print_session(session)
     return 0 if payload["consistent"] else 1
+
+
+def _run_transports(
+    server,
+    host: str,
+    port: int | None,
+    http: int | None,
+    metrics_port: int | None,
+    stdio_fallback: bool = True,
+) -> int:
+    """Serve any mix of front ends on one loop, announcing bound ports.
+
+    Shared by ``serve`` (a :class:`CheckingServer`) and ``fleet`` (a
+    :class:`~repro.service.fleet.FleetRouter`): line TCP (``port``),
+    HTTP/JSON (``http``), a scrape-only metrics listener
+    (``metrics_port``), or stdio when no ports were requested and
+    ``stdio_fallback`` allows it.  All transports share one stop event
+    and one snapshot lifecycle.
+    """
+    import asyncio
+
+    from repro.service.http import HTTPFrontend
+
+    async def run() -> None:
+        transports = []
+        fronts: list = []
+        if port is not None:
+            transports.append(asyncio.ensure_future(server.serve_tcp(host, port)))
+            fronts.append(("listening", server))
+        if http is not None:
+            front = HTTPFrontend(server)
+            transports.append(asyncio.ensure_future(front.serve(host, http)))
+            fronts.append(("http", front))
+        if metrics_port is not None:
+            front = HTTPFrontend(server, metrics_only=True)
+            transports.append(
+                asyncio.ensure_future(front.serve(host, metrics_port))
+            )
+            fronts.append(("metrics", front))
+        if port is None and http is None and stdio_fallback:
+            transports.append(asyncio.ensure_future(server.serve_stdio()))
+
+        def pending() -> list:
+            return [
+                (kind, owner) for kind, owner in fronts if owner.address is None
+            ]
+
+        while pending() and not any(task.done() for task in transports):
+            await asyncio.sleep(0.001)
+        for kind, owner in fronts:
+            if owner.address is not None:
+                # Announce each bound port (0 binds ephemerally).
+                print(
+                    f"{kind} on {owner.address[0]}:{owner.address[1]}",
+                    flush=True,
+                )
+        await asyncio.gather(*transports)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Deferred: only `serve` needs the asyncio server (and its thread
     # pool); the one-shot commands stay off that import cost.
-    import asyncio
-
     from repro.service.server import CheckingServer
 
     auto_jobs = args.jobs == "auto"
@@ -201,58 +342,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         autosave_interval=args.autosave_interval,
     )
 
-    async def run_transports() -> None:
-        # Any mix of front ends shares one loop, one stop event, one
-        # snapshot lifecycle: line TCP (--port), HTTP/JSON (--http), a
-        # scrape-only metrics listener (--metrics-port), or stdio when
-        # no ports were requested.
-        from repro.service.http import HTTPFrontend
+    return _run_transports(
+        server, args.host, args.port, args.http, args.metrics_port
+    )
 
-        transports = []
-        fronts: list = []
-        if args.port is not None:
-            transports.append(
-                asyncio.ensure_future(server.serve_tcp(args.host, args.port))
-            )
-            fronts.append(("listening", server))
-        if args.http is not None:
-            front = HTTPFrontend(server)
-            transports.append(
-                asyncio.ensure_future(front.serve(args.host, args.http))
-            )
-            fronts.append(("http", front))
-        if args.metrics_port is not None:
-            front = HTTPFrontend(server, metrics_only=True)
-            transports.append(
-                asyncio.ensure_future(front.serve(args.host, args.metrics_port))
-            )
-            fronts.append(("metrics", front))
-        if args.port is None and args.http is None:
-            transports.append(asyncio.ensure_future(server.serve_stdio()))
 
-        def pending() -> list:
-            return [
-                (kind, owner)
-                for kind, owner in fronts
-                if owner.address is None
-            ]
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.service.fleet import FleetRouter, spawn_backends
 
-        while pending() and not any(task.done() for task in transports):
-            await asyncio.sleep(0.001)
-        for kind, owner in fronts:
-            if owner.address is not None:
-                # Announce each bound port (0 binds ephemerally).
-                print(
-                    f"{kind} on {owner.address[0]}:{owner.address[1]}",
-                    flush=True,
-                )
-        await asyncio.gather(*transports)
-
+    backends = [
+        spec.strip() for spec in (args.backends or "").split(",") if spec.strip()
+    ]
+    processes: list = []
     try:
-        asyncio.run(run_transports())
-    except KeyboardInterrupt:
-        pass
-    return 0
+        if args.spawn:
+            extra: list[str] = []
+            if args.jobs != 1:
+                extra += ["--jobs", str(args.jobs)]
+            processes, spawned = spawn_backends(
+                args.spawn,
+                host=args.host,
+                mode=args.mode,
+                extra_args=tuple(extra),
+            )
+            backends += spawned
+        router = FleetRouter(
+            backends,
+            max_inflight=args.max_inflight,
+            max_connections=args.max_connections,
+            wave_chunk=args.wave_chunk,
+            # Spawned backends are the fleet's own: the router's
+            # shutdown drains them too.  Externally-owned backends
+            # outlive their router.
+            shutdown_backends=bool(args.spawn),
+        )
+        return _run_transports(
+            router,
+            args.host,
+            args.port,
+            args.http,
+            args.metrics_port,
+            stdio_fallback=False,
+        )
+    finally:
+        for proc in processes:
+            proc.terminate()
+        for proc in processes:
+            try:
+                proc.wait(timeout=10.0)
+            except Exception:  # noqa: BLE001 - last resort for a hung backend
+                proc.kill()
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -285,6 +424,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="print the spec's session fingerprint and cross-request "
             "cache counters (the command resolves through the same "
             "session API `repro serve` runs on)",
+        )
+
+    def add_via_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--via",
+            default=None,
+            metavar="HOST:PORT",
+            help="route the command through a running `repro serve` or "
+            "`repro fleet` line endpoint instead of solving in-process "
+            "(the answer bytes come from the service's session cache)",
         )
 
     def add_solver_flags(command: argparse.ArgumentParser) -> None:
@@ -327,12 +476,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_solver_flags(p_check)
     add_session_flag(p_check)
+    add_via_flag(p_check)
     p_check.set_defaults(func=_cmd_check)
 
     p_validate = sub.add_parser("validate", help="validate a document")
     p_validate.add_argument("dtd")
     p_validate.add_argument("document")
     p_validate.add_argument("constraints", nargs="?", default=None)
+    add_via_flag(p_validate)
     p_validate.set_defaults(func=_cmd_validate)
 
     p_implies = sub.add_parser("implies", help="constraint implication")
@@ -351,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_solver_flags(p_implies)
     add_session_flag(p_implies)
+    add_via_flag(p_implies)
     p_implies.set_defaults(func=_cmd_implies)
 
     p_diagnose = sub.add_parser("diagnose", help="specification health report")
@@ -372,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_solver_flags(p_diagnose)
     add_session_flag(p_diagnose)
+    add_via_flag(p_diagnose)
     p_diagnose.set_defaults(func=_cmd_diagnose)
 
     p_serve = sub.add_parser(
@@ -490,6 +643,96 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_solver_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="shard router over N `repro serve` backends (same line and "
+        "HTTP protocols; sessions consistent-hashed by spec fingerprint)",
+    )
+    p_fleet.add_argument(
+        "--backends",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="comma-separated specs of already-running `repro serve "
+        "--port` backends to shard across",
+    )
+    p_fleet.add_argument(
+        "--spawn",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally spawn N local backends on ephemeral ports; "
+        "the router owns them (its shutdown drains them too)",
+    )
+    p_fleet.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address (default: 127.0.0.1)",
+    )
+    p_fleet.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="line-protocol port for the router (default: 0 = ephemeral; "
+        "the bound address is announced on stdout)",
+    )
+    p_fleet.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally serve HTTP/JSON on this port (POST /v1/{op}, "
+        "GET /metrics; same surface as `repro serve --http`)",
+    )
+    p_fleet.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve GET /metrics alone on a separate port",
+    )
+    p_fleet.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        metavar="N",
+        help="router admission cap; beyond it requests shed with the "
+        "same structured 'overloaded' answer as a single backend "
+        "(default: 256)",
+    )
+    p_fleet.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent client connection cap at the router "
+        "(default: 64)",
+    )
+    p_fleet.add_argument(
+        "--wave-chunk",
+        type=int,
+        default=4,
+        metavar="N",
+        help="phis per chunk when fanning an implies_all batch across "
+        "the fleet in waves, with cut pools merged over the wire at "
+        "wave boundaries (default: 4)",
+    )
+    p_fleet.add_argument(
+        "--mode",
+        choices=["replay", "warm"],
+        default="replay",
+        help="session reuse mode passed to --spawn backends "
+        "(default: replay)",
+    )
+    p_fleet.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=1,
+        metavar="N",
+        help="worker processes per --spawn backend (or 'auto')",
+    )
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_bounds = sub.add_parser("bounds", help="feasible |ext(tau)| range")
     p_bounds.add_argument("dtd")

@@ -18,6 +18,10 @@ change rarely.  This package turns the pipeline into a resident engine
   ``implies`` requests into single ``implies_all`` fan-outs;
 * :class:`~repro.service.client.ServiceClient` — a small synchronous
   client for scripts, benchmarks and the README quickstart;
+* :class:`~repro.service.fleet.FleetRouter` — the distributed fleet's
+  shard router (``repro fleet``): sessions consistent-hashed across N
+  backend servers, ``implies_all`` batches fanned out in waves, dead
+  backends rerouted with byte-identical answers (DESIGN.md section 11);
 * :mod:`~repro.service.persist` — crash-safe session snapshots
   (atomic writes, self-verifying envelope, corrupt file = cold start);
 * :mod:`~repro.service.faults` — the deterministic fault-injection
@@ -33,6 +37,7 @@ verdicts, witnesses and solver stats to the direct
 
 __all__ = [
     "CheckingServer",
+    "FleetRouter",
     "ServiceClient",
     "SessionRegistry",
     "SpecSession",
@@ -47,6 +52,7 @@ __all__ = [
 #: compare against).
 _EXPORTS = {
     "CheckingServer": "repro.service.server",
+    "FleetRouter": "repro.service.fleet",
     "ServiceClient": "repro.service.client",
     "SessionRegistry": "repro.service.registry",
     "SpecSession": "repro.service.session",

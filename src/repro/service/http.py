@@ -33,7 +33,7 @@ import threading
 
 from repro.service import protocol
 from repro.service.faults import fault_active
-from repro.service.server import CheckingServer
+from repro.service.server import CheckingServer, RequestServer
 
 #: Largest accepted request body; a localhost guard, not a DoS defence.
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -67,15 +67,17 @@ class _BadRequest(Exception):
 
 
 class HTTPFrontend:
-    """One HTTP listener over a :class:`CheckingServer`.
+    """One HTTP listener over a :class:`RequestServer`.
 
     Several front ends may serve the same server on one event loop (the
     CLI runs ``--port``, ``--http`` and ``--metrics-port`` together);
     they share the server's stop event, state restore and autosave task
-    through ``_serving_setup``/``_serving_teardown``.
+    through ``_serving_setup``/``_serving_teardown``.  The server may be
+    a single-process :class:`CheckingServer` or the fleet's shard router
+    — the front end only uses the shared transport surface.
     """
 
-    def __init__(self, server: CheckingServer, metrics_only: bool = False):
+    def __init__(self, server: RequestServer, metrics_only: bool = False):
         self.server = server
         #: ``True``: expose only ``GET /metrics`` (the ``--metrics-port``
         #: listener); ``/v1`` requests answer 404 and the connection cap
@@ -311,7 +313,7 @@ class HTTPFrontend:
 
     def close(self) -> None:
         """Stop a background front end through the owning server's
-        deterministic drain, then release its executor."""
+        deterministic drain, then release its resources."""
         server = self.server
         if self._thread is not None and server._thread_loop is not None:
             try:
@@ -321,10 +323,10 @@ class HTTPFrontend:
             self._thread.join(timeout=10.0)
             self._thread = None
             server._thread_loop = None
-        server.executor.shutdown(wait=False)
+        server._release_resources()
 
 
-def _connection_shed_error(server: CheckingServer):
+def _connection_shed_error(server: RequestServer):
     from repro.errors import OverloadedError
 
     return OverloadedError(

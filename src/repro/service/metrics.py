@@ -164,6 +164,60 @@ METRICS: dict[str, MetricSpec] = {
             "Requests answered through coalesced implies_batch.",
         ),
         _spec("session.cached_responses", GAUGE, "Resident response-cache entries."),
+        # -- router.*: the fleet shard router (repro fleet) ------------
+        _spec("router.requests", COUNTER, "Requests received by the router."),
+        _spec("router.responses", COUNTER, "Responses written by the router."),
+        _spec("router.errors", COUNTER, "Routed responses carrying ok=false."),
+        _spec(
+            "router.requests_shed",
+            COUNTER,
+            "Requests shed by the router's admission control.",
+        ),
+        _spec(
+            "router.connections_shed",
+            COUNTER,
+            "Connections shed at the router's connection cap.",
+        ),
+        _spec("router.routed", COUNTER, "Requests forwarded to a backend."),
+        _spec(
+            "router.replays",
+            COUNTER,
+            "Idempotent replays after a dropped backend connection.",
+        ),
+        _spec("router.reconnects", COUNTER, "Backend links re-established."),
+        _spec(
+            "router.backends_lost",
+            COUNTER,
+            "Backends removed from the ring as unreachable.",
+        ),
+        _spec(
+            "router.reroutes",
+            COUNTER,
+            "Requests rerouted to a surviving backend after a loss.",
+        ),
+        _spec("router.waves", COUNTER, "implies_all fan-out waves dispatched."),
+        _spec(
+            "router.wave_chunks",
+            COUNTER,
+            "Chunks dispatched across all fan-out waves.",
+        ),
+        _spec(
+            "router.cut_syncs",
+            COUNTER,
+            "Wave-boundary cut-pool sync rounds.",
+        ),
+        _spec(
+            "router.cuts_synced",
+            COUNTER,
+            "Cut records adopted fleet-wide at wave boundaries.",
+        ),
+        _spec("router.backends", GAUGE, "Live backends on the ring."),
+        _spec("router.inflight", GAUGE, "Requests admitted by the router."),
+        _spec(
+            "router.accepting",
+            GAUGE,
+            "1 while the router admits requests, 0 once shutdown began.",
+        ),
         # -- pool.*: the fork-based solver pool + adaptive jobs --------
         _spec("pool.workers_spawned", COUNTER, "Worker processes forked."),
         _spec("pool.parallel_waves", COUNTER, "Support-branch waves dispatched."),

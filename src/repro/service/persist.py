@@ -40,7 +40,13 @@ from repro.errors import ReproError
 from repro.ilp.condsys import CutRecord
 from repro.service.faults import fault_active
 
-__all__ = ["SNAPSHOT_VERSION", "save_snapshot", "load_snapshot"]
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "save_snapshot",
+    "load_snapshot",
+    "pack_value",
+    "unpack_value",
+]
 
 #: Bump on any change to the payload shape; a mismatched snapshot is
 #: silently treated as absent (cold start), never migrated in place.
@@ -97,6 +103,24 @@ def _unpack(encoded: list):
         coeffs, guard, label = rest
         return CutRecord(coeffs=_unpack(coeffs), guard=_unpack(guard), label=label)
     raise ReproError(f"unknown persisted value tag {tag!r}")
+
+
+def pack_value(value) -> list:
+    """One value in the snapshot's portable ``[tag, ...]`` form.
+
+    The same encoding the snapshot file uses also carries
+    :class:`~repro.ilp.condsys.CutRecord`\\ s over the fleet's wire
+    (the ``export_cuts`` / ``adopt_cuts`` protocol ops): packed values
+    are JSON-ready and rebuild exactly on the other side.
+    """
+    return _pack(value)
+
+
+def unpack_value(encoded: list):
+    """Rebuild a value from its portable form; raises on junk."""
+    if not isinstance(encoded, list) or not encoded:
+        raise ReproError("packed value must be a non-empty list")
+    return _unpack(encoded)
 
 
 # -- snapshot assembly -------------------------------------------------------

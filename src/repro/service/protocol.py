@@ -20,7 +20,10 @@ error::
 Operations: ``open`` (admit/refresh a session, returns its identity
 card), ``check``, ``implies`` (one ``phi``), ``implies_all`` (a ``phis``
 list, answered as one coalesced batch), ``diagnose``, ``validate`` (a
-``document``), ``stats`` (registry + server counters) and ``shutdown``.
+``document``), ``export_cuts`` / ``adopt_cuts`` (the fleet's
+wave-boundary cut sync: portable connectivity-cut records out of and
+into the session pool), ``stats`` (registry + server counters) and
+``shutdown``.
 Responses may arrive out of request order when requests from one
 connection overlap — the ``id`` is the correlation key.
 
@@ -43,7 +46,16 @@ from repro.service.session import SpecSession, _error_payload
 
 #: Operations that resolve a session before running.
 SESSION_OPS = frozenset(
-    {"open", "check", "implies", "implies_all", "diagnose", "validate"}
+    {
+        "open",
+        "check",
+        "implies",
+        "implies_all",
+        "diagnose",
+        "validate",
+        "export_cuts",
+        "adopt_cuts",
+    }
 )
 
 #: Every operation the server answers.
@@ -114,6 +126,13 @@ def perform(session: SpecSession, request: dict) -> dict:
         if "document" not in request:
             raise ProtocolError("op 'validate' needs a 'document'")
         return session.validate(request["document"])
+    if op == "export_cuts":
+        return session.export_cuts_wire()
+    if op == "adopt_cuts":
+        packed = request.get("cuts")
+        if not isinstance(packed, list):
+            raise ProtocolError("op 'adopt_cuts' needs a 'cuts' list")
+        return session.adopt_cuts_wire(packed)
     raise ProtocolError(f"op {op!r} is not a session operation")
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from functools import lru_cache
 
 from repro.checkers.config import CheckerConfig
 from repro.constraints.ast import Constraint
@@ -45,6 +46,35 @@ def default_registry() -> "SessionRegistry":
     if _DEFAULT_REGISTRY is None:
         _DEFAULT_REGISTRY = SessionRegistry()
     return _DEFAULT_REGISTRY
+
+
+@lru_cache(maxsize=1024)
+def _fingerprint_text(dtd_text: str, constraints_text: str, root: str | None) -> str:
+    dtd = parse_dtd(dtd_text, root=root)
+    sigma = parse_constraints(constraints_text)
+    return spec_fingerprint(dtd, sigma)
+
+
+def fingerprint_for(
+    dtd: DTD | str,
+    constraints: list[Constraint] | tuple[Constraint, ...] | str = (),
+    root: str | None = None,
+) -> str:
+    """The canonical spec fingerprint for text or parsed inputs.
+
+    The same identity :meth:`SessionRegistry.session_for` keys on, but
+    *without admitting a session* — the fleet router shards requests by
+    this value before any backend has parsed the spec.  Text inputs are
+    memoized (the router fingerprints every inline request on its event
+    loop; a repeated spec must not re-parse).
+    """
+    if isinstance(dtd, str) and isinstance(constraints, str):
+        return _fingerprint_text(dtd, constraints, root)
+    if isinstance(dtd, str):
+        dtd = parse_dtd(dtd, root=root)
+    if isinstance(constraints, str):
+        constraints = parse_constraints(constraints)
+    return spec_fingerprint(dtd, list(constraints))
 
 
 class SessionRegistry:

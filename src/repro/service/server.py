@@ -253,7 +253,310 @@ def _copy_exception(exc: Exception) -> Exception:
             return exc
 
 
-class CheckingServer:
+class RequestServer:
+    """Transport machinery shared by every line-protocol front end.
+
+    One subclass is the single-process :class:`CheckingServer`; the
+    other is the fleet's shard router
+    (:class:`~repro.service.fleet.FleetRouter`).  The base owns what a
+    front end *is* — a localhost TCP listener and/or a stdio pump
+    feeding :meth:`handle_request`, a connection cap that sheds with a
+    structured ``overloaded`` answer, the deterministic
+    drain-then-stop shutdown, and the background-thread lifecycle the
+    tests and the README quickstarts use — while subclasses supply what
+    a request *means*.
+
+    Subclass surface:
+
+    * :meth:`handle_request` (required) — answer one request line;
+    * :meth:`render_metrics` (optional) — the ``GET /metrics`` body;
+    * ``self.stats`` (required) — any object with a
+      ``connections_shed`` counter attribute;
+    * the lifecycle hooks ``_on_serving_start`` / ``_on_serving_stop``
+      (first transport up, last transport down), ``_flush_on_drain``
+      (awaited by the deterministic drain before the stop event fires)
+      and ``_release_resources`` (after a background thread joins).
+    """
+
+    def __init__(self, max_connections: int = 64):
+        self.max_connections = max_connections
+        self._per_item_latency = 0.05
+        self._inflight = 0
+        self._connections = 0
+        self._accepting = True
+        self._draining = False
+        self._answers: set = set()
+        self._serving = 0
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._thread_loop: asyncio.AbstractEventLoop | None = None
+        self._thread_ready = threading.Event()
+        self.address: tuple[str, int] | None = None
+
+    # -- subclass surface ----------------------------------------------------
+
+    async def handle_request(self, line: str) -> dict:
+        """Decode, dispatch and answer one request line."""
+        raise NotImplementedError
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition (``GET /metrics``)."""
+        raise NotImplementedError
+
+    def _on_serving_start(self) -> None:
+        """First transport coming up on this loop (state restore etc.)."""
+
+    def _on_serving_stop(self) -> None:
+        """Last transport going down (snapshot, cancel housekeeping)."""
+
+    async def _flush_on_drain(self) -> None:
+        """Awaited after every answer flushed, before the stop event."""
+
+    def _release_resources(self) -> None:
+        """Release executors/links after a background thread joined."""
+
+    # -- admission -----------------------------------------------------------
+
+    def retry_hint(self) -> float:
+        """``retry_after`` seconds for shed responses: roughly one
+        observed per-request drain latency, floored at 50ms."""
+        return round(max(0.05, self._per_item_latency), 3)
+
+    # -- shutdown ------------------------------------------------------------
+
+    def _register_answer(self, task: "asyncio.Task") -> None:
+        self._answers.add(task)
+        task.add_done_callback(self._answers.discard)
+
+    def _begin_shutdown(self) -> None:
+        """Deterministic drain: refuse new work, flush queued futures and
+        pending response writes, snapshot, then stop — no timers."""
+        if self._draining:
+            return
+        self._draining = True
+        self._accepting = False
+        asyncio.get_running_loop().create_task(self._drain_then_stop())
+
+    async def _drain_then_stop(self) -> None:
+        current = asyncio.current_task()
+        while True:
+            pending = [
+                task
+                for task in self._answers
+                if not task.done() and task is not current
+            ]
+            if not pending:
+                break
+            await asyncio.gather(*pending, return_exceptions=True)
+        await self._flush_on_drain()
+        if self._stop is not None:
+            self._stop.set()
+
+    # -- transports ----------------------------------------------------------
+
+    def _serving_setup(self) -> asyncio.Event:
+        """Shared transport bring-up: one stop event, one start hook —
+        however many front ends (line TCP, stdio, HTTP, metrics-only
+        HTTP) serve on this loop."""
+        if self._stop is None:
+            self._stop = asyncio.Event()
+        self._serving += 1
+        self._on_serving_start()
+        return self._stop
+
+    def _serving_teardown(self) -> None:
+        """Reference-counted shutdown of the shared serving state; the
+        last transport out runs the stop hook."""
+        self._serving -= 1
+        if self._serving > 0:
+            return
+        self._on_serving_stop()
+        self._stop = None
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Serve on a localhost TCP socket until ``shutdown`` arrives.
+
+        ``self.address`` carries the bound ``(host, port)`` once
+        listening (``port=0`` binds an ephemeral port).
+        """
+        stop = self._serving_setup()
+        server = await asyncio.start_server(self._handle_connection, host, port)
+        sockname = server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        try:
+            async with server:
+                await stop.wait()
+        finally:
+            self._serving_teardown()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        if self._connections >= self.max_connections:
+            self.stats.connections_shed += 1
+            shed = OverloadedError(
+                f"connection limit reached ({self.max_connections})",
+                retry_after=self.retry_hint(),
+            )
+            try:
+                line = protocol.encode(protocol.error_response(None, shed))
+                writer.write((line + "\n").encode("utf-8"))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        self._connections += 1
+        write_lock = asyncio.Lock()
+        tasks = []
+
+        async def answer(line: str) -> None:
+            response = await self.handle_request(line)
+            if fault_active("conn.drop"):
+                writer.close()
+                return
+            try:
+                async with write_lock:
+                    writer.write((protocol.encode(response) + "\n").encode("utf-8"))
+                    await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the response has nowhere to go
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8").strip()
+                if not text:
+                    continue
+                task = asyncio.ensure_future(answer(text))
+                self._register_answer(task)
+                tasks.append(task)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Server shutdown cancels connection handlers mid-read; the
+            # deterministic drain already flushed queued responses.
+            pass
+        finally:
+            self._connections -= 1
+            writer.close()
+
+    async def serve_stdio(self, stdin=None, stdout=None) -> None:
+        """Serve over stdin/stdout until EOF or ``shutdown``.
+
+        stdin is pumped by a dedicated *daemon* thread rather than the
+        default executor: a blocked ``readline`` must not keep the
+        process alive after a ``shutdown`` request (``asyncio.run``
+        joins default-executor threads on exit; it never joins a
+        daemon).
+        """
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        stop = self._serving_setup()
+        loop = asyncio.get_running_loop()
+        lines: asyncio.Queue = asyncio.Queue()
+        write_lock = asyncio.Lock()
+        tasks = []
+
+        def pump() -> None:
+            while True:
+                line = stdin.readline()
+                try:
+                    loop.call_soon_threadsafe(lines.put_nowait, line)
+                except RuntimeError:
+                    return  # loop already closed; nothing left to feed
+                if not line:
+                    return
+
+        threading.Thread(target=pump, name="repro-stdin", daemon=True).start()
+
+        async def answer(line: str) -> None:
+            response = await self.handle_request(line)
+            async with write_lock:
+                stdout.write(protocol.encode(response) + "\n")
+                stdout.flush()
+
+        try:
+            while not stop.is_set():
+                read = asyncio.ensure_future(lines.get())
+                stopped = asyncio.ensure_future(stop.wait())
+                done, _ = await asyncio.wait(
+                    {read, stopped}, return_when=asyncio.FIRST_COMPLETED
+                )
+                stopped.cancel()
+                if read not in done:
+                    read.cancel()
+                    break
+                line = read.result()
+                if not line:
+                    break
+                if line.strip():
+                    task = asyncio.ensure_future(answer(line.strip()))
+                    self._register_answer(task)
+                    tasks.append(task)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            self._serving_teardown()
+
+    # -- background lifecycle (tests, benchmarks, the README quickstart) -----
+
+    def start_background(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Run the TCP server on a daemon thread; returns the address.
+
+        >>> from repro.service.registry import SessionRegistry
+        >>> server = CheckingServer(SessionRegistry(max_sessions=4))
+        >>> host, port = server.start_background()
+        >>> port > 0
+        True
+        >>> server.close()
+        """
+        if self._thread is not None:
+            raise RuntimeError("server is already running")
+
+        def run() -> None:
+            async def main() -> None:
+                self._thread_loop = asyncio.get_running_loop()
+                started = asyncio.ensure_future(self.serve_tcp(host, port))
+                while self.address is None and not started.done():
+                    await asyncio.sleep(0.001)
+                self._thread_ready.set()
+                await started
+
+            try:
+                asyncio.run(main())
+            finally:
+                self._thread_ready.set()
+
+        self._thread = threading.Thread(target=run, name="repro-serve", daemon=True)
+        self._thread.start()
+        self._thread_ready.wait(timeout=10.0)
+        if self.address is None:
+            raise RuntimeError("server failed to start")
+        return self.address
+
+    def close(self) -> None:
+        """Stop a background server and release its resources.
+
+        Routes through the same deterministic drain as the ``shutdown``
+        op (answer everything received, snapshot, then stop) — setting
+        the stop event directly would race a drain already in flight
+        and could cancel its snapshot mid-write.
+        """
+        if self._thread is not None and self._thread_loop is not None:
+            try:
+                self._thread_loop.call_soon_threadsafe(self._begin_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+            self._thread.join(timeout=10.0)
+            self._thread = None
+            self._thread_loop = None
+        self._release_resources()
+
+
+class CheckingServer(RequestServer):
     """The resident checking service over a :class:`SessionRegistry`.
 
     Admission, deadline and persistence knobs (all optional):
@@ -291,6 +594,7 @@ class CheckingServer:
         max_batch_width: int = 32,
         collector: StatsCollector | None = None,
     ):
+        super().__init__(max_connections=max_connections)
         self.registry = registry or SessionRegistry()
         self.stats = ServerStats()
         #: The process-wide metrics sink (DESIGN.md section 10): sessions
@@ -305,35 +609,17 @@ class CheckingServer:
         )
         self.max_inflight = max_inflight
         self.queue_depth = queue_depth
-        self.max_connections = max_connections
         self.default_deadline = default_deadline
         self.state_file = state_file
         self.autosave_interval = autosave_interval
         self.batch_target_latency = batch_target_latency
         self.max_batch_width = max_batch_width
         self._batch_limit = float(max_batch_width)
-        self._per_item_latency = 0.05
-        self._inflight = 0
-        self._connections = 0
-        self._accepting = True
-        self._draining = False
         self._state_loaded = False
-        self._answers: set = set()
         self._queues: dict[str, _SessionQueue] = {}
-        self._serving = 0
         self._autosave: "asyncio.Future | None" = None
-        self._stop: asyncio.Event | None = None
-        self._thread: threading.Thread | None = None
-        self._thread_loop: asyncio.AbstractEventLoop | None = None
-        self._thread_ready = threading.Event()
-        self.address: tuple[str, int] | None = None
 
     # -- admission and adaptation -------------------------------------------
-
-    def retry_hint(self) -> float:
-        """``retry_after`` seconds for shed responses: roughly one
-        observed per-request drain latency, floored at 50ms."""
-        return round(max(0.05, self._per_item_latency), 3)
 
     def batch_limit(self) -> int:
         """The adaptive coalescing width limit, as an integer >= 1."""
@@ -519,59 +805,17 @@ class CheckingServer:
             await asyncio.sleep(self.autosave_interval)
             await loop.run_in_executor(self.executor, self._save_state)
 
-    # -- shutdown -----------------------------------------------------------
+    # -- transport lifecycle hooks ------------------------------------------
 
-    def _register_answer(self, task: "asyncio.Task") -> None:
-        self._answers.add(task)
-        task.add_done_callback(self._answers.discard)
-
-    def _begin_shutdown(self) -> None:
-        """Deterministic drain: refuse new work, flush queued futures and
-        pending response writes, snapshot, then stop — no timers."""
-        if self._draining:
-            return
-        self._draining = True
-        self._accepting = False
-        asyncio.get_running_loop().create_task(self._drain_then_stop())
-
-    async def _drain_then_stop(self) -> None:
-        current = asyncio.current_task()
-        while True:
-            pending = [
-                task
-                for task in self._answers
-                if not task.done() and task is not current
-            ]
-            if not pending:
-                break
-            await asyncio.gather(*pending, return_exceptions=True)
-        await asyncio.get_running_loop().run_in_executor(
-            self.executor, self._save_state
-        )
-        if self._stop is not None:
-            self._stop.set()
-
-    # -- transports ---------------------------------------------------------
-
-    def _serving_setup(self) -> asyncio.Event:
-        """Shared transport bring-up: one stop event, one state restore,
-        one autosave task — however many front ends (line TCP, stdio,
-        HTTP, metrics-only HTTP) serve on this loop."""
-        if self._stop is None:
-            self._stop = asyncio.Event()
-        self._serving += 1
+    def _on_serving_start(self) -> None:
+        """First transport up: restore state, start the autosave task."""
         self._load_state()
         if self.state_file and self.autosave_interval and self._autosave is None:
             self._autosave = asyncio.ensure_future(self._autosave_loop())
-        return self._stop
 
-    def _serving_teardown(self) -> None:
-        """Reference-counted shutdown of the shared serving state; the
-        last transport out cancels autosave and snapshots (unless the
+    def _on_serving_stop(self) -> None:
+        """Last transport out cancels autosave and snapshots (unless the
         deterministic drain already did)."""
-        self._serving -= 1
-        if self._serving > 0:
-            return
         if self._autosave is not None:
             self._autosave.cancel()
             self._autosave = None
@@ -579,186 +823,11 @@ class CheckingServer:
             # Stopped without a shutdown op (embedder called ``close``
             # or stdin hit EOF): still snapshot before the loop dies.
             self._save_state()
-        self._stop = None
 
-    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        """Serve on a localhost TCP socket until ``shutdown`` arrives.
+    async def _flush_on_drain(self) -> None:
+        await asyncio.get_running_loop().run_in_executor(
+            self.executor, self._save_state
+        )
 
-        ``self.address`` carries the bound ``(host, port)`` once
-        listening (``port=0`` binds an ephemeral port).
-        """
-        stop = self._serving_setup()
-        server = await asyncio.start_server(self._handle_connection, host, port)
-        sockname = server.sockets[0].getsockname()
-        self.address = (sockname[0], sockname[1])
-        try:
-            async with server:
-                await stop.wait()
-        finally:
-            self._serving_teardown()
-
-    async def _handle_connection(self, reader, writer) -> None:
-        if self._connections >= self.max_connections:
-            self.stats.connections_shed += 1
-            shed = OverloadedError(
-                f"connection limit reached ({self.max_connections})",
-                retry_after=self.retry_hint(),
-            )
-            try:
-                line = protocol.encode(protocol.error_response(None, shed))
-                writer.write((line + "\n").encode("utf-8"))
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass
-            writer.close()
-            return
-        self._connections += 1
-        write_lock = asyncio.Lock()
-        tasks = []
-
-        async def answer(line: str) -> None:
-            response = await self.handle_request(line)
-            if fault_active("conn.drop"):
-                writer.close()
-                return
-            try:
-                async with write_lock:
-                    writer.write((protocol.encode(response) + "\n").encode("utf-8"))
-                    await writer.drain()
-            except (ConnectionError, OSError):
-                pass  # client went away; the response has nowhere to go
-
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                text = line.decode("utf-8").strip()
-                if not text:
-                    continue
-                task = asyncio.ensure_future(answer(text))
-                self._register_answer(task)
-                tasks.append(task)
-            if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
-        except asyncio.CancelledError:
-            # Server shutdown cancels connection handlers mid-read; the
-            # deterministic drain already flushed queued responses.
-            pass
-        finally:
-            self._connections -= 1
-            writer.close()
-
-    async def serve_stdio(self, stdin=None, stdout=None) -> None:
-        """Serve over stdin/stdout until EOF or ``shutdown``.
-
-        stdin is pumped by a dedicated *daemon* thread rather than the
-        default executor: a blocked ``readline`` must not keep the
-        process alive after a ``shutdown`` request (``asyncio.run``
-        joins default-executor threads on exit; it never joins a
-        daemon).
-        """
-        stdin = stdin or sys.stdin
-        stdout = stdout or sys.stdout
-        stop = self._serving_setup()
-        loop = asyncio.get_running_loop()
-        lines: asyncio.Queue = asyncio.Queue()
-        write_lock = asyncio.Lock()
-        tasks = []
-
-        def pump() -> None:
-            while True:
-                line = stdin.readline()
-                try:
-                    loop.call_soon_threadsafe(lines.put_nowait, line)
-                except RuntimeError:
-                    return  # loop already closed; nothing left to feed
-                if not line:
-                    return
-
-        threading.Thread(target=pump, name="repro-stdin", daemon=True).start()
-
-        async def answer(line: str) -> None:
-            response = await self.handle_request(line)
-            async with write_lock:
-                stdout.write(protocol.encode(response) + "\n")
-                stdout.flush()
-
-        try:
-            while not stop.is_set():
-                read = asyncio.ensure_future(lines.get())
-                stopped = asyncio.ensure_future(stop.wait())
-                done, _ = await asyncio.wait(
-                    {read, stopped}, return_when=asyncio.FIRST_COMPLETED
-                )
-                stopped.cancel()
-                if read not in done:
-                    read.cancel()
-                    break
-                line = read.result()
-                if not line:
-                    break
-                if line.strip():
-                    task = asyncio.ensure_future(answer(line.strip()))
-                    self._register_answer(task)
-                    tasks.append(task)
-            if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
-        finally:
-            self._serving_teardown()
-
-    # -- background lifecycle (tests, benchmarks, the README quickstart) ----
-
-    def start_background(
-        self, host: str = "127.0.0.1", port: int = 0
-    ) -> tuple[str, int]:
-        """Run the TCP server on a daemon thread; returns the address.
-
-        >>> from repro.service.registry import SessionRegistry
-        >>> server = CheckingServer(SessionRegistry(max_sessions=4))
-        >>> host, port = server.start_background()
-        >>> port > 0
-        True
-        >>> server.close()
-        """
-        if self._thread is not None:
-            raise RuntimeError("server is already running")
-
-        def run() -> None:
-            async def main() -> None:
-                self._thread_loop = asyncio.get_running_loop()
-                started = asyncio.ensure_future(self.serve_tcp(host, port))
-                while self.address is None and not started.done():
-                    await asyncio.sleep(0.001)
-                self._thread_ready.set()
-                await started
-
-            try:
-                asyncio.run(main())
-            finally:
-                self._thread_ready.set()
-
-        self._thread = threading.Thread(target=run, name="repro-serve", daemon=True)
-        self._thread.start()
-        self._thread_ready.wait(timeout=10.0)
-        if self.address is None:
-            raise RuntimeError("server failed to start")
-        return self.address
-
-    def close(self) -> None:
-        """Stop a background server and release the executor.
-
-        Routes through the same deterministic drain as the ``shutdown``
-        op (answer everything received, snapshot, then stop) — setting
-        the stop event directly would race a drain already in flight
-        and could cancel its snapshot mid-write.
-        """
-        if self._thread is not None and self._thread_loop is not None:
-            try:
-                self._thread_loop.call_soon_threadsafe(self._begin_shutdown)
-            except RuntimeError:
-                pass  # loop already closed
-            self._thread.join(timeout=10.0)
-            self._thread = None
-            self._thread_loop = None
+    def _release_resources(self) -> None:
         self.executor.shutdown(wait=False)

@@ -525,6 +525,59 @@ class SpecSession:
             for record in cuts:
                 self._cut_records.setdefault(record.key, record)
 
+    # -- fleet cut transport (repro.service.fleet) ---------------------------
+
+    def export_cuts_wire(self) -> dict:
+        """The session's cut pool in portable form (the ``export_cuts`` op).
+
+        The fleet router pulls these at wave boundaries and pushes the
+        union back through :meth:`adopt_cuts_wire`, so shards solving
+        chunks of one ``implies_all`` share connectivity cuts exactly as
+        the in-process worker pool merges them between waves.  Packed
+        with the snapshot encoding
+        (:func:`~repro.service.persist.pack_value`), and never cached:
+        the pool grows between calls.
+        """
+        from repro.service import persist
+
+        with self._lock:
+            self.stats.requests += 1
+            return {
+                "cuts": [
+                    persist.pack_value(record)
+                    for record in self._cut_records.values()
+                ]
+            }
+
+    def adopt_cuts_wire(self, packed: list) -> dict:
+        """Merge foreign packed cut records (the ``adopt_cuts`` op).
+
+        Set-union under the canonical record key, like
+        :meth:`~repro.ilp.condsys._CutPool.merge`: duplicates are
+        counted, never re-adopted, so the sync is idempotent and
+        order-independent.  Adopted records seed the next warm
+        workspace; replay-mode sessions accept them too (their pools
+        simply stay unused until a warm restart restores them).
+        """
+        from repro.ilp.condsys import CutRecord
+        from repro.service import persist
+
+        adopted = duplicates = 0
+        with self._lock:
+            self.stats.requests += 1
+            for item in packed:
+                record = persist.unpack_value(item)
+                if not isinstance(record, CutRecord):
+                    raise ReproError(
+                        "adopt_cuts entries must be packed cut records"
+                    )
+                if record.key in self._cut_records:
+                    duplicates += 1
+                else:
+                    self._cut_records[record.key] = record
+                    adopted += 1
+        return {"adopted": adopted, "duplicates": duplicates}
+
     # -- internals ----------------------------------------------------------
 
     def _parse_phi(self, phi: str | Constraint) -> Constraint:

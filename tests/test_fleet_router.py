@@ -1,0 +1,129 @@
+"""Property tests for the fleet's consistent-hash ring.
+
+The two contracts DESIGN.md section 11 rests on:
+
+* **balance** — with virtual replicas, no backend owns more than a
+  pinned factor above its fair share of a large key population, for
+  every fleet size 1..16;
+* **minimal movement** — a join only pulls keys *onto* the joined
+  backend; a leave only pushes keys *off* the departed backend.  No
+  bystander segment remaps, so fleet membership churn cannot invalidate
+  unrelated backends' session residency.
+
+Determinism rides along: ownership is a pure function of (backends,
+replicas, key), so two routers — or one router before and after a
+restart — route identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.router import DEFAULT_REPLICAS, HashRing
+
+#: A key population large enough for the balance bound to be meaningful
+#: and cheap enough to hash in milliseconds.
+KEYS = [f"spec-fingerprint-{i:05d}" for i in range(4096)]
+
+
+def _backends(count: int) -> list[str]:
+    return [f"127.0.0.1:{7800 + i}" for i in range(count)]
+
+
+# -- balance ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("count", list(range(1, 17)))
+def test_load_balance_within_pinned_bound(count):
+    """No backend owns more than 1.6x its fair share (1..16 backends).
+
+    The bound is loose enough to be stable for a deterministic hash
+    (the assignment never changes between runs) and tight enough that a
+    broken ring — e.g. replicas collapsing onto one arc — fails it
+    immediately.
+    """
+    ring = HashRing(_backends(count))
+    loads: dict[str, int] = {}
+    for key in KEYS:
+        owner = ring.owner(key)
+        loads[owner] = loads.get(owner, 0) + 1
+    assert sum(loads.values()) == len(KEYS)
+    assert set(loads) <= set(_backends(count))
+    fair = len(KEYS) / count
+    assert max(loads.values()) <= 1.6 * fair, loads
+    if count > 1:
+        assert len(loads) == count, "some backend owns nothing"
+
+
+def test_ownership_is_deterministic_across_instances():
+    first = HashRing(_backends(5))
+    second = HashRing(list(reversed(_backends(5))))  # insertion order differs
+    assert [first.owner(key) for key in KEYS] == [
+        second.owner(key) for key in KEYS
+    ]
+
+
+# -- minimal movement ------------------------------------------------------
+
+
+@pytest.mark.parametrize("count", [1, 2, 3, 7, 15])
+def test_join_moves_keys_only_to_the_joined_backend(count):
+    ring = HashRing(_backends(count))
+    before = {key: ring.owner(key) for key in KEYS}
+    joined = f"127.0.0.1:{9000 + count}"
+    ring.add(joined)
+    moved = 0
+    for key in KEYS:
+        after = ring.owner(key)
+        if after != before[key]:
+            assert after == joined, (key, before[key], after)
+            moved += 1
+    # The joined backend takes roughly one fair share, never the bulk.
+    assert moved <= 1.6 * len(KEYS) / (count + 1)
+    assert moved > 0
+
+
+@pytest.mark.parametrize("count", [2, 3, 8, 16])
+def test_leave_moves_keys_only_off_the_departed_backend(count):
+    ring = HashRing(_backends(count))
+    before = {key: ring.owner(key) for key in KEYS}
+    departed = _backends(count)[count // 2]
+    ring.remove(departed)
+    for key in KEYS:
+        after = ring.owner(key)
+        if before[key] == departed:
+            assert after != departed
+        else:
+            assert after == before[key], (key, before[key], after)
+
+
+def test_join_then_leave_round_trips_exactly():
+    ring = HashRing(_backends(4))
+    before = {key: ring.owner(key) for key in KEYS}
+    ring.add("127.0.0.1:9999")
+    ring.remove("127.0.0.1:9999")
+    assert {key: ring.owner(key) for key in KEYS} == before
+
+
+# -- edges -----------------------------------------------------------------
+
+
+def test_empty_ring_owns_nothing_and_membership_api():
+    ring = HashRing()
+    assert ring.owner("anything") is None
+    assert len(ring) == 0
+    ring.add("a:1")
+    assert "a:1" in ring and len(ring) == 1
+    ring.add("a:1")  # idempotent
+    assert len(ring) == 1
+    ring.remove("b:2")  # absent: a no-op
+    assert ring.backends() == ["a:1"]
+    ring.remove("a:1")
+    assert ring.owner("anything") is None
+
+
+def test_replicas_validation_and_default():
+    with pytest.raises(ReproError):
+        HashRing(replicas=0)
+    assert DEFAULT_REPLICAS >= 64

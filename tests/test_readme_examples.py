@@ -148,3 +148,39 @@ def test_readme_scaling_section_is_executable():
     assert "--jobs 4" in text
     assert "jobs=2" in text
     assert "minimal_unsat_core" in text
+
+
+def test_readme_fleet_section_is_executable():
+    """The Fleet quickstart is a real doctest session (two backends, a
+    router, a byte-identity check, router counters), executed by the
+    doctest runner above; this guard keeps its load-bearing pieces from
+    being edited away."""
+    text = README.read_text()
+    assert "## Fleet" in text
+    assert "FleetRouter" in text
+    assert "byte-identical via the fleet" in text
+    assert "repro fleet" in text
+    assert "bench_fleet.py" in text
+    for flag in ("--backends", "--spawn", "--via"):
+        assert flag in text, f"README lost the {flag} knob"
+
+
+def test_readme_fleet_knobs_parse_in_cli():
+    """Every fleet flag the README documents parses on `fleet`, and
+    `--via` parses on the one-shot commands."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["fleet", "--backends", "127.0.0.1:7801,127.0.0.1:7802",
+         "--port", "7800", "--http", "8080", "--mode", "warm"]
+    )
+    assert args.backends == "127.0.0.1:7801,127.0.0.1:7802"
+    assert args.port == 7800
+    assert args.http == 8080
+    assert args.mode == "warm"
+    assert parser.parse_args(["fleet", "--spawn", "4"]).spawn == 4
+    via = parser.parse_args(
+        ["implies", "d.dtd", "s.txt", "a.k -> a", "--via", "127.0.0.1:7800"]
+    )
+    assert via.via == "127.0.0.1:7800"
