@@ -24,7 +24,7 @@ import pytest
 from repro.analysis.diagnostics import (
     DiagnosticsStats,
     diagnose,
-    minimal_inconsistent_subset,
+    mus,
     redundant_constraints,
 )
 from repro.constraints.parser import parse_constraints
@@ -102,10 +102,10 @@ def test_rebuild_audit_ablation(benchmark, n):
 @pytest.mark.parametrize("n", [16])
 def test_toggled_mus(benchmark, n):
     dtd, sigma = _mus_registrar(n)
-    mus = benchmark(minimal_inconsistent_subset, dtd, sigma)
+    core = benchmark(mus, dtd, sigma, method="deletion")
     # The stamp key + the FK into the singleton auditor (|approval| >= 2
     # forced by the DTD, <= 1 forced by key-through-FK): a 2-element MUS.
-    assert _canonical(mus) == [
+    assert _canonical(core) == [
         "approval.stamp -> approval",
         "approval.stamp => auditor.aid",
     ]
@@ -181,8 +181,8 @@ def test_toggled_mus_matches_rebuild_and_saves_assemblies():
     """MUS rides the same machinery: identical answers, one assembly."""
     for dtd, sigma in _MUS_CASES:
         stats = DiagnosticsStats()
-        mus = minimal_inconsistent_subset(dtd, sigma, stats=stats)
-        oracle = minimal_inconsistent_subset(dtd, sigma, toggled=False)
-        assert _canonical(mus) == _canonical(oracle)
+        core = mus(dtd, sigma, method="deletion", stats=stats)
+        oracle = mus(dtd, sigma, method="deletion", toggled=False)
+        assert _canonical(core) == _canonical(oracle)
         assert stats.assemblies == 1
         assert stats.probes == len(sigma) + 1

@@ -30,7 +30,7 @@ import time
 
 import pytest
 
-from repro.analysis.diagnostics import DiagnosticsStats, minimal_unsat_core
+from repro.analysis.diagnostics import DiagnosticsStats, mus
 from repro.checkers.config import CheckerConfig
 from repro.checkers.consistency import check_consistency
 from repro.checkers.implication import implies_all
@@ -164,8 +164,8 @@ def test_quickxplain_probes_strictly_below_deletion(filler):
     dtd, sigma = registrar_mus_family(filler)
     assert len(sigma) >= 8
     qx_stats, del_stats = DiagnosticsStats(), DiagnosticsStats()
-    core = minimal_unsat_core(dtd, sigma, stats=qx_stats)
-    reference = minimal_unsat_core(
+    core = mus(dtd, sigma, stats=qx_stats)
+    reference = mus(
         dtd, sigma, method="deletion", stats=del_stats
     )
     assert sorted(str(phi) for phi in core) == sorted(
@@ -187,6 +187,6 @@ def test_quickxplain_scales_sublinearly():
     for filler in (8, 16, 32):
         dtd, sigma = registrar_mus_family(filler)
         stats = DiagnosticsStats()
-        minimal_unsat_core(dtd, sigma, stats=stats)
+        mus(dtd, sigma, stats=stats)
         counts.append(stats.mus_probes)
     assert counts[2] < 2 * counts[0], f"probe counts not sublinear: {counts}"

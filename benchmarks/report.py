@@ -422,7 +422,7 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
 
     # QuickXplain MUS case (ISSUE 4): the registrar conflict buried under
     # filler keys; probes must stay below the deletion filter's |Sigma|.
-    from repro.analysis.diagnostics import DiagnosticsStats, minimal_unsat_core
+    from repro.analysis.diagnostics import DiagnosticsStats, mus
 
     qx_dtd, qx_sigma = diag_cases[-1]
 
@@ -431,7 +431,7 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
 
         def __init__(self, dtd, sigma):
             mus_stats = DiagnosticsStats()
-            core = minimal_unsat_core(dtd, sigma, stats=mus_stats)
+            core = mus(dtd, sigma, stats=mus_stats)
             assert len(core) == 2, "registrar core regressed"
             assert mus_stats.mus_probes < len(sigma), (
                 "quickxplain probe count regressed to the deletion filter's"
@@ -441,6 +441,27 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
                 "leaves": mus_stats.leaves_solved,
                 "exact_nodes": mus_stats.exact_nodes,
                 "exact_pivots": mus_stats.exact_pivots,
+            }
+
+    # Repair case (ISSUE 10): the registrar conflict repaired end to end
+    # — hitting sets, shadow-row probes, core extraction and the final
+    # verification check, all on one assembled workspace.
+    from repro.analysis.repair import RepairStats, minimal_repair
+
+    class _RepairResult:
+        """Adapter: run + verify one minimal repair, expose its counters."""
+
+        def __init__(self, dtd, sigma):
+            repair_stats = RepairStats()
+            repair = minimal_repair(dtd, sigma, stats=repair_stats)
+            assert repair.found and repair.verified, "registrar repair regressed"
+            assert repair.cost == 1, "registrar repair cost regressed"
+            assert repair_stats.assemblies == 1, "repair re-assembled"
+            self.stats = {
+                "dfs_nodes": repair_stats.dfs_nodes,
+                "leaves": repair_stats.leaves_solved,
+                "exact_nodes": repair_stats.exact_nodes,
+                "exact_pivots": repair_stats.exact_pivots,
             }
 
     # Service case (ISSUE 5): the serving hot path — one replay-mode
@@ -627,6 +648,7 @@ def _solver_workloads() -> dict[str, Callable[[], list]]:
         ],
         "parallel": lambda: implies_all(par_dtd, par_sigma, par_phis, par_config),
         "quickxplain": lambda: [_MusResult(qx_dtd, qx_sigma)],
+        "repair": lambda: [_RepairResult(qx_dtd, qx_sigma)],
         "service": _service_workload,
         "metrics": _metrics_workload,
         "fleet": _fleet_workload,

@@ -21,7 +21,7 @@ Run:  python examples/spec_doctor.py
 """
 
 from repro import DTD, check_consistency, parse_constraints
-from repro.analysis import diagnose, extent_bounds
+from repro.analysis import diagnose, extent_bounds, minimal_repair
 from repro.encoding.combined import build_encoding
 from repro.encoding.render import describe_encoding
 
@@ -101,6 +101,30 @@ def main() -> None:
     )
     result_b = check_consistency(dtd_b, sigma)
     print("repair B (auditor+ instead of one): ", result_b.consistent)
+    print()
+
+    # The repair engine proposes its own minimum edit set: a hitting-set
+    # search over the same toggle assembly (DESIGN.md section 12), with
+    # the winning edit verified by a full re-check before it is printed.
+    fix = minimal_repair(dtd, sigma)
+    print("engine-proposed repair:")
+    for line in fix.summary().splitlines():
+        print("   ", line)
+    rstats = fix.stats
+    print(
+        f"    [{rstats.method}: {rstats.probes} probes, {rstats.cores} "
+        f"cores, {rstats.hitting_sets} hitting sets on "
+        f"{rstats.assemblies} assembly; verified={fix.verified}]"
+    )
+    print()
+
+    # Pricing deletions out steers the search to DTD edits instead —
+    # the engine rediscovers repair B's shape on its own, keeping every
+    # business rule and relaxing the document structure.
+    weighted = minimal_repair(dtd, sigma, weights={"delete": 5})
+    print("engine repair with deletions priced out (weights={'delete': 5}):")
+    for line in weighted.summary().splitlines():
+        print("   ", line)
     print()
 
     # The repaired design still carries a redundancy: the explicit

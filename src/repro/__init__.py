@@ -28,13 +28,18 @@ See ``README.md`` for the tour, ``DESIGN.md`` for the system inventory,
 and ``benchmarks/report.py`` for the per-figure reproduction record.
 """
 
+from repro import api
 from repro.analysis import (
     DiagnosticsReport,
     ExtentBounds,
+    Repair,
+    apply_repair,
     diagnose,
     extent_bounds,
     minimal_inconsistent_subset,
+    minimal_repair,
     minimal_unsat_core,
+    mus,
     redundant_constraints,
 )
 from repro.checkers import (
@@ -84,9 +89,14 @@ from repro.xmltree import (
     tree_to_string,
 )
 
+from repro.api import Spec
+
 __version__ = "1.0.0"
 
 __all__ = [
+    # the stable facade
+    "api",
+    "Spec",
     # models
     "DTD",
     "parse_dtd",
@@ -125,9 +135,13 @@ __all__ = [
     # analysis
     "diagnose",
     "DiagnosticsReport",
+    "mus",
     "minimal_inconsistent_subset",
     "minimal_unsat_core",
     "redundant_constraints",
+    "Repair",
+    "minimal_repair",
+    "apply_repair",
     "extent_bounds",
     "ExtentBounds",
     # errors

@@ -9,8 +9,11 @@ the decision procedures:
   cardinality interaction between the DTD and the constraints made
   directly visible (the quantity driving the Section-1 inconsistency);
 * :mod:`repro.analysis.diagnostics` — why is a specification
-  inconsistent (minimal inconsistent subsets of Sigma) and which
-  constraints are redundant (implied by the rest)?
+  inconsistent (minimal inconsistent subsets of Sigma, :func:`mus`) and
+  which constraints are redundant (implied by the rest)?
+* :mod:`repro.analysis.repair` — how to *fix* an inconsistent
+  specification: a minimum-weight set of constraint deletions and DTD
+  edits after which the specification is consistent.
 """
 
 from repro.analysis.diagnostics import (
@@ -19,17 +22,37 @@ from repro.analysis.diagnostics import (
     diagnose,
     minimal_inconsistent_subset,
     minimal_unsat_core,
+    mus,
     redundant_constraints,
 )
 from repro.analysis.extent_bounds import ExtentBounds, extent_bounds
+from repro.analysis.repair import (
+    DeleteConstraint,
+    DropAttribute,
+    LoosenChild,
+    Repair,
+    RepairAction,
+    RepairStats,
+    apply_repair,
+    minimal_repair,
+)
 
 __all__ = [
     "ExtentBounds",
     "extent_bounds",
+    "mus",
     "minimal_inconsistent_subset",
     "minimal_unsat_core",
     "redundant_constraints",
     "DiagnosticsReport",
     "DiagnosticsStats",
     "diagnose",
+    "Repair",
+    "RepairAction",
+    "RepairStats",
+    "DeleteConstraint",
+    "LoosenChild",
+    "DropAttribute",
+    "apply_repair",
+    "minimal_repair",
 ]

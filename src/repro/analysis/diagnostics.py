@@ -4,15 +4,15 @@ The paper motivates static validation with "repeated failures are due to a
 bad specification" (Section 1) and closes proposing a design theory for
 XML specifications (Section 6). Two concrete tools toward that:
 
-* :func:`minimal_unsat_core` — a minimal subset of Sigma that is already
+* :func:`mus` — a minimal subset of Sigma that is already
   inconsistent with the DTD (a MUS): the smallest story to tell the
   schema author.  The default ``method="quickxplain"`` finds it by
   QuickXplain divide-and-conquer (DESIGN.md section 7) — probe counts
   scale with the *core* size rather than ``|Sigma|``;
   ``method="deletion"`` is the classic linear filter, exactly
-  ``|Sigma|`` probes, kept as the reference.
-  :func:`minimal_inconsistent_subset` is the original entry point and
-  defaults to the deletion filter for backward compatibility.
+  ``|Sigma|`` probes, kept as the reference.  The historical
+  ``minimal_unsat_core`` / ``minimal_inconsistent_subset`` pair remains
+  as deprecation shims over this single entry point.
 * :func:`redundant_constraints` — constraints implied by the rest of the
   specification (over the DTD): safe to drop, or a hint that the author
   expected them to add strength they do not add. One implication probe per
@@ -51,6 +51,7 @@ True
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field, replace
 from collections.abc import Callable, Iterable
 
@@ -140,11 +141,15 @@ class DiagnosticsStats:
         """Fold a worker's counters in (parallel audit reconciliation).
 
         Integer counters add; the ``method``/``mus_method`` labels are the
-        parent's business and are left untouched.
+        parent's business and are left untouched.  Keys this class does
+        not declare (e.g. namespaced ``repair.*`` counters riding along
+        in a wire payload) are skipped rather than flat-merged — folding
+        an unknown counter into a same-named field would silently shadow
+        the caller's own numbers.
         """
         values = worker if isinstance(worker, dict) else asdict(worker)
         for name, value in values.items():
-            if isinstance(value, str):
+            if isinstance(value, str) or not hasattr(self, name):
                 continue
             setattr(self, name, getattr(self, name) + int(value))
 
@@ -474,7 +479,7 @@ def _redundancy_filter_parallel(
     return [phi for index, phi in enumerate(sigma) if index in redundant_indices]
 
 
-def minimal_unsat_core(
+def mus(
     dtd: DTD,
     constraints: Iterable[Constraint],
     config: CheckerConfig | None = None,
@@ -484,6 +489,12 @@ def minimal_unsat_core(
     stats: DiagnosticsStats | None = None,
 ) -> list[Constraint]:
     """A minimal inconsistent subset of ``Sigma`` (a MUS).
+
+    The single MUS entry point: the historical
+    :func:`minimal_unsat_core` / :func:`minimal_inconsistent_subset`
+    pair (and the internal rebuild variant) are thin deprecation shims
+    over this call — same computation, ``method`` and ``toggled`` select
+    the filter and the engine.
 
     Requires the full set to be inconsistent with the DTD (raises
     :class:`InvalidConstraintError` otherwise). The result may be empty
@@ -504,8 +515,7 @@ def minimal_unsat_core(
 
     >>> from repro.workloads.examples import teachers_dtd_d1, sigma1_constraints
     >>> stats = DiagnosticsStats()
-    >>> core = minimal_unsat_core(
-    ...     teachers_dtd_d1(), sigma1_constraints(), stats=stats)
+    >>> core = mus(teachers_dtd_d1(), sigma1_constraints(), stats=stats)
     >>> sorted(str(phi) for phi in core)
     ['subject.taught_by -> subject', 'subject.taught_by => teacher.name']
     >>> (stats.mus_method, stats.assemblies)  # one persistent system
@@ -534,6 +544,29 @@ def minimal_unsat_core(
     return _minimal_unsat_core_rebuild(dtd, current, config, stats, method)
 
 
+def minimal_unsat_core(
+    dtd: DTD,
+    constraints: Iterable[Constraint],
+    config: CheckerConfig | None = None,
+    *,
+    method: str = "quickxplain",
+    toggled: bool = True,
+    stats: DiagnosticsStats | None = None,
+) -> list[Constraint]:
+    """Deprecated alias for :func:`mus` (QuickXplain-default "quickxplain"
+    filter).  Same computation, same results; new code calls
+    ``mus(dtd, sigma, method=...)`` directly."""
+    warnings.warn(
+        "minimal_unsat_core is deprecated; use mus(dtd, constraints, "
+        "method='quickxplain') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return mus(
+        dtd, constraints, config, method=method, toggled=toggled, stats=stats
+    )
+
+
 def minimal_inconsistent_subset(
     dtd: DTD,
     constraints: Iterable[Constraint],
@@ -543,23 +576,16 @@ def minimal_inconsistent_subset(
     toggled: bool = True,
     stats: DiagnosticsStats | None = None,
 ) -> list[Constraint]:
-    """A deletion-minimal inconsistent subset of ``Sigma`` (a MUS).
-
-    The original entry point; defaults to the linear deletion filter so
-    long-standing callers keep byte-identical behaviour and probe counts.
-    :func:`minimal_unsat_core` is the same computation with the
-    QuickXplain filter as the default.
-
-    >>> from repro.workloads.examples import teachers_dtd_d1, sigma1_constraints
-    >>> stats = DiagnosticsStats()
-    >>> mus = minimal_inconsistent_subset(
-    ...     teachers_dtd_d1(), sigma1_constraints(), stats=stats)
-    >>> sorted(str(phi) for phi in mus)
-    ['subject.taught_by -> subject', 'subject.taught_by => teacher.name']
-    >>> stats.assemblies            # probes patch one persistent system
-    1
-    """
-    return minimal_unsat_core(
+    """Deprecated alias for :func:`mus` with the linear deletion filter as
+    the default ``method`` — the historical behaviour of this entry point.
+    New code calls ``mus(dtd, sigma, method='deletion')`` directly."""
+    warnings.warn(
+        "minimal_inconsistent_subset is deprecated; use mus(dtd, "
+        "constraints, method='deletion') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return mus(
         dtd, constraints, config, method=method, toggled=toggled, stats=stats
     )
 

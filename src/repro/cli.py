@@ -12,6 +12,11 @@ Subcommands (also available as ``python -m repro``):
   divide-and-conquer) or redundancy report, probed by row toggles on one
   assembled system (``--stats`` prints the work counters, ``--rebuild``
   the ablation, ``--jobs N`` fans the audit across worker processes);
+* ``fix DTD [CONSTRAINTS]`` — minimum-weight repair of an inconsistent
+  specification: constraint deletions plus DTD edits (cardinality
+  loosenings, attribute-requirement drops), searched by toggle probes
+  on one assembled system and re-verified with the full checker
+  (``--output`` / ``--constraints-out`` write the repaired spec);
 * ``bounds DTD [CONSTRAINTS] --type TAU`` — feasible range of
   ``|ext(TAU)|``;
 * ``serve`` — the long-lived checking service: line-delimited JSON over
@@ -24,11 +29,11 @@ Subcommands (also available as ``python -m repro``):
   ``implies_all`` batches fanned across the fleet in waves (DESIGN.md
   section 11).
 
-``check``/``implies``/``diagnose``/``validate`` accept
+``check``/``implies``/``diagnose``/``fix``/``validate`` accept
 ``--via HOST:PORT`` to route through a running ``serve`` or ``fleet``
 endpoint instead of solving in-process.
 
-``check``/``implies``/``diagnose``/``validate`` are thin clients of the
+``check``/``implies``/``diagnose``/``fix``/``validate`` are thin clients of the
 same session API the server runs on: each command resolves its
 ``(DTD, Sigma)`` through the process-wide
 :func:`~repro.service.registry.default_registry`, so one-shot
@@ -231,16 +236,32 @@ def _cmd_implies(args: argparse.Namespace) -> int:
     return 0 if payload["implied"] else 1
 
 
+def _repair_payload(args: argparse.Namespace, session=None) -> tuple[dict, str]:
+    """One repair answer, via the service or the local session."""
+    if args.via:
+        return _via_payload(
+            args,
+            {**_wire_spec(args), "op": "repair", "rebuild": args.rebuild},
+        )
+    session = session if session is not None else _session_for(args)
+    payload = session.repair(_config_overrides(args), rebuild=args.rebuild)
+    return payload, session.fingerprint
+
+
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     if args.via:
         payload, fingerprint = _via_payload(
             args,
             {**_wire_spec(args), "op": "diagnose", "rebuild": args.rebuild},
         )
+        session = None
     else:
         session = _session_for(args)
         payload = session.diagnose(_config_overrides(args), rebuild=args.rebuild)
     print(payload["summary"])
+    if args.repair and not payload["consistent"]:
+        fix, _ = _repair_payload(args, session)
+        print(fix["summary"])
     if args.stats:
         _print_stats(payload["stats"])
     if args.session_info:
@@ -249,6 +270,28 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         else:
             _print_session(session)
     return 0 if payload["consistent"] else 1
+
+
+def _cmd_fix(args: argparse.Namespace) -> int:
+    payload, fingerprint = _repair_payload(args)
+    print(payload["summary"])
+    if payload["found"] and not payload["verified"]:  # pragma: no cover
+        print("warning: repaired specification failed re-verification")
+    if args.stats:
+        _print_stats(payload["stats"])
+    if args.session_info:
+        if args.via:
+            print(f"session: {fingerprint}  [via={args.via}]")
+        else:
+            print(f"session: {fingerprint}")
+    if payload["found"] and args.output:
+        Path(args.output).write_text(payload["dtd"] + "\n")
+        print(f"repaired DTD written to {args.output}")
+    if payload["found"] and args.constraints_out:
+        text = "\n".join(payload["constraints"])
+        Path(args.constraints_out).write_text(text + ("\n" if text else ""))
+        print(f"repaired constraints written to {args.constraints_out}")
+    return 0 if payload["found"] or payload["consistent_before"] else 1
 
 
 def _run_transports(
@@ -522,10 +565,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="force the re-encode-per-subset reference path instead of "
         "toggling rows on one assembled system (the differential ablation)",
     )
+    p_diagnose.add_argument(
+        "--repair",
+        action="store_true",
+        help="when the specification is inconsistent, additionally "
+        "propose a minimum-weight repair (constraint deletions and DTD "
+        "edits) — the `repro fix` engine riding on the health report",
+    )
     add_solver_flags(p_diagnose)
     add_session_flag(p_diagnose)
     add_via_flag(p_diagnose)
     p_diagnose.set_defaults(func=_cmd_diagnose)
+
+    p_fix = sub.add_parser(
+        "fix",
+        help="minimum-weight repair of an inconsistent specification "
+        "(constraint deletions, cardinality loosenings, attribute drops)",
+    )
+    p_fix.add_argument("dtd")
+    p_fix.add_argument("constraints", nargs="?", default=None)
+    p_fix.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the repaired DTD here",
+    )
+    p_fix.add_argument(
+        "--constraints-out",
+        metavar="FILE",
+        help="write the repaired constraint set here",
+    )
+    p_fix.add_argument(
+        "--stats",
+        "--profile",
+        action="store_true",
+        dest="stats",
+        help="print repair work counters (probes, cores, hitting sets, "
+        "assemblies, verification checks)",
+    )
+    p_fix.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="force the re-encode-per-candidate reference engine instead "
+        "of toggle probes on one assembled system (the differential "
+        "ablation)",
+    )
+    add_solver_flags(p_fix)
+    add_session_flag(p_fix)
+    add_via_flag(p_fix)
+    p_fix.set_defaults(func=_cmd_fix)
 
     p_serve = sub.add_parser(
         "serve",

@@ -142,6 +142,29 @@ def nondeterministic_types(dtd: DTD) -> dict[str, list[str]]:
     return offenders
 
 
+def required_children(dtd: DTD, tau: str) -> frozenset[str]:
+    """Child element types that occur in *every* word of ``P(tau)``.
+
+    A child ``a`` is required when ``P(tau)`` cannot derive any word over
+    the remaining alphabet — i.e. a ``tau`` element can never avoid an
+    ``a`` child.  These are exactly the loosening candidates of the
+    repair engine (:mod:`repro.analysis.repair`): wrapping an *optional*
+    child in ``?`` changes nothing, so only required children are edits.
+
+    >>> from repro.dtd.model import DTD
+    >>> d = DTD.build("r", {"r": "(a, b?, c*)", "a": "EMPTY",
+    ...                     "b": "EMPTY", "c": "EMPTY"})
+    >>> sorted(required_children(d, "r"))
+    ['a']
+    """
+    expr = dtd.content[tau]
+    symbols = alphabet(expr) - {TEXT_SYMBOL}
+    full = symbols | {TEXT_SYMBOL}
+    return frozenset(
+        a for a in symbols if not can_derive_over(expr, full - {a})
+    )
+
+
 def must_occur(dtd: DTD, tau: str) -> bool:
     """Does every valid tree contain at least one ``tau`` element?
 

@@ -41,7 +41,7 @@ from repro.dtd.analysis import usable_types
 from repro.dtd.model import DTD
 from repro.dtd.simplify import SimpleDTD, simplify_dtd
 from repro.encoding.cardinality import encode_constraints
-from repro.encoding.dtd_system import DTDSystem, encode_dtd, ext_var
+from repro.encoding.dtd_system import DTDSystem, RuleSite, encode_dtd, ext_var
 from repro.encoding.setrep import SetRepBlock, encode_set_representation
 from repro.errors import InvalidConstraintError
 from repro.ilp.condsys import ConditionalSystem
@@ -81,6 +81,13 @@ class ConsistencyEncoding:
     #: Toggle registry, keyed by *expanded* unary constraint (foreign keys
     #: appear through their inclusion + key components).
     toggles: dict[Constraint, ConstraintToggle] = field(default_factory=dict)
+    #: Rule-site provenance (``repair_sites=True`` only): every ``Psi_DN``
+    #: rule row, in encoder order, for the repair engine's loosening probes.
+    sites: tuple[RuleSite, ...] = ()
+    #: Per-site toggle (``repair_sites=True`` only): deactivating it leaves
+    #: the site's one-sided shadow row, turning the rule equation into the
+    #: loosened (children-optional) projection.
+    site_toggles: dict[int, ConstraintToggle] = field(default_factory=dict)
 
 
 @dataclass
@@ -227,8 +234,20 @@ def build_encoding(
     dtd: DTD,
     constraints: list[Constraint],
     max_setrep_attrs: int = 12,
+    repair_sites: bool = False,
 ) -> ConsistencyEncoding:
     """Build ``Psi(D, Sigma)`` for unary ``Sigma`` over ``dtd``.
+
+    ``repair_sites=True`` additionally registers every ``Psi_DN`` rule
+    row as a toggleable *site* and appends, per site, a permanent
+    one-sided shadow row (``ext(tau) - sum(children) >= 0``): with the
+    equality row active the system is byte-identical in meaning to the
+    plain encoding, and with it deactivated the shadow keeps the upper
+    bound while dropping the lower — exactly the projection of the DTD
+    with that site's children made optional.  This is the repair
+    engine's probe surface (:mod:`repro.analysis.repair`); the cached
+    ``Psi_DN`` block stays pristine because shadow rows are appended to
+    the per-call copy only.
 
     >>> from repro.dtd.model import DTD
     >>> from repro.constraints.parser import parse_constraints
@@ -271,6 +290,33 @@ def build_encoding(
             forced_true=cardinality.forced_of.get(phi, frozenset()),
         )
 
+    # Repair mode: shadow rows + per-site toggles over the rule rows.
+    sites: tuple[RuleSite, ...] = ()
+    site_toggles: dict[int, ConstraintToggle] = {}
+    if repair_sites:
+        sites = block.dtd_system.sites
+        for index, site in enumerate(sites):
+            coeffs = dict(system.rows[site.row].coeffs)
+            system.add_ge(coeffs, 0, label=f"shadow:{site.parent}:{index}")
+            site_toggles[index] = ConstraintToggle(
+                rows=(site.row,),
+                clause_ids=(site.clause,) if site.clause is not None else (),
+            )
+
+    toggleable_rows = frozenset(
+        row for toggle in toggles.values() for row in toggle.rows
+    ) | frozenset(
+        row for toggle in site_toggles.values() for row in toggle.rows
+    )
+    toggleable_clauses = frozenset(
+        clause_id
+        for toggle in toggles.values()
+        for clause_id in toggle.clause_ids
+    ) | frozenset(
+        clause_id
+        for toggle in site_toggles.values()
+        for clause_id in toggle.clause_ids
+    )
     condsys = ConditionalSystem(
         base=system,
         ext_var=dict(block.ext_vars),
@@ -281,14 +327,8 @@ def build_encoding(
         clauses=block.dtd_system.clauses + cardinality.clauses,
         forced_true=cardinality.forced_true,
         forced_false=block.forced_false,
-        toggleable_rows=frozenset(
-            row for toggle in toggles.values() for row in toggle.rows
-        ),
-        toggleable_clauses=frozenset(
-            clause_id
-            for toggle in toggles.values()
-            for clause_id in toggle.clause_ids
-        ),
+        toggleable_rows=toggleable_rows,
+        toggleable_clauses=toggleable_clauses,
     )
     return ConsistencyEncoding(
         dtd=dtd,
@@ -301,4 +341,6 @@ def build_encoding(
         setrep=setrep,
         constraints=list(constraints),
         toggles=toggles,
+        sites=sites,
+        site_toggles=site_toggles,
     )

@@ -37,6 +37,24 @@ def occ_var(slot: int, child: str, parent: str) -> VarId:
     return ("occ", slot, child, parent)
 
 
+@dataclass(frozen=True)
+class RuleSite:
+    """Provenance of one rule row of ``Psi_DN`` (a *loosenable site*).
+
+    The repair engine (:mod:`repro.analysis.repair`) probes DTD
+    cardinality loosenings by deactivating individual rule rows, so the
+    encoder records, per rule equation: the parent type, the stable row
+    index, the index of the support clause the row contributed (``None``
+    for text-only sites, which have no clause), and the ``(occurrence
+    variable, child symbol)`` pairs the row constrains.
+    """
+
+    parent: str
+    row: int
+    clause: int | None
+    children: tuple[tuple[VarId, str], ...]
+
+
 @dataclass
 class DTDSystem:
     """``Psi_DN`` plus the structural data the solver needs."""
@@ -45,6 +63,7 @@ class DTDSystem:
     system: LinearSystem
     edges: tuple[tuple[VarId, str, str], ...]
     clauses: tuple[SupportClause, ...]
+    sites: tuple[RuleSite, ...] = ()
 
 
 def encode_dtd(simple: SimpleDTD) -> DTDSystem:
@@ -60,6 +79,7 @@ def encode_dtd(simple: SimpleDTD) -> DTDSystem:
     system = LinearSystem()
     edges: list[tuple[VarId, str, str]] = []
     clauses: list[SupportClause] = []
+    sites: list[RuleSite] = []
 
     # Unique root.
     system.add_eq({ext_var(simple.root): 1}, 1, label="root")
@@ -77,27 +97,35 @@ def encode_dtd(simple: SimpleDTD) -> DTDSystem:
             continue
         if isinstance(rule, OneRule):
             var = occ_var(1, rule.symbol, tau)
-            system.add_eq({ext_tau: 1, var: -1}, 0, label=f"rule:{tau}")
+            row = system.add_eq({ext_tau: 1, var: -1}, 0, label=f"rule:{tau}")
             occurrence_sites[rule.symbol].append(var)
             edges.append((var, tau, rule.symbol))
+            clause_id: int | None = None
             if rule.symbol != TEXT_SYMBOL:
                 parents_of[rule.symbol].add(tau)
                 # Deepest-node argument: a required child of tau's own type
                 # would force infinite descent, so tau minus itself.
+                clause_id = len(clauses)
                 clauses.append(SupportClause(tau, frozenset([rule.symbol]) - {tau}))
+            sites.append(RuleSite(tau, row, clause_id, ((var, rule.symbol),)))
         elif isinstance(rule, SeqRule):
             for slot, symbol in ((1, rule.first), (2, rule.second)):
                 var = occ_var(slot, symbol, tau)
-                system.add_eq({ext_tau: 1, var: -1}, 0, label=f"rule:{tau}:{slot}")
+                row = system.add_eq({ext_tau: 1, var: -1}, 0, label=f"rule:{tau}:{slot}")
                 occurrence_sites[symbol].append(var)
                 edges.append((var, tau, symbol))
+                clause_id = None
                 if symbol != TEXT_SYMBOL:
                     parents_of[symbol].add(tau)
+                    clause_id = len(clauses)
                     clauses.append(SupportClause(tau, frozenset([symbol]) - {tau}))
+                sites.append(RuleSite(tau, row, clause_id, ((var, symbol),)))
         elif isinstance(rule, AltRule):
             var1 = occ_var(1, rule.left, tau)
             var2 = occ_var(2, rule.right, tau)
-            system.add_eq({ext_tau: 1, var1: -1, var2: -1}, 0, label=f"rule:{tau}")
+            row = system.add_eq(
+                {ext_tau: 1, var1: -1, var2: -1}, 0, label=f"rule:{tau}"
+            )
             occurrence_sites[rule.left].append(var1)
             occurrence_sites[rule.right].append(var2)
             edges.append((var1, tau, rule.left))
@@ -109,18 +137,23 @@ def encode_dtd(simple: SimpleDTD) -> DTDSystem:
             # child. Otherwise the *deepest* tau node's child cannot be a
             # tau, so tau itself is excluded from the alternatives (an
             # empty set then means tau can never be present).
+            clause_id = None
             if TEXT_SYMBOL not in (rule.left, rule.right):
                 element_alts = frozenset((rule.left, rule.right)) - {tau}
+                clause_id = len(clauses)
                 clauses.append(SupportClause(tau, element_alts))
+            sites.append(
+                RuleSite(tau, row, clause_id, ((var1, rule.left), (var2, rule.right)))
+            )
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown rule {rule!r}")
 
     # Totality: every non-root node is some parent's child, exactly once.
-    for symbol, sites in occurrence_sites.items():
+    for symbol, occ_vars in occurrence_sites.items():
         if symbol == simple.root:
             continue
         coeffs: dict[VarId, int] = {ext_var(symbol): 1}
-        for var in sites:
+        for var in occ_vars:
             coeffs[var] = coeffs.get(var, 0) - 1
         system.add_eq(coeffs, 0, label=f"totality:{symbol}")
 
@@ -138,4 +171,5 @@ def encode_dtd(simple: SimpleDTD) -> DTDSystem:
         system=system,
         edges=tuple(edges),
         clauses=tuple(clauses),
+        sites=tuple(sites),
     )

@@ -164,6 +164,37 @@ METRICS: dict[str, MetricSpec] = {
             "Requests answered through coalesced implies_batch.",
         ),
         _spec("session.cached_responses", GAUGE, "Resident response-cache entries."),
+        # -- repair.*: the minimal-repair engine (namespaced — never
+        # flat-merged into session.* where same-named solver counters
+        # would shadow) ------------------------------------------------
+        _spec("repair.requests", COUNTER, "Repair ops genuinely solved."),
+        _spec(
+            "repair.found",
+            COUNTER,
+            "Repair ops that returned a verified consistency-restoring edit.",
+        ),
+        _spec("repair.probes", COUNTER, "Candidate-subset probes in repair searches."),
+        _spec(
+            "repair.probe_cache_hits",
+            COUNTER,
+            "Repair probes answered from the probe memo.",
+        ),
+        _spec("repair.cores", COUNTER, "Conflict cores extracted during repair."),
+        _spec(
+            "repair.hitting_sets",
+            COUNTER,
+            "Minimum hitting sets computed during repair.",
+        ),
+        _spec(
+            "repair.assemblies",
+            COUNTER,
+            "Base-matrix assemblies paid by repair searches.",
+        ),
+        _spec(
+            "repair.verify_checks",
+            COUNTER,
+            "Full consistency checks verifying applied repairs.",
+        ),
         # -- router.*: the fleet shard router (repro fleet) ------------
         _spec("router.requests", COUNTER, "Requests received by the router."),
         _spec("router.responses", COUNTER, "Responses written by the router."),
@@ -255,6 +286,17 @@ _POOL_STAT_KEYS = (
     "workers_crashed",
     "workers_respawned",
     "tasks_requeued",
+)
+
+#: The repair-engine counters a session forwards into ``repair.*``
+#: after each genuinely-solved repair request.
+_REPAIR_STAT_KEYS = (
+    "probes",
+    "probe_cache_hits",
+    "cores",
+    "hitting_sets",
+    "assemblies",
+    "verify_checks",
 )
 
 #: Histogram families (rendered after the scalars).
@@ -364,6 +406,31 @@ class StatsCollector:
                 self._counters["pool.parallel_degraded"] = (
                     self._counters.get("pool.parallel_degraded", 0) + 1
                 )
+
+    def absorb_repair_stats(self, payload: dict) -> None:
+        """Fold one solved repair response into the ``repair.*`` counters.
+
+        Takes the wire payload (the :class:`~repro.analysis.repair.Repair`
+        dict): the outcome flags become ``repair.requests`` /
+        ``repair.found`` and the engine's work counters land under their
+        own namespace — deliberately *not* merged into ``session.*``,
+        where same-named solver counters (``assemblies``, ``probes``)
+        would be shadowed.
+        """
+        stats = payload.get("stats") or {}
+        with self._lock:
+            self._counters["repair.requests"] = (
+                self._counters.get("repair.requests", 0) + 1
+            )
+            if payload.get("found"):
+                self._counters["repair.found"] = (
+                    self._counters.get("repair.found", 0) + 1
+                )
+            for key in _REPAIR_STAT_KEYS:
+                value = stats.get(key, 0)
+                if value:
+                    full = f"repair.{key}"
+                    self._counters[full] = self._counters.get(full, 0) + value
 
     def retire_session(self, stats: dict[str, int]) -> None:
         """Accumulate an evicted session's counters so ``session.*``

@@ -19,7 +19,10 @@ error::
 
 Operations: ``open`` (admit/refresh a session, returns its identity
 card), ``check``, ``implies`` (one ``phi``), ``implies_all`` (a ``phis``
-list, answered as one coalesced batch), ``diagnose``, ``validate`` (a
+list, answered as one coalesced batch), ``diagnose``, ``repair`` (a
+minimum-weight consistency-restoring edit; optional ``core_method``,
+``rebuild`` and a ``weights`` object mapping action family to a
+positive integer cost), ``validate`` (a
 ``document``), ``export_cuts`` / ``adopt_cuts`` (the fleet's
 wave-boundary cut sync: portable connectivity-cut records out of and
 into the session pool), ``stats`` (registry + server counters) and
@@ -52,6 +55,7 @@ SESSION_OPS = frozenset(
         "implies",
         "implies_all",
         "diagnose",
+        "repair",
         "validate",
         "export_cuts",
         "adopt_cuts",
@@ -121,6 +125,16 @@ def perform(session: SpecSession, request: dict) -> dict:
             config,
             rebuild=bool(request.get("rebuild", False)),
             mus_method=request.get("mus_method", "quickxplain"),
+        )
+    if op == "repair":
+        weights = request.get("weights")
+        if weights is not None and not isinstance(weights, dict):
+            raise ProtocolError("op 'repair' takes 'weights' as an object")
+        return session.repair(
+            config,
+            core_method=request.get("core_method", "quickxplain"),
+            rebuild=bool(request.get("rebuild", False)),
+            weights=weights,
         )
     if op == "validate":
         if "document" not in request:

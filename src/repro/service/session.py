@@ -2,8 +2,9 @@
 
 A session pins one ``(DTD, Sigma)`` pair — identified by its canonical
 :func:`~repro.encoding.combined.spec_fingerprint` — and answers
-``check`` / ``implies`` / ``diagnose`` / ``validate`` requests against
-it.  Requests and responses are JSON-ready dicts (the wire form of
+``check`` / ``implies`` / ``diagnose`` / ``repair`` / ``validate``
+requests against it, dispatching each solve through the
+:mod:`repro.api` facade.  Requests and responses are JSON-ready dicts (the wire form of
 ``repro serve``), so a session *is* the service engine; the asyncio
 layer only schedules calls into it.
 
@@ -42,11 +43,11 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
 
+from repro import api
 from repro.checkers.config import DEFAULT_CONFIG, CheckerConfig
 from repro.checkers.consistency import check_consistency, check_consistency_encoded
 from repro.checkers.implication import implies_all, implies_validated
 from repro.checkers.results import ConsistencyResult
-from repro.analysis.diagnostics import diagnose
 from repro.constraints.ast import Constraint
 from repro.constraints.classes import (
     ConstraintClass,
@@ -170,6 +171,10 @@ class SpecSession:
             raise ReproError(f"unknown session mode {mode!r} (use one of {MODES})")
         self.dtd = dtd
         self.sigma = list(constraints)
+        #: The facade value the session dispatches through: every
+        #: non-warm solve goes `session -> repro.api -> engine`, the
+        #: same path a library caller takes.
+        self.spec = api.Spec(dtd=dtd, constraints=tuple(constraints))
         validate_constraints(dtd, self.sigma)
         self.config = config or DEFAULT_CONFIG
         self.mode = mode
@@ -341,7 +346,7 @@ class SpecSession:
                         self.dtd, self.sigma, effective, workspace_key=("check",)
                     )
                 else:
-                    result = check_consistency(self.dtd, self.sigma, effective)
+                    result = api.check(self.spec, config=effective)
             payload = {
                 "consistent": result.consistent,
                 "method": result.method,
@@ -444,10 +449,9 @@ class SpecSession:
             if cached is not None:
                 return cached
             with self._solve_scope():
-                report = diagnose(
-                    self.dtd,
-                    self.sigma,
-                    effective,
+                report = api.diagnose(
+                    self.spec,
+                    config=effective,
                     toggled=not rebuild,
                     mus_method=mus_method,
                 )
@@ -459,6 +463,48 @@ class SpecSession:
                 "summary": report.summary(),
                 "stats": report.stats.as_dict(),
             }
+            return self._absorb(self._remember(key, payload))
+
+    def repair(
+        self,
+        config: dict | None = None,
+        core_method: str = "quickxplain",
+        rebuild: bool = False,
+        weights: dict | None = None,
+    ) -> dict:
+        """A minimum-weight repair of the session's specification.
+
+        ``weights`` is the wire form of the engine's weight mapping:
+        action-family name (``"delete"`` / ``"loosen"`` / ``"drop"``)
+        to a positive integer.  Responses are cached like every other
+        op — the key covers the filter, the engine, the weights and the
+        effective config, so a repeat is a byte replay.
+        """
+        with self._lock:
+            self.stats.requests += 1
+            effective = self._effective_config(config)
+            weight_key = tuple(sorted((weights or {}).items()))
+            key = ("repair", core_method, bool(rebuild), weight_key, effective)
+            cached = self._recall(key)
+            if cached is not None:
+                return cached
+            try:
+                with self._solve_scope():
+                    result = api.repair(
+                        self.spec,
+                        config=effective,
+                        weights=weights,
+                        core_method=core_method,
+                        toggled=not rebuild,
+                    )
+            except ValueError as exc:
+                # A bad weights mapping is a client error, not a crash:
+                # surface it with the structured wire contract.
+                raise ReproError(str(exc)) from None
+            payload = result.as_dict()
+            payload["summary"] = result.summary()
+            if self.collector is not None:
+                self.collector.absorb_repair_stats(payload)
             return self._absorb(self._remember(key, payload))
 
     def validate(self, document: str) -> dict:

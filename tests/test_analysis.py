@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.diagnostics import (
     diagnose,
-    minimal_inconsistent_subset,
+    mus,
     redundant_constraints,
 )
 from repro.analysis.extent_bounds import extent_bounds
@@ -70,36 +70,34 @@ class TestExtentBounds:
         assert "in [1, 1]" in str(extent_bounds(d, [], "a"))
 
 
-class TestMinimalInconsistentSubset:
+class TestMus:
     def test_sigma1_core(self, d1, sigma1):
-        mus = minimal_inconsistent_subset(d1, sigma1)
-        assert sorted(str(phi) for phi in mus) == [
+        core = mus(d1, sigma1)
+        assert sorted(str(phi) for phi in core) == [
             "subject.taught_by -> subject",
             "subject.taught_by => teacher.name",
         ]
         # The subset itself is inconsistent and removing anything fixes it.
-        assert not check_consistency(d1, mus).consistent
-        for index in range(len(mus)):
-            rest = mus[:index] + mus[index + 1:]
+        assert not check_consistency(d1, core).consistent
+        for index in range(len(core)):
+            rest = core[:index] + core[index + 1:]
             assert check_consistency(d1, rest).consistent
 
     def test_consistent_input_rejected(self, d1):
         with pytest.raises(InvalidConstraintError, match="consistent"):
-            minimal_inconsistent_subset(d1, [])
+            mus(d1, [])
 
     def test_empty_dtd_blames_nothing(self, d2):
         d2a = DTD.build("db", {"db": "(foo)", "foo": "(foo)"},
                         attrs={"foo": ["k"]})
-        mus = minimal_inconsistent_subset(
-            d2a, parse_constraints("foo.k -> foo")
-        )
-        assert mus == []
+        core = mus(d2a, parse_constraints("foo.k -> foo"))
+        assert core == []
 
     def test_direct_contradiction(self):
         d = DTD.build("r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["x"]})
         sigma = parse_constraints("a.x -> a\na.x !-> a\na.x <= a.x")
-        mus = minimal_inconsistent_subset(d, sigma)
-        assert sorted(str(phi) for phi in mus) == ["a.x !-> a", "a.x -> a"]
+        core = mus(d, sigma, method="deletion")
+        assert sorted(str(phi) for phi in core) == ["a.x !-> a", "a.x -> a"]
 
 
 class TestRedundancy:

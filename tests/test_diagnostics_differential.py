@@ -17,8 +17,7 @@ import pytest
 from repro.analysis.diagnostics import (
     DiagnosticsStats,
     diagnose,
-    minimal_inconsistent_subset,
-    minimal_unsat_core,
+    mus,
     redundant_constraints,
 )
 from repro.checkers.config import CheckerConfig
@@ -94,9 +93,9 @@ def test_mus_single_assembly_and_oracle_agreement():
         "a.x -> a\na.x !-> a\nb.y -> b\na.x <= a.x"
     )
     stats = DiagnosticsStats()
-    mus = minimal_inconsistent_subset(dtd, sigma, stats=stats)
-    oracle = minimal_inconsistent_subset(dtd, sigma, toggled=False)
-    assert _canonical(mus) == _canonical(oracle) == ["a.x !-> a", "a.x -> a"]
+    core = mus(dtd, sigma, method="deletion", stats=stats)
+    oracle = mus(dtd, sigma, method="deletion", toggled=False)
+    assert _canonical(core) == _canonical(oracle) == ["a.x !-> a", "a.x -> a"]
     assert stats.assemblies == 1
     assert stats.probes == len(sigma) + 1  # full set + one deletion probe each
 
@@ -176,7 +175,7 @@ def test_multi_attribute_specs_fall_back_to_rebuild():
 def test_inconsistent_subset_requires_inconsistency():
     dtd = DTD.build("r", {"r": "(a*)", "a": "EMPTY"}, attrs={"a": ["x"]})
     with pytest.raises(InvalidConstraintError, match="consistent"):
-        minimal_inconsistent_subset(dtd, parse_constraints("a.x -> a"))
+        mus(dtd, parse_constraints("a.x -> a"))
 
 
 # ---------------------------------------------------------------------------
@@ -184,7 +183,7 @@ def test_inconsistent_subset_requires_inconsistency():
 # ---------------------------------------------------------------------------
 
 
-def _assert_valid_mus(dtd, sigma, mus, seed):
+def _assert_valid_mus(dtd, sigma, core, seed):
     """Semantic MUS check: inconsistent, and every element necessary.
 
     QuickXplain and the deletion filter both return *minimal* inconsistent
@@ -193,14 +192,14 @@ def _assert_valid_mus(dtd, sigma, mus, seed):
     syntactic, so each result is verified against the checker directly.
     """
     config = CheckerConfig(want_witness=False)
-    assert set(mus) <= set(sigma), f"seed {seed}: core not a subset"
-    assert not check_consistency(dtd, mus, config).consistent, (
+    assert set(core) <= set(sigma), f"seed {seed}: core not a subset"
+    assert not check_consistency(dtd, core, config).consistent, (
         f"seed {seed}: reported core is not inconsistent"
     )
-    for index in range(len(mus)):
-        subset = mus[:index] + mus[index + 1:]
+    for index in range(len(core)):
+        subset = core[:index] + core[index + 1:]
         assert check_consistency(dtd, subset, config).consistent, (
-            f"seed {seed}: core element {mus[index]} is not necessary"
+            f"seed {seed}: core element {core[index]} is not necessary"
         )
 
 
@@ -221,10 +220,8 @@ def test_quickxplain_equals_deletion_on_seeded_instances():
         if report.consistent or not report.dtd_satisfiable:
             continue
         qx_stats, del_stats = DiagnosticsStats(), DiagnosticsStats()
-        qx = minimal_unsat_core(dtd, sigma, stats=qx_stats)
-        deletion = minimal_unsat_core(
-            dtd, sigma, method="deletion", stats=del_stats
-        )
+        qx = mus(dtd, sigma, stats=qx_stats)
+        deletion = mus(dtd, sigma, method="deletion", stats=del_stats)
         assert qx_stats.mus_method == "quickxplain"
         assert del_stats.mus_method == "deletion"
         _assert_valid_mus(dtd, sigma, qx, seed)
@@ -246,8 +243,8 @@ def test_quickxplain_toggled_matches_rebuild_oracle():
             continue
         if report.consistent or not report.dtd_satisfiable:
             continue
-        toggled = minimal_unsat_core(dtd, sigma)
-        rebuild = minimal_unsat_core(dtd, sigma, toggled=False)
+        toggled = mus(dtd, sigma)
+        rebuild = mus(dtd, sigma, toggled=False)
         assert _canonical(toggled) == _canonical(rebuild), f"seed {seed}"
         checked += 1
     assert checked > 0
@@ -260,8 +257,8 @@ def test_quickxplain_saves_probes_on_large_specifications():
     dtd, sigma = registrar_mus_family(8)
     assert len(sigma) >= 8
     qx_stats, del_stats = DiagnosticsStats(), DiagnosticsStats()
-    qx = minimal_unsat_core(dtd, sigma, stats=qx_stats)
-    deletion = minimal_unsat_core(dtd, sigma, method="deletion", stats=del_stats)
+    qx = mus(dtd, sigma, stats=qx_stats)
+    deletion = mus(dtd, sigma, method="deletion", stats=del_stats)
     assert _canonical(qx) == _canonical(deletion)
     assert del_stats.mus_probes == len(sigma)
     assert qx_stats.mus_probes < del_stats.mus_probes, (

@@ -59,13 +59,13 @@ def test_parallel_surface_keeps_examples():
     examples: the ``jobs`` entry point, the per-worker workspace clone,
     and the QuickXplain MUS.  The module sweep above executes them; this
     guard keeps them from being silently dropped."""
-    from repro.analysis.diagnostics import minimal_unsat_core
+    from repro.analysis.diagnostics import mus
     from repro.ilp.condsys import SolveWorkspace, solve_conditional_system
 
     for obj, needle in (
         (solve_conditional_system, "jobs"),
         (SolveWorkspace.clone, "clone"),
-        (minimal_unsat_core, "quickxplain"),
+        (mus, "quickxplain"),
     ):
         assert _surface_examples(obj) > 0, f"{obj.__qualname__} lost its example"
         assert needle in (obj.__doc__ or ""), (

@@ -147,7 +147,36 @@ def test_readme_scaling_section_is_executable():
     assert "## Scaling" in text
     assert "--jobs 4" in text
     assert "jobs=2" in text
-    assert "minimal_unsat_core" in text
+    assert "mus(wide, bloated" in text
+
+
+def test_readme_repair_section_is_executable():
+    """The Repair quickstart is a real doctest session (the api facade,
+    a verified cost-1 repair, the weighted DTD-edit variant), executed
+    by the doctest runner above; this guard keeps its load-bearing
+    pieces from being edited away."""
+    text = README.read_text()
+    assert "## Repair" in text
+    assert "api.repair" in text
+    assert "minimal repair (cost 1):" in text
+    assert "weights={" in text
+    assert "repro fix" in text
+    assert "bench_repair.py" in text
+
+
+def test_readme_fix_flags_parse_in_cli():
+    """The repair flags the README documents parse on `fix` and
+    `diagnose`."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["fix", "d.dtd", "s.txt", "--output", "fixed.dtd", "--stats"]
+    )
+    assert args.output == "fixed.dtd" and args.stats
+    assert parser.parse_args(
+        ["diagnose", "d.dtd", "s.txt", "--repair"]
+    ).repair
 
 
 def test_readme_fleet_section_is_executable():
